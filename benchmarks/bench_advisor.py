@@ -1,0 +1,72 @@
+"""Related problem (a): the greedy lattice advisor, and the payoff of the
+views it picks.
+
+Benchmarks (1) advisor selection time over the 4-attribute lattice and
+(2) a mixed dashboard workload executed with and without the advisor's
+views installed.
+"""
+
+import pytest
+
+from repro.asts.advisor import Advisor
+from repro.bench.figures import make_database
+from repro.bench.harness import bench_scale
+from repro.workloads import bench_config
+
+ATTRIBUTES = {
+    "faid": "faid",
+    "flid": "flid",
+    "year": "year(date)",
+    "month": "month(date)",
+}
+
+WORKLOAD = [
+    "select faid, count(*) as c from Trans group by faid",
+    "select flid, year(date) as y, count(*) as c from Trans group by flid, year(date)",
+    "select year(date) as y, month(date) as m, count(*) as c "
+    "from Trans group by year(date), month(date)",
+    "select count(*) as c from Trans",
+]
+
+
+@pytest.fixture(scope="module")
+def database():
+    return make_database(bench_config(bench_scale()))
+
+
+def test_advisor_selection(benchmark, database):
+    def run():
+        advisor = Advisor(database, "Trans", ATTRIBUTES)
+        budget = len(database.table("Trans")) // 2
+        return advisor.select(budget_rows=budget, max_views=3)
+
+    result = benchmark(run)
+    assert result.selected
+
+
+def test_workload_without_views(benchmark, database):
+    def run():
+        for query in WORKLOAD:
+            database.execute(query, use_summary_tables=False)
+
+    benchmark(run)
+
+
+def test_workload_with_advised_views(benchmark, database):
+    advisor = Advisor(database, "Trans", ATTRIBUTES)
+    budget = len(database.table("Trans")) // 2
+    chosen = advisor.select(budget_rows=budget, max_views=3)
+    names = advisor.create_selected(chosen, prefix="BENCHADV")
+    plans = []
+    for query in WORKLOAD:
+        result = database.rewrite(query)
+        assert result is not None, query
+        plans.append(result.graph)
+
+    def run():
+        for plan in plans:
+            database.execute_graph(plan)
+
+    benchmark(run)
+    for name in names:
+        database.drop_summary_table(name)

@@ -1,0 +1,27 @@
+"""Benchmark for fig02_q1: account/state/year counts with HAVING (Figure 2).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig02_q1")
+
+
+def test_fig02_q1_original(benchmark, experiment):
+    """The paper's Q1 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig02_q1_rewritten(benchmark, experiment):
+    """The paper's NewQ1 against AST1."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

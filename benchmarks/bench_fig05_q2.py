@@ -1,0 +1,27 @@
+"""Benchmark for fig05_q2: SPJ with rejoin, extra child and derived amt (Figure 5).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig05_q2")
+
+
+def test_fig05_q2_original(benchmark, experiment):
+    """The paper's Q2 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig05_q2_rewritten(benchmark, experiment):
+    """The paper's NewQ2 against AST2."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

@@ -1,0 +1,27 @@
+"""Benchmark for fig06_q4: yearly sums re-derived from monthly sums (Figure 6).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig06_q4")
+
+
+def test_fig06_q4_original(benchmark, experiment):
+    """The paper's Q4 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig06_q4_rewritten(benchmark, experiment):
+    """The paper's NewQ4 against AST4."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

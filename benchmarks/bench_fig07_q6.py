@@ -1,0 +1,27 @@
+"""Benchmark for fig07_q6: predicate pull-up + year%100 regrouping (Figure 7).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig07_q6")
+
+
+def test_fig07_q6_original(benchmark, experiment):
+    """The paper's Q6 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig07_q6_rewritten(benchmark, experiment):
+    """The paper's NewQ6 against AST6."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

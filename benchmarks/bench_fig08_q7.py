@@ -1,0 +1,27 @@
+"""Benchmark for fig08_q7: 1:N rejoin without regrouping (Figure 8).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig08_q7")
+
+
+def test_fig08_q7_original(benchmark, experiment):
+    """The paper's Q7 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig08_q7_rewritten(benchmark, experiment):
+    """The paper's NewQ7 against AST7."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

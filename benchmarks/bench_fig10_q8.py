@@ -1,0 +1,27 @@
+"""Benchmark for fig10_q8: multi-block histogram query (Figure 10).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig10_q8")
+
+
+def test_fig10_q8_original(benchmark, experiment):
+    """The paper's Q8 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig10_q8_rewritten(benchmark, experiment):
+    """The paper's NewQ8 against AST8."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

@@ -1,0 +1,27 @@
+"""Benchmark for fig11_q10: scalar subquery percentage query (Figure 11).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig11_q10")
+
+
+def test_fig11_q10_original(benchmark, experiment):
+    """The paper's Q10 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig11_q10_rewritten(benchmark, experiment):
+    """The paper's NewQ10 against AST10."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

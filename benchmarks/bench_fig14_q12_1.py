@@ -1,0 +1,27 @@
+"""Benchmark for fig14_q12_1: cube query, disjunctive slicing (Figure 14).
+
+Regenerates the paper artifact: runs the original query and the rewritten
+(summary-table) plan on identical data and reports both timings.
+Result equivalence is asserted during setup. Scale via REPRO_SCALE.
+"""
+
+import pytest
+
+from repro.bench.figures import make_bench_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return make_bench_experiment("fig14_q12_1")
+
+
+def test_fig14_q12_1_original(benchmark, experiment):
+    """The paper's Q12.1 against the base tables."""
+    result = benchmark(experiment.run_original)
+    assert len(result) == len(experiment.run_rewritten())
+
+
+def test_fig14_q12_1_rewritten(benchmark, experiment):
+    """The paper's NewQ12.1 against AST12."""
+    result = benchmark(experiment.run_rewritten)
+    assert len(result) == len(experiment.run_original())

@@ -1,0 +1,56 @@
+"""Related problem (c): incremental maintenance vs full recomputation.
+
+Measures bringing AST1 up to date after a 1% batch of new transactions,
+both ways. The incremental path should win by roughly the base/delta
+ratio.
+"""
+
+import pytest
+
+from repro.asts.maintenance import maintain_insert
+from repro.bench.figures import AST1, make_database
+from repro.bench.harness import bench_scale
+from repro.workloads import bench_config
+
+
+def _fresh():
+    db = make_database(bench_config(bench_scale()))
+    db.create_summary_table("AST1", AST1)
+    return db
+
+
+def _delta_rows(db, fraction=0.01):
+    import datetime
+
+    base = db.table("Trans")
+    count = max(1, int(len(base) * fraction))
+    next_tid = max(row[0] for row in base.rows) + 1
+    rows = []
+    for i in range(count):
+        template = base.rows[i % len(base)]
+        rows.append((next_tid + i,) + template[1:4] + (datetime.date(1993, 1, 1),) + template[5:])
+    return rows
+
+
+def test_incremental_insert(benchmark):
+    def setup():
+        db = _fresh()
+        return (db, "Trans", _delta_rows(db)), {}
+
+    def run(db, table, rows):
+        report = maintain_insert(db, table, rows)
+        assert report.was_incremental("AST1")
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_full_recompute(benchmark):
+    def setup():
+        db = _fresh()
+        db.load("Trans", _delta_rows(db))
+        return (db,), {}
+
+    def run(db):
+        db.refresh_summary_tables()
+
+    benchmark.pedantic(run, setup=setup, rounds=5)

@@ -1,0 +1,40 @@
+"""Matcher/rewriter overhead: the time to *find* a rewrite must be
+negligible next to the execution time it saves (implicit throughout the
+paper — the algorithm runs inside the optimizer).
+
+Benchmarks the full pipeline (parse + bind + navigate + compensate) for a
+representative set of figure queries, plus the parse+bind baseline so the
+matching cost proper can be read off the difference.
+"""
+
+import pytest
+
+from repro.bench.figures import FIGURES, make_database
+from repro.workloads import small_config
+
+
+CASES = ["fig02_q1", "fig05_q2", "fig10_q8", "fig14_q12_2"]
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    databases = {}
+    for figure in CASES:
+        ast_name, ast_sql, query, _ = FIGURES[figure]
+        db = make_database(small_config())
+        db.create_summary_table(ast_name, ast_sql)
+        databases[figure] = (db, query)
+    return databases
+
+
+@pytest.mark.parametrize("figure", CASES)
+def test_parse_and_bind(benchmark, prepared, figure):
+    db, query = prepared[figure]
+    benchmark(db.bind, query)
+
+
+@pytest.mark.parametrize("figure", CASES)
+def test_full_rewrite(benchmark, prepared, figure):
+    db, query = prepared[figure]
+    result = benchmark(db.rewrite, query)
+    assert result is not None

@@ -1,0 +1,47 @@
+"""Speedup-vs-scale sweep for the headline experiment.
+
+The paper's speedups come from the AST/fact size ratio, so the win should
+grow (roughly linearly) with the fact-table size while the rewritten plan
+stays nearly flat. This bench pins that shape down by running Figure 2's
+Q1 at three data scales.
+
+Run directly for a compact series:  python benchmarks/bench_scaling.py
+"""
+
+import pytest
+
+from repro.bench.figures import make_experiment
+from repro.workloads import bench_config
+
+SCALES = [0.25, 0.5, 1.0]
+
+
+@pytest.fixture(scope="module", params=SCALES, ids=lambda s: f"scale{s}")
+def experiment(request):
+    return make_experiment("fig02_q1", bench_config(request.param))
+
+
+def test_q1_original_scaled(benchmark, experiment):
+    benchmark(experiment.run_original)
+
+
+def test_q1_rewritten_scaled(benchmark, experiment):
+    benchmark(experiment.run_rewritten)
+
+
+def main() -> None:
+    print(f"{'scale':>6} {'Trans rows':>11} {'AST rows':>9} "
+          f"{'original':>10} {'rewritten':>10} {'speedup':>8}")
+    for scale in SCALES:
+        exp = make_experiment("fig02_q1", bench_config(scale))
+        run = exp.measure(repeat=3)
+        print(
+            f"{scale:>6} {run.base_rows:>11} {run.summary_rows:>9} "
+            f"{run.original_seconds * 1e3:>8.1f}ms "
+            f"{run.rewritten_seconds * 1e3:>8.1f}ms "
+            f"{run.speedup:>7.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The Section 8 claim: dramatic speedups on a TPC-D-like workload with a
+small number of ASTs.
+
+Each query runs twice per benchmark session: once against the base
+tables, once against its rewrite over PricingAst/NationAst. Result
+equivalence is asserted at setup. ``REPRO_TPCD_ORDERS`` scales the data
+(default 2000 orders ≈ 7k lineitems).
+"""
+
+import os
+
+import pytest
+
+from repro.engine.table import tables_equal
+from repro.workloads import QUERIES, build_tpcd_db, install_asts
+
+
+def _orders() -> int:
+    return int(os.environ.get("REPRO_TPCD_ORDERS", "2000"))
+
+
+@pytest.fixture(scope="module")
+def tpcd_db():
+    db = build_tpcd_db(orders=_orders())
+    install_asts(db)
+    return db
+
+
+@pytest.fixture(scope="module")
+def rewritten(tpcd_db):
+    plans = {}
+    for name, query in QUERIES.items():
+        result = tpcd_db.rewrite(query)
+        assert result is not None, f"{name} found no rewrite"
+        assert tables_equal(
+            tpcd_db.execute(query, use_summary_tables=False),
+            tpcd_db.execute_graph(result.graph),
+        ), name
+        plans[name] = result.graph
+    return plans
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_tpcd_original(benchmark, tpcd_db, name):
+    benchmark(tpcd_db.execute, QUERIES[name], use_summary_tables=False)
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_tpcd_rewritten(benchmark, tpcd_db, rewritten, name):
+    benchmark(tpcd_db.execute_graph, rewritten[name])

@@ -1,0 +1,47 @@
+"""The second "customer application" (web analytics) — Section 8's claim
+beyond TPC-D. Two join ASTs answer a five-query reporting dashboard.
+
+``REPRO_WEB_VIEWS`` scales the fact table (default 40,000 page views).
+"""
+
+import os
+
+import pytest
+
+from repro.engine.table import tables_equal
+from repro.workloads.webmetrics import QUERIES, build_web_db, install_web_asts
+
+
+def _views() -> int:
+    return int(os.environ.get("REPRO_WEB_VIEWS", "40000"))
+
+
+@pytest.fixture(scope="module")
+def web_db():
+    db = build_web_db(views=_views())
+    install_web_asts(db)
+    return db
+
+
+@pytest.fixture(scope="module")
+def rewritten(web_db):
+    plans = {}
+    for name, query in QUERIES.items():
+        result = web_db.rewrite(query)
+        assert result is not None, f"{name} found no rewrite"
+        assert tables_equal(
+            web_db.execute(query, use_summary_tables=False),
+            web_db.execute_graph(result.graph),
+        ), name
+        plans[name] = result.graph
+    return plans
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_web_original(benchmark, web_db, name):
+    benchmark(web_db.execute, QUERIES[name], use_summary_tables=False)
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_web_rewritten(benchmark, web_db, rewritten, name):
+    benchmark(web_db.execute_graph, rewritten[name])

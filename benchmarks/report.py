@@ -1,0 +1,95 @@
+"""Regenerate the EXPERIMENTS.md measurement tables.
+
+Runs every figure experiment and the TPC-D suite at the current
+REPRO_SCALE and prints markdown table rows with original/rewritten
+timings. This is the script that produced the numbers recorded in
+EXPERIMENTS.md.
+
+Run:  python benchmarks/report.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.figures import FIGURES, NEGATIVE_FIGURES, make_bench_experiment, make_database
+from repro.bench.harness import bench_scale
+from repro.workloads import QUERIES, bench_config, build_tpcd_db, install_asts
+
+
+def figure_rows() -> None:
+    print("| figure | pattern(s) | base rows | AST rows | original | rewritten | speedup |")
+    print("|---|---|---|---|---|---|---|")
+    for figure in FIGURES:
+        experiment = make_bench_experiment(figure)
+        run = experiment.measure(repeat=3)
+        patterns = experiment.explanation.split("(")[-1].rstrip(")")
+        print(
+            f"| {figure} | {patterns} | {run.base_rows} | {run.summary_rows} "
+            f"| {run.original_seconds * 1e3:.1f} ms "
+            f"| {run.rewritten_seconds * 1e3:.1f} ms "
+            f"| {run.speedup:.1f}x |"
+        )
+
+
+def negative_rows() -> None:
+    print("\n| negative case | outcome |")
+    print("|---|---|")
+    for figure, (name, ast_sql, query) in NEGATIVE_FIGURES.items():
+        db = make_database(bench_config(bench_scale()))
+        db.create_summary_table(name, ast_sql)
+        outcome = "no match (correct)" if db.rewrite(query) is None else "MATCHED (bug!)"
+        print(f"| {figure} | {outcome} |")
+
+
+def tpcd_rows() -> None:
+    db = build_tpcd_db(orders=2000)
+    install_asts(db)
+    print("\n| TPC-D-like query | original | rewritten | speedup |")
+    print("|---|---|---|---|")
+    for name, query in QUERIES.items():
+        result = db.rewrite(query)
+        start = time.perf_counter()
+        db.execute(query, use_summary_tables=False)
+        t_original = time.perf_counter() - start
+        start = time.perf_counter()
+        db.execute_graph(result.graph)
+        t_rewritten = time.perf_counter() - start
+        print(
+            f"| {name} | {t_original * 1e3:.1f} ms | {t_rewritten * 1e3:.1f} ms "
+            f"| {t_original / t_rewritten:.1f}x |"
+        )
+
+
+def web_rows() -> None:
+    from repro.workloads.webmetrics import QUERIES as WEB_QUERIES
+    from repro.workloads.webmetrics import build_web_db, install_web_asts
+
+    db = build_web_db(views=40000)
+    install_web_asts(db)
+    print("\n| web-analytics query | original | rewritten | speedup |")
+    print("|---|---|---|---|")
+    for name, query in WEB_QUERIES.items():
+        result = db.rewrite(query)
+        start = time.perf_counter()
+        db.execute(query, use_summary_tables=False)
+        t_original = time.perf_counter() - start
+        start = time.perf_counter()
+        db.execute_graph(result.graph)
+        t_rewritten = time.perf_counter() - start
+        print(
+            f"| {name} | {t_original * 1e3:.1f} ms | {t_rewritten * 1e3:.1f} ms "
+            f"| {t_original / t_rewritten:.1f}x |"
+        )
+
+
+def main() -> None:
+    print(f"REPRO_SCALE = {bench_scale()}\n")
+    figure_rows()
+    negative_rows()
+    tpcd_rows()
+    web_rows()
+
+
+if __name__ == "__main__":
+    main()

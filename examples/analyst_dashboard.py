@@ -1,0 +1,93 @@
+"""An analyst dashboard answered from one multidimensional AST.
+
+The paper's Section 5 motivation: a single CUBE-style summary table can
+answer a whole family of dashboard queries — per-city, per-account,
+per-year, per-month, and grand-total views — each extracted by slicing
+predicates (and regrouped only when needed).
+
+Run:  python examples/analyst_dashboard.py
+"""
+
+import time
+
+from repro import Database, credit_card_catalog, tables_equal
+from repro.workloads import bench_config, populate_credit_db
+
+CUBE_AST = """
+select flid, faid, year(date) as year, month(date) as month,
+       count(*) as cnt, sum(qty * price) as revenue
+from Trans
+group by grouping sets ((flid, faid, year(date)),
+                        (flid, year(date), month(date)),
+                        (flid, year(date)),
+                        (year(date), month(date)),
+                        (year(date)),
+                        ())
+"""
+
+DASHBOARD = {
+    "revenue by city and year": """
+        select flid, year(date) as year, sum(qty * price) as revenue
+        from Trans group by flid, year(date)
+    """,
+    "monthly trend": """
+        select year(date) as year, month(date) as month,
+               sum(qty * price) as revenue, count(*) as cnt
+        from Trans group by year(date), month(date)
+    """,
+    "top-line totals": """
+        select count(*) as transactions, sum(qty * price) as revenue
+        from Trans
+    """,
+    "city rollup (supergroup query)": """
+        select flid, year(date) as year, sum(qty * price) as revenue
+        from Trans group by rollup(flid, year(date))
+    """,
+    "late-year activity per city": """
+        select flid, year(date) as year, count(*) as cnt
+        from Trans where month(date) >= 10
+        group by flid, year(date)
+    """,
+}
+
+
+def main() -> None:
+    db = Database(credit_card_catalog())
+    counts = populate_credit_db(db, bench_config(0.5))
+    summary = db.create_summary_table("SalesCube", CUBE_AST)
+    print(
+        f"SalesCube: {summary.row_count} rows summarizing "
+        f"{counts['Trans']} transactions "
+        f"({counts['Trans'] / summary.row_count:.0f}x compression)\n"
+    )
+
+    total_before = 0.0
+    total_after = 0.0
+    for title, query in DASHBOARD.items():
+        start = time.perf_counter()
+        original = db.execute(query, use_summary_tables=False)
+        t_original = time.perf_counter() - start
+
+        result = db.rewrite(query)
+        assert result is not None, f"no rewrite for {title!r}"
+        start = time.perf_counter()
+        rewritten = db.execute_graph(result.graph)
+        t_rewritten = time.perf_counter() - start
+        assert tables_equal(original, rewritten)
+
+        total_before += t_original
+        total_after += t_rewritten
+        pattern = result.applied[0].match.pattern
+        print(
+            f"{title:<34} {t_original * 1e3:8.1f}ms -> {t_rewritten * 1e3:6.1f}ms "
+            f"({t_original / t_rewritten:6.1f}x, pattern {pattern})"
+        )
+
+    print(
+        f"\nwhole dashboard: {total_before * 1e3:.0f}ms -> "
+        f"{total_after * 1e3:.0f}ms ({total_before / total_after:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Automatic Summary Table management: definitions, maintenance, advisor."""
+
+from repro.asts.definition import SummaryTable
+
+__all__ = ["SummaryTable"]

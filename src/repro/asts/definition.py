@@ -1,0 +1,46 @@
+"""Automatic Summary Table (AST) definitions.
+
+An AST is a materialized view: an SQL query with aggregation whose result
+is stored as a table and used *transparently* during optimization. This
+module holds the definition object; materialization and registration live
+in :class:`repro.engine.database.Database`, incremental maintenance in
+:mod:`repro.asts.maintenance`, and selection in :mod:`repro.asts.advisor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import TableSchema
+from repro.engine.table import Table
+from repro.qgm.boxes import QueryGraph
+
+
+@dataclass
+class SummaryTable:
+    """A materialized summary table.
+
+    ``graph`` is the defining query's QGM graph (the subsumer side of
+    matching); ``table`` holds the materialized rows; ``schema`` exposes
+    the AST as an ordinary table so rewritten queries can scan it.
+    """
+
+    name: str
+    sql: str
+    graph: QueryGraph
+    schema: TableSchema
+    table: Table
+    enabled: bool = True
+    #: populated at materialization time; used by the cost model
+    stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.table)
+
+    def base_tables(self) -> set[str]:
+        """Base tables the AST summarizes (lower-cased names)."""
+        return self.graph.base_tables()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SummaryTable({self.name}, {self.row_count} rows)"

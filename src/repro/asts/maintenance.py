@@ -1,0 +1,230 @@
+"""Incremental maintenance of summary tables — related problem (c).
+
+The paper points to Mumick et al. [10] for keeping ASTs consistent when
+base tables change. We implement the standard summary-delta method:
+
+* compute the AST's defining query over the *delta* rows (joining full
+  dimension tables),
+* merge the delta groups into the materialized table: COUNT and SUM
+  combine additively, MIN/MAX combine by comparison on inserts,
+* on deletes, COUNT/SUM subtract and a group vanishes when its row count
+  reaches zero (a COUNT(*) output must be present to detect this; MIN and
+  MAX are not self-maintainable under deletes).
+
+When a summary is not self-maintainable for the given change (AVG or
+DISTINCT aggregates, HAVING predicates, the changed table appearing more
+than once, ...), we fall back to full recomputation and say so in the
+report — silently degrading would hide exactly the cost [10] is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.asts.definition import SummaryTable
+from repro.engine.executor import Executor
+from repro.engine.table import Row, Table
+from repro.errors import MaintenanceError
+from repro.expr.nodes import AggCall, ColumnRef
+from repro.qgm.boxes import BaseTableBox, GroupByBox, SelectBox
+
+
+@dataclass
+class MaintenanceReport:
+    """What happened to each summary table after a base-table change."""
+
+    incremental: list[str] = field(default_factory=list)
+    recomputed: dict[str, str] = field(default_factory=dict)  # name -> reason
+    unaffected: list[str] = field(default_factory=list)
+
+    def was_incremental(self, name: str) -> bool:
+        return name in self.incremental
+
+
+def maintain_insert(database, table_name: str, rows: Iterable[Row]) -> MaintenanceReport:
+    """Load ``rows`` into ``table_name`` and bring every summary table up
+    to date, incrementally where possible."""
+    rows = [tuple(row) for row in rows]
+    report = MaintenanceReport()
+    delta = _delta_results(database, table_name, rows, report, deleting=False)
+    database.load(table_name, rows)
+    _apply(database, report, delta, sign=+1)
+    return report
+
+
+def maintain_delete(database, table_name: str, rows: Iterable[Row]) -> MaintenanceReport:
+    """Remove exact ``rows`` from ``table_name`` and maintain summaries."""
+    rows = [tuple(row) for row in rows]
+    report = MaintenanceReport()
+    delta = _delta_results(database, table_name, rows, report, deleting=True)
+    table = database.table(table_name)
+    for row in rows:
+        try:
+            table.rows.remove(row)
+        except ValueError:
+            raise MaintenanceError(
+                f"row {row!r} not present in {table_name!r}"
+            ) from None
+    _apply(database, report, delta, sign=-1)
+    return report
+
+
+# ----------------------------------------------------------------------
+def _delta_results(
+    database, table_name: str, rows: list[Row], report: MaintenanceReport, deleting: bool
+) -> dict[str, tuple["_SummaryShape", Table]]:
+    """Per summary: its shape plus the defining query evaluated over the
+    delta (computed *before* the base table is modified, so joins against
+    dimension tables see a consistent state)."""
+    delta_store = dict(database.tables)
+    schema = database.catalog.table(table_name)
+    delta_store[schema.name.lower()] = Table(schema.column_names, rows)
+
+    results: dict[str, tuple[_SummaryShape, Table]] = {}
+    for summary in database.summary_tables.values():
+        shape = _analyze(summary, table_name, deleting)
+        if shape is None:
+            report.unaffected.append(summary.name)
+            continue
+        if isinstance(shape, str):
+            report.recomputed[summary.name] = shape
+            continue
+        delta = Executor(delta_store).run(summary.graph)
+        results[summary.name.lower()] = (shape, delta)
+    return results
+
+
+def _apply(
+    database,
+    report: MaintenanceReport,
+    delta: dict[str, tuple["_SummaryShape", Table]],
+    sign: int,
+) -> None:
+    for summary in database.summary_tables.values():
+        if summary.name in report.unaffected:
+            continue
+        if summary.name in report.recomputed:
+            data = database.execute_graph(summary.graph)
+            summary.table.rows[:] = data.rows
+            continue
+        shape, rows = delta[summary.name.lower()]
+        _merge(summary, shape, rows, sign)
+        report.incremental.append(summary.name)
+        summary.stats["rows"] = float(len(summary.table))
+
+
+@dataclass
+class _SummaryShape:
+    """Column classification of a maintainable summary."""
+
+    key_indexes: list[int]
+    agg_columns: list[tuple[int, str]]  # (column index, func)
+    count_index: int | None  # a COUNT(*)-like column, for group deletion
+
+
+def _analyze(summary: SummaryTable, table_name: str, deleting: bool):
+    """The summary's shape if self-maintainable, else a reason string."""
+    occurrences = sum(
+        1
+        for box in summary.graph.boxes()
+        if isinstance(box, BaseTableBox)
+        and box.table_name.lower() == table_name.lower()
+    )
+    if occurrences == 0:
+        return None  # unaffected: nothing to do
+    if occurrences > 1:
+        return "changed table appears more than once (non-linear view)"
+
+    root = summary.graph.root
+    if not isinstance(root, SelectBox) or root.predicates or root.distinct:
+        return "root box filters rows (HAVING/DISTINCT) — not self-maintainable"
+    quantifiers = root.quantifiers()
+    if len(quantifiers) != 1 or not isinstance(quantifiers[0].box, GroupByBox):
+        return "view is not a single aggregation block"
+    groupby: GroupByBox = quantifiers[0].box
+
+    key_indexes: list[int] = []
+    agg_columns: list[tuple[int, str]] = []
+    count_index: int | None = None
+    for index, qcl in enumerate(root.outputs):
+        if not isinstance(qcl.expr, ColumnRef):
+            return f"output {qcl.name!r} is not a simple projection"
+        source = groupby.output(qcl.expr.name).expr
+        if isinstance(source, AggCall):
+            if source.distinct:
+                return f"{qcl.name!r} uses DISTINCT aggregation"
+            if source.func == "avg":
+                return f"{qcl.name!r} is AVG (store SUM and COUNT instead)"
+            if source.func in ("min", "max") and deleting:
+                return f"{qcl.name!r} is {source.func.upper()} — not maintainable under deletes"
+            if source.func == "count":
+                nullable_arg = source.arg is not None
+                if count_index is None and not nullable_arg:
+                    count_index = index
+            agg_columns.append((index, source.func))
+        else:
+            key_indexes.append(index)
+    grouping_names = {
+        qcl.expr.name
+        for qcl in root.outputs
+        if isinstance(qcl.expr, ColumnRef)
+        and not isinstance(groupby.output(qcl.expr.name).expr, AggCall)
+    }
+    if set(groupby.grouping_items) - grouping_names:
+        return "a grouping column is projected away — groups are ambiguous"
+    if deleting and count_index is None:
+        return "no COUNT(*) column to detect emptied groups"
+    return _SummaryShape(key_indexes, agg_columns, count_index)
+
+
+def _merge(summary: SummaryTable, shape: _SummaryShape, delta: Table, sign: int) -> None:
+    table = summary.table
+    index: dict[tuple, int] = {}
+    for position, row in enumerate(table.rows):
+        index[tuple(row[i] for i in shape.key_indexes)] = position
+
+    doomed: list[int] = []
+    for delta_row in delta.rows:
+        key = tuple(delta_row[i] for i in shape.key_indexes)
+        position = index.get(key)
+        if position is None:
+            if sign < 0:
+                raise MaintenanceError(
+                    f"delete delta for {summary.name} hits unknown group {key!r}"
+                )
+            table.rows.append(delta_row)
+            index[key] = len(table.rows) - 1
+            continue
+        merged = list(table.rows[position])
+        for column, func in shape.agg_columns:
+            merged[column] = _combine(func, merged[column], delta_row[column], sign)
+        table.rows[position] = tuple(merged)
+        if (
+            sign < 0
+            and shape.count_index is not None
+            and merged[shape.count_index] == 0
+        ):
+            doomed.append(position)
+    for position in sorted(doomed, reverse=True):
+        del table.rows[position]
+
+
+def _combine(func: str, old, new, sign: int):
+    if func == "count":
+        return (old or 0) + sign * (new or 0)
+    if func == "sum":
+        if new is None:
+            return old
+        if old is None:
+            return sign * new if sign > 0 else None
+        return old + sign * new
+    if func == "min":
+        if new is None:
+            return old
+        return new if old is None or new < old else old
+    if func == "max":
+        if new is None:
+            return old
+        return new if old is None or new > old else old
+    raise MaintenanceError(f"cannot combine aggregate {func!r}")

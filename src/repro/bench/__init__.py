@@ -1,0 +1,14 @@
+"""Benchmark harness: experiments for every paper figure."""
+
+from repro.bench.figures import FIGURES, NEGATIVE_FIGURES, make_database, make_experiment
+from repro.bench.harness import Experiment, ExperimentRun, bench_scale
+
+__all__ = [
+    "Experiment",
+    "ExperimentRun",
+    "FIGURES",
+    "NEGATIVE_FIGURES",
+    "bench_scale",
+    "make_database",
+    "make_experiment",
+]

@@ -1,0 +1,23 @@
+"""Catalog: column types, table schemas, keys, and RI constraints."""
+
+from repro.catalog.sample import credit_card_catalog
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ForeignKeyConstraint,
+    TableSchema,
+    UniqueKey,
+)
+from repro.catalog.types import DataType, infer_literal_type, is_numeric
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DataType",
+    "ForeignKeyConstraint",
+    "TableSchema",
+    "UniqueKey",
+    "credit_card_catalog",
+    "infer_literal_type",
+    "is_numeric",
+]

@@ -1,0 +1,93 @@
+"""The paper's sample database schema (Section 1.1, Figure 1).
+
+A credit-card star schema: one fact table ``Trans`` and three explicit
+dimensions — product group (``PGroup``), location (``Loc``, de-normalized
+city/state/country) and account (``Acct`` → ``Cust``). The time dimension is
+encoded in ``Trans.date`` and extracted with the built-in ``year``/``month``
+/``day`` functions, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ForeignKeyConstraint,
+    TableSchema,
+    UniqueKey,
+)
+from repro.catalog.types import DataType
+
+
+def credit_card_catalog() -> Catalog:
+    """Build the Figure 1 catalog, including all RI constraints (arrows)."""
+    catalog = Catalog()
+
+    catalog.add_table(
+        TableSchema(
+            "PGroup",
+            [
+                Column("pgid", DataType.INTEGER),
+                Column("pgname", DataType.STRING),
+            ],
+            keys=[UniqueKey(("pgid",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "Loc",
+            [
+                Column("lid", DataType.INTEGER),
+                Column("city", DataType.STRING),
+                Column("state", DataType.STRING),
+                Column("country", DataType.STRING),
+            ],
+            keys=[UniqueKey(("lid",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "Cust",
+            [
+                Column("cid", DataType.INTEGER),
+                Column("cname", DataType.STRING),
+                Column("cstate", DataType.STRING),
+            ],
+            keys=[UniqueKey(("cid",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "Acct",
+            [
+                Column("aid", DataType.INTEGER),
+                Column("acid", DataType.INTEGER),
+                Column("status", DataType.STRING),
+            ],
+            keys=[UniqueKey(("aid",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "Trans",
+            [
+                Column("tid", DataType.INTEGER),
+                Column("fpgid", DataType.INTEGER),
+                Column("flid", DataType.INTEGER),
+                Column("faid", DataType.INTEGER),
+                Column("date", DataType.DATE),
+                Column("qty", DataType.INTEGER),
+                Column("price", DataType.FLOAT),
+                Column("disc", DataType.FLOAT),
+            ],
+            keys=[UniqueKey(("tid",), is_primary=True)],
+        )
+    )
+
+    catalog.add_foreign_key(
+        ForeignKeyConstraint("Trans", ("fpgid",), "PGroup", ("pgid",))
+    )
+    catalog.add_foreign_key(ForeignKeyConstraint("Trans", ("flid",), "Loc", ("lid",)))
+    catalog.add_foreign_key(ForeignKeyConstraint("Trans", ("faid",), "Acct", ("aid",)))
+    catalog.add_foreign_key(ForeignKeyConstraint("Acct", ("acid",), "Cust", ("cid",)))
+    return catalog

@@ -1,0 +1,215 @@
+"""Interactive SQL shell with transparent summary-table rewriting.
+
+Run ``python -m repro`` for an empty database, or
+``python -m repro --demo`` to start with the paper's credit-card schema
+pre-loaded with synthetic data and AST1 materialized.
+
+Statements end with ``;``. Besides the SQL subset (see README), the
+shell understands:
+
+* ``\\d`` — list tables and summary tables
+* ``\\timing`` — toggle per-query timing
+* ``\\noast`` — toggle summary-table rewriting off/on
+* ``\\q`` — quit
+
+``EXPLAIN SELECT ...`` prints the QGM graph, the match, and the
+rewritten SQL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import IO
+
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.errors import ReproError
+
+
+class Shell:
+    """The REPL engine, separated from stdin/stdout for testability."""
+
+    def __init__(self, database: Database | None = None, out: IO[str] | None = None):
+        self.database = database or Database()
+        self.out = out or sys.stdout
+        self.timing = False
+        self.use_summary_tables = True
+
+    # ------------------------------------------------------------------
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def handle_line(self, line: str) -> bool:
+        """Process one complete input (a backslash command or a
+        ';'-terminated statement). Returns False to quit."""
+        stripped = line.strip()
+        if not stripped:
+            return True
+        if stripped.startswith("\\"):
+            return self._handle_command(stripped)
+        self._handle_sql(stripped.rstrip(";"))
+        return True
+
+    def _handle_command(self, command: str) -> bool:
+        parts = command.split()
+        name = parts[0]
+        if name == "\\q":
+            return False
+        if name == "\\d":
+            self._describe()
+            return True
+        if name == "\\timing":
+            self.timing = not self.timing
+            self.write(f"timing is {'on' if self.timing else 'off'}")
+            return True
+        if name == "\\noast":
+            self.use_summary_tables = not self.use_summary_tables
+            state = "disabled" if not self.use_summary_tables else "enabled"
+            self.write(f"summary-table rewriting {state}")
+            return True
+        if name == "\\save":
+            return self._handle_save(parts)
+        if name == "\\open":
+            return self._handle_open(parts)
+        self.write(
+            f"unknown command {name} "
+            "(try \\d, \\timing, \\noast, \\save DIR, \\open DIR, \\q)"
+        )
+        return True
+
+    def _handle_save(self, parts: list[str]) -> bool:
+        if len(parts) != 2:
+            self.write("usage: \\save DIRECTORY")
+            return True
+        from repro.engine.persist import save_database
+
+        try:
+            target = save_database(self.database, parts[1])
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return True
+        self.write(f"saved to {target}")
+        return True
+
+    def _handle_open(self, parts: list[str]) -> bool:
+        if len(parts) != 2:
+            self.write("usage: \\open DIRECTORY")
+            return True
+        from repro.engine.persist import load_database
+
+        try:
+            self.database = load_database(parts[1])
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return True
+        self.write(f"opened {parts[1]}")
+        return True
+
+    def _describe(self) -> None:
+        summaries = set(self.database.summary_tables)
+        base = [
+            schema
+            for key, schema in sorted(self.database.catalog.tables.items())
+            if key not in summaries
+        ]
+        if not base and not summaries:
+            self.write("(no tables)")
+            return
+        for schema in base:
+            rows = len(self.database.table(schema.name))
+            self.write(f"table {schema.name} ({rows} rows): "
+                       + ", ".join(schema.column_names))
+        for key in sorted(summaries):
+            summary = self.database.summary_tables[key]
+            self.write(
+                f"summary table {summary.name} ({summary.row_count} rows)"
+            )
+
+    def _handle_sql(self, sql: str) -> None:
+        start = time.perf_counter()
+        try:
+            result = self.database.run_sql(
+                sql, use_summary_tables=self.use_summary_tables
+            )
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        elapsed = time.perf_counter() - start
+        if isinstance(result, Table):
+            self.write(result.pretty(limit=40))
+            self.write(f"({len(result)} rows)")
+        else:
+            self.write(str(result))
+        if self.timing:
+            self.write(f"time: {elapsed * 1e3:.1f} ms")
+
+    # ------------------------------------------------------------------
+    def run(self, stream: IO[str], interactive: bool = True) -> None:
+        buffer: list[str] = []
+        if interactive:
+            self.write("repro SQL shell — \\d tables, \\q quit, ; ends a statement")
+        while True:
+            if interactive:
+                prompt = "repro> " if not buffer else "   ... "
+                self.out.write(prompt)
+                self.out.flush()
+            line = stream.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buffer and stripped.startswith("\\"):
+                if not self.handle_line(stripped):
+                    break
+                continue
+            buffer.append(line)
+            if stripped.endswith(";"):
+                statement = "".join(buffer)
+                buffer = []
+                if not self.handle_line(statement):
+                    break
+
+
+def demo_database() -> Database:
+    """The paper's schema with synthetic data and AST1 pre-built."""
+    from repro.catalog.sample import credit_card_catalog
+    from repro.workloads.datagen import bench_config, populate_credit_db
+
+    database = Database(credit_card_catalog())
+    populate_credit_db(database, bench_config(0.25))
+    database.create_summary_table(
+        "AST1",
+        "select faid, flid, year(date) as year, count(*) as cnt "
+        "from Trans group by faid, flid, year(date)",
+    )
+    return database
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SQL shell with automatic summary tables"
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="preload the paper's credit-card schema, data, and AST1",
+    )
+    parser.add_argument(
+        "script",
+        nargs="?",
+        help="SQL script to run instead of the interactive shell",
+    )
+    args = parser.parse_args(argv)
+    database = demo_database() if args.demo else Database()
+    shell = Shell(database)
+    if args.script:
+        with open(args.script) as handle:
+            shell.run(handle, interactive=False)
+        return 0
+    shell.run(sys.stdin, interactive=sys.stdin.isatty())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

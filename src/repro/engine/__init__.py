@@ -1,0 +1,20 @@
+"""Execution engine: tables, aggregates, executor, and the Database facade."""
+
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.persist import load_database, save_database
+from repro.engine.reference import ReferenceExecutor
+from repro.engine.stats import collect_stats, estimate_group_count
+from repro.engine.table import Table, tables_equal
+
+__all__ = [
+    "Database",
+    "Executor",
+    "ReferenceExecutor",
+    "Table",
+    "collect_stats",
+    "estimate_group_count",
+    "load_database",
+    "save_database",
+    "tables_equal",
+]

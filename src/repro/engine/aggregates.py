@@ -1,0 +1,138 @@
+"""Aggregate-function accumulators for the GROUP-BY operator.
+
+SQL semantics: NULL inputs are ignored by every aggregate except
+COUNT(*); over an empty input COUNT yields 0 and the others yield NULL
+(an empty input only arises for the grand-total grouping set of an empty
+table). DISTINCT variants deduplicate before accumulating.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.expr.nodes import AggCall
+
+
+class Accumulator:
+    """One aggregate computation over one group."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountStar(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> Any:
+        return self.count
+
+
+class Count(Accumulator):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> Any:
+        return self.count
+
+
+class Sum(Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class Avg(Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+        self.count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+        self.count += 1
+
+    def result(self) -> Any:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class Min(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class Max(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class Distinct(Accumulator):
+    """Wraps another accumulator, feeding it each non-NULL value once."""
+
+    def __init__(self, inner: Accumulator):
+        self.inner = inner
+        self.seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value is None or value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+_PLAIN = {"count": Count, "sum": Sum, "avg": Avg, "min": Min, "max": Max}
+
+
+def make_accumulator(call: AggCall) -> Accumulator:
+    """Build a fresh accumulator for ``call``."""
+    if call.func == "count" and call.arg is None:
+        return CountStar()
+    factory = _PLAIN.get(call.func)
+    if factory is None:
+        raise ExecutionError(f"unknown aggregate {call.func!r}")
+    accumulator = factory()
+    if call.distinct:
+        return Distinct(accumulator)
+    return accumulator

@@ -1,0 +1,300 @@
+"""The `Database` facade — the library's main entry point.
+
+Ties together the catalog, the table store, the executor, summary-table
+management, and (lazily, to keep layering clean) the matcher/rewriter::
+
+    db = Database(credit_card_catalog())
+    db.load("Trans", rows)
+    db.create_summary_table("AST1", "SELECT faid, flid, ... GROUP BY ...")
+    result = db.execute(my_query)                 # rewritten automatically
+    raw = db.execute(my_query, use_summary_tables=False)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.schema import Catalog, Column, TableSchema
+from repro.catalog.types import DataType, infer_literal_type
+from repro.engine.executor import Executor
+from repro.engine.table import Row, Table
+from repro.errors import CatalogError, ReproError
+from repro.qgm.boxes import QueryGraph
+from repro.qgm.build import build_graph
+
+
+class Database:
+    """An in-memory database with automatic summary tables."""
+
+    def __init__(self, catalog: Catalog | None = None):
+        self.catalog = catalog or Catalog()
+        self.tables: dict[str, Table] = {}
+        self.summary_tables: dict[str, "SummaryTable"] = {}
+        for schema in self.catalog.tables.values():
+            self.tables[schema.name.lower()] = Table.from_schema(schema)
+
+    # ------------------------------------------------------------------
+    # Data definition / loading
+    # ------------------------------------------------------------------
+    def add_table(self, schema: TableSchema) -> None:
+        """Register a new base table (empty until loaded)."""
+        self.catalog.add_table(schema)
+        self.tables[schema.name.lower()] = Table.from_schema(schema)
+
+    def load(self, table_name: str, rows: Iterable[Row]) -> int:
+        """Append validated rows to a base table; returns the new count.
+
+        Loading does *not* refresh summary tables — call
+        :meth:`refresh_summary_tables` or use
+        :func:`repro.asts.maintenance.apply_insert` for incremental
+        maintenance.
+        """
+        schema = self.catalog.table(table_name)
+        table = self.tables[schema.name.lower()]
+        table.extend_checked(rows, schema)
+        return len(table)
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self.tables:
+            raise CatalogError(f"no table named {name!r}")
+        return self.tables[key]
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def bind(self, sql: str, label: str = "Q") -> QueryGraph:
+        """Parse + bind SQL against this database's catalog."""
+        return build_graph(sql, self.catalog, label=label)
+
+    def execute(self, sql: str, use_summary_tables: bool = True) -> Table:
+        """Run a query, rewriting it over summary tables when possible."""
+        graph = self.bind(sql)
+        if use_summary_tables and self.summary_tables:
+            graph = self.rewrite_graph(graph) or graph
+        return self.execute_graph(graph)
+
+    def execute_graph(self, graph: QueryGraph) -> Table:
+        return Executor(self.tables).run(graph)
+
+    def run_sql(self, sql: str, use_summary_tables: bool = True):
+        """Execute one statement of any supported kind (SELECT, CREATE
+        TABLE, CREATE SUMMARY TABLE, DROP SUMMARY TABLE, INSERT, DELETE,
+        EXPLAIN). Returns a :class:`~repro.engine.table.Table` for
+        SELECT/EXPLAIN, otherwise a status string."""
+        from repro.sql.ast import SelectStatement, UnionAll
+        from repro.sql.statements import (
+            CreateSummaryTable,
+            CreateTable,
+            DeleteValues,
+            DropSummaryTable,
+            Explain,
+            InsertValues,
+            parse_statement,
+        )
+
+        statement = parse_statement(sql)
+        if isinstance(statement, (SelectStatement, UnionAll)):
+            from repro.qgm.build import build_graph
+
+            graph = build_graph(statement, self.catalog)
+            if use_summary_tables and self.summary_tables:
+                graph = self.rewrite_graph(graph) or graph
+            return self.execute_graph(graph)
+        if isinstance(statement, Explain):
+            return self._explain(statement.sql)
+        if isinstance(statement, CreateTable):
+            self._apply_create_table(statement)
+            return f"table {statement.name} created"
+        if isinstance(statement, CreateSummaryTable):
+            summary = self.create_summary_table(statement.name, statement.sql)
+            return (
+                f"summary table {summary.name} created "
+                f"({summary.row_count} rows)"
+            )
+        if isinstance(statement, DropSummaryTable):
+            self.drop_summary_table(statement.name)
+            return f"summary table {statement.name} dropped"
+        if isinstance(statement, InsertValues):
+            from repro.asts.maintenance import maintain_insert
+
+            report = maintain_insert(self, statement.table, statement.rows)
+            return _maintenance_status(
+                f"{len(statement.rows)} row(s) inserted into {statement.table}",
+                report,
+            )
+        if isinstance(statement, DeleteValues):
+            from repro.asts.maintenance import maintain_delete
+
+            report = maintain_delete(self, statement.table, statement.rows)
+            return _maintenance_status(
+                f"{len(statement.rows)} row(s) deleted from {statement.table}",
+                report,
+            )
+        raise ReproError(f"unsupported statement {statement!r}")
+
+    def run_script(self, script: str) -> list:
+        """Run a ';'-separated script; returns one result per statement."""
+        from repro.sql.statements import split_statements
+
+        return [self.run_sql(statement) for statement in split_statements(script)]
+
+    def _apply_create_table(self, statement) -> None:
+        from repro.catalog.schema import (
+            Column,
+            ForeignKeyConstraint,
+            TableSchema,
+            UniqueKey,
+        )
+
+        schema = TableSchema(
+            statement.name,
+            [Column(c.name, c.dtype, c.nullable) for c in statement.columns],
+            keys=[UniqueKey(k.columns, k.is_primary) for k in statement.keys],
+        )
+        self.add_table(schema)
+        try:
+            for fk in statement.foreign_keys:
+                self.catalog.add_foreign_key(
+                    ForeignKeyConstraint(
+                        statement.name, fk.columns, fk.parent_table, fk.parent_columns
+                    )
+                )
+        except Exception:
+            self.catalog.drop_table(statement.name)
+            del self.tables[statement.name.lower()]
+            raise
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN output: the QGM graph, the matching decision, and the
+        rewritten SQL/graph when a summary table applies."""
+        return self._explain(sql)
+
+    def _explain(self, sql: str):
+        """EXPLAIN output: the QGM graph and the rewrite decision."""
+        from repro.qgm.display import render_graph
+
+        lines = ["-- query graph --", render_graph(self.bind(sql))]
+        result = self.rewrite(sql)
+        if result is None:
+            lines.append("-- no summary-table rewrite applies --")
+        else:
+            lines.append("-- rewrite --")
+            lines.append(result.explain())
+            lines.append("-- rewritten SQL --")
+            lines.append(result.sql)
+            lines.append("-- rewritten graph --")
+            lines.append(render_graph(result.graph))
+        return "\n".join(lines)
+
+    def rewrite(self, sql: str, options: dict | None = None):
+        """Attempt a summary-table rewrite; returns a
+        :class:`repro.rewrite.rewriter.RewriteResult` or None.
+
+        ``options`` tunes the matcher (see
+        :data:`repro.matching.framework.DEFAULT_OPTIONS`).
+        """
+        from repro.rewrite.rewriter import rewrite_query
+
+        graph = self.bind(sql)
+        return rewrite_query(graph, self.enabled_summary_tables(), options=options)
+
+    def rewrite_graph(self, graph: QueryGraph) -> QueryGraph | None:
+        """The rewritten graph for ``graph``, or None when nothing matches."""
+        from repro.rewrite.rewriter import rewrite_query
+
+        result = rewrite_query(graph, self.enabled_summary_tables())
+        return result.graph if result is not None else None
+
+    # ------------------------------------------------------------------
+    # Summary tables
+    # ------------------------------------------------------------------
+    def create_summary_table(
+        self, name: str, sql: str, use_summary_tables: bool = False
+    ) -> "SummaryTable":
+        """Define and materialize an AST from its defining query.
+
+        With ``use_summary_tables=True`` the materialization itself is
+        rewritten over existing (fresh) summary tables — building a
+        coarse rollup from a fine one instead of from the fact table.
+        """
+        from repro.asts.definition import SummaryTable
+
+        if self.catalog.has_table(name):
+            raise CatalogError(f"name {name!r} is already a table")
+        graph = self.bind(sql, label="A")
+        execution_graph = graph
+        if use_summary_tables and self.summary_tables:
+            execution_graph = self.rewrite_graph(self.bind(sql, label="A")) or graph
+        data = self.execute_graph(execution_graph)
+        schema = _schema_from_result(name, graph, data)
+        summary = SummaryTable(
+            name=name,
+            sql=sql,
+            graph=graph,
+            schema=schema,
+            table=Table(data.columns, data.rows),
+        )
+        summary.stats["rows"] = float(len(data))
+        summary.stats["base_rows"] = float(
+            sum(len(self.tables[t]) for t in graph.base_tables() if t in self.tables)
+        )
+        self.catalog.add_table(schema)
+        self.tables[name.lower()] = summary.table
+        self.summary_tables[name.lower()] = summary
+        return summary
+
+    def drop_summary_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self.summary_tables:
+            raise CatalogError(f"no summary table named {name!r}")
+        del self.summary_tables[key]
+        del self.tables[key]
+        self.catalog.drop_table(name)
+
+    def refresh_summary_tables(self) -> None:
+        """Recompute every summary table from the base data."""
+        for summary in self.summary_tables.values():
+            data = self.execute_graph(summary.graph)
+            summary.table.rows[:] = data.rows
+            summary.stats["rows"] = float(len(data))
+
+    def enabled_summary_tables(self) -> list["SummaryTable"]:
+        return [s for s in self.summary_tables.values() if s.enabled]
+
+
+def _maintenance_status(prefix: str, report) -> str:
+    notes = []
+    if report.incremental:
+        notes.append(f"incremental: {', '.join(report.incremental)}")
+    if report.recomputed:
+        notes.append(f"recomputed: {', '.join(report.recomputed)}")
+    if not notes:
+        return prefix
+    return f"{prefix} ({'; '.join(notes)})"
+
+
+def _schema_from_result(name: str, graph: QueryGraph, data: Table) -> TableSchema:
+    """Derive a TableSchema for a materialized AST from its root box."""
+    columns = []
+    for qcl in graph.root.outputs:
+        dtype = _infer_column_type(data, qcl.name)
+        columns.append(Column(qcl.name, dtype, nullable=qcl.nullable))
+    return TableSchema(name, columns)
+
+
+def _infer_column_type(data: Table, column: str) -> DataType:
+    for value in data.column_values(column):
+        if value is None:
+            continue
+        inferred = infer_literal_type(value)
+        if inferred is not None:
+            return inferred
+    # Column is empty or all-NULL; the concrete type does not matter.
+    return DataType.FLOAT
+
+
+try:  # circular-import-free type hints for tooling
+    from repro.asts.definition import SummaryTable  # noqa: E402
+except ImportError:  # pragma: no cover
+    pass

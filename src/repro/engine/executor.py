@@ -1,0 +1,374 @@
+"""Executor: evaluates a QGM graph over in-memory tables.
+
+This is the substrate the paper takes for granted (DB2's runtime). The
+plan is derived directly from the graph:
+
+* SELECT boxes filter each child with its single-quantifier predicates,
+  then hash-join children along equality predicates (greedy connected
+  order, cross join as a last resort), apply residual predicates, and
+  project the output expressions.
+* GROUP-BY boxes evaluate each grouping set (cuboid) independently and
+  union the results with NULL padding, which is exactly the semantics of
+  Section 5 / Figure 12.
+
+QGM is semantics, not a plan — any smarter engine would return the same
+tables; this one is simple enough to trust as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.engine.aggregates import make_accumulator
+from repro.engine.table import Row, Table
+from repro.errors import ExecutionError
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import AggCall, BinaryOp, ColumnRef, Expr
+from repro.qgm.boxes import (
+    BaseTableBox,
+    GroupByBox,
+    QGMBox,
+    QueryGraph,
+    SelectBox,
+    UnionAllBox,
+)
+
+
+class Executor:
+    """Evaluates query graphs against a table store (name → Table,
+    lower-case keys)."""
+
+    def __init__(self, tables: Mapping[str, Table]):
+        self._tables = tables
+
+    def run(self, graph: QueryGraph) -> Table:
+        """Execute ``graph`` and return the result (ORDER BY applied)."""
+        memo: dict[int, Table] = {}
+        result = self._evaluate(graph.root, memo)
+        if graph.order_by:
+            result = Table(result.columns, result.rows)
+            result.sort_by(graph.order_by)
+        if graph.limit is not None and len(result.rows) > graph.limit:
+            result = Table(result.columns, result.rows[: graph.limit])
+        return result
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, box: QGMBox, memo: dict[int, Table]) -> Table:
+        cached = memo.get(id(box))
+        if cached is not None:
+            return cached
+        if isinstance(box, BaseTableBox):
+            result = self._scan(box)
+        elif isinstance(box, SelectBox):
+            result = self._evaluate_select(box, memo)
+        elif isinstance(box, GroupByBox):
+            result = self._evaluate_groupby(box, memo)
+        elif isinstance(box, UnionAllBox):
+            rows: list[Row] = []
+            for quantifier in box.quantifiers():
+                rows.extend(self._evaluate(quantifier.box, memo).rows)
+            result = Table(box.output_names, rows)
+        else:
+            raise ExecutionError(f"cannot execute box {box!r}")
+        memo[id(box)] = result
+        return result
+
+    def _scan(self, box: BaseTableBox) -> Table:
+        table = self._tables.get(box.table_name.lower())
+        if table is None:
+            raise ExecutionError(f"no data loaded for table {box.table_name!r}")
+        return table
+
+    # ------------------------------------------------------------------
+    # SELECT boxes
+    # ------------------------------------------------------------------
+    def _evaluate_select(self, box: SelectBox, memo: dict[int, Table]) -> Table:
+        quantifiers = box.quantifiers()
+        child_tables = {q.name: self._evaluate(q.box, memo) for q in quantifiers}
+
+        local, equijoins, residual = _classify_predicates(box)
+
+        # Filter each child early with its single-quantifier predicates.
+        child_rows: dict[str, list[Row]] = {}
+        for quantifier in quantifiers:
+            table = child_tables[quantifier.name]
+            rows = table.rows
+            predicates = local.get(quantifier.name, [])
+            if predicates:
+                index = {
+                    ColumnRef(quantifier.name, name): i
+                    for i, name in enumerate(table.columns)
+                }
+                rows = _filter_rows(rows, predicates, index)
+            child_rows[quantifier.name] = rows
+
+        joined_rows, index_of = _join_children(
+            quantifiers, child_tables, child_rows, equijoins
+        )
+        leftover = [pair.predicate for pair in equijoins if not pair.used] + residual
+        if leftover:
+            joined_rows = _filter_rows(joined_rows, leftover, index_of)
+
+        out_rows = _project_rows(joined_rows, [q.expr for q in box.outputs], index_of)
+        if box.distinct:
+            out_rows = _dedupe(out_rows)
+        return Table(box.output_names, out_rows)
+
+    # ------------------------------------------------------------------
+    # GROUP-BY boxes
+    # ------------------------------------------------------------------
+    def _evaluate_groupby(self, box: GroupByBox, memo: dict[int, Table]) -> Table:
+        child = self._evaluate(box.child_quantifier.box, memo)
+        quantifier_name = box.child_quantifier.name
+
+        def child_index(ref: ColumnRef) -> int:
+            if ref.qualifier != quantifier_name:
+                raise ExecutionError(f"GROUP-BY box references foreign {ref!r}")
+            return child.column_index(ref.name)
+
+        # Column index feeding each grouping output, by output name.
+        grouping_source: dict[str, int] = {}
+        aggregate_specs: list[tuple[str, AggCall, int | None]] = []
+        for qcl in box.outputs:
+            if isinstance(qcl.expr, AggCall):
+                arg_index = (
+                    child_index(qcl.expr.arg) if qcl.expr.arg is not None else None
+                )
+                aggregate_specs.append((qcl.name, qcl.expr, arg_index))
+            elif isinstance(qcl.expr, ColumnRef):
+                grouping_source[qcl.name] = child_index(qcl.expr)
+            else:
+                raise ExecutionError(
+                    f"GROUP-BY output {qcl.name!r} is not a simple column "
+                    "or aggregate"
+                )
+
+        out_rows: list[Row] = []
+        for grouping_set in box.grouping_sets:
+            out_rows.extend(
+                self._evaluate_cuboid(
+                    box, child.rows, grouping_set, grouping_source, aggregate_specs
+                )
+            )
+        return Table(box.output_names, out_rows)
+
+    def _evaluate_cuboid(
+        self,
+        box: GroupByBox,
+        rows: list[Row],
+        grouping_set: tuple[str, ...],
+        grouping_source: dict[str, int],
+        aggregate_specs: list[tuple[str, AggCall, int | None]],
+    ) -> list[Row]:
+        key_indexes = [grouping_source[name] for name in grouping_set]
+        groups: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(row[i] for i in key_indexes)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [make_accumulator(call) for _, call, _ in aggregate_specs]
+                groups[key] = accumulators
+            for accumulator, (_, _, arg_index) in zip(accumulators, aggregate_specs):
+                accumulator.add(row[arg_index] if arg_index is not None else True)
+        if not groups and not grouping_set:
+            # Grand total over an empty input still yields one row.
+            groups[()] = [make_accumulator(call) for _, call, _ in aggregate_specs]
+
+        in_set = set(grouping_set)
+        key_position = {name: i for i, name in enumerate(grouping_set)}
+        out_rows = []
+        for key, accumulators in groups.items():
+            aggregate_values = {
+                name: acc.result()
+                for (name, _, _), acc in zip(aggregate_specs, accumulators)
+            }
+            row = []
+            for qcl in box.outputs:
+                if qcl.name in aggregate_values:
+                    row.append(aggregate_values[qcl.name])
+                elif qcl.name in in_set:
+                    row.append(key[key_position[qcl.name]])
+                else:
+                    row.append(None)  # grouped-out column of this cuboid
+            out_rows.append(tuple(row))
+        return out_rows
+
+
+# ----------------------------------------------------------------------
+# SELECT-box helpers
+# ----------------------------------------------------------------------
+class _EquiJoin:
+    """One cross-quantifier equality predicate, trackable as used."""
+
+    def __init__(self, predicate: Expr, left: ColumnRef, right: ColumnRef):
+        self.predicate = predicate
+        self.left = left
+        self.right = right
+        self.used = False
+
+
+def _classify_predicates(
+    box: SelectBox,
+) -> tuple[dict[str, list[Expr]], list[_EquiJoin], list[Expr]]:
+    local: dict[str, list[Expr]] = {}
+    equijoins: list[_EquiJoin] = []
+    residual: list[Expr] = []
+    for predicate in box.predicates:
+        qualifiers = {ref.qualifier for ref in predicate.column_refs()}
+        if len(qualifiers) == 1:
+            local.setdefault(next(iter(qualifiers)), []).append(predicate)
+            continue
+        if (
+            isinstance(predicate, BinaryOp)
+            and predicate.op == "="
+            and isinstance(predicate.left, ColumnRef)
+            and isinstance(predicate.right, ColumnRef)
+            and predicate.left.qualifier != predicate.right.qualifier
+        ):
+            equijoins.append(_EquiJoin(predicate, predicate.left, predicate.right))
+            continue
+        residual.append(predicate)
+    return local, equijoins, residual
+
+
+def _join_children(
+    quantifiers,
+    child_tables,
+    child_rows,
+    equijoins: list[_EquiJoin],
+) -> tuple[list[Row], dict[ColumnRef, int]]:
+    """Greedy hash-join of the children; returns rows + a QNC index map."""
+    if not quantifiers:
+        raise ExecutionError("SELECT box with no children")
+
+    remaining = list(quantifiers)
+    links: dict[str, set[str]] = {}
+    for join in equijoins:
+        links.setdefault(join.left.qualifier, set()).add(join.right.qualifier)
+        links.setdefault(join.right.qualifier, set()).add(join.left.qualifier)
+
+    def pop_next(joined_names: set[str]):
+        if not joined_names:
+            # Start with the child most constrained by join edges.
+            best = max(remaining, key=lambda q: len(links.get(q.name, ())))
+            remaining.remove(best)
+            return best
+        for candidate in remaining:
+            if links.get(candidate.name, set()) & joined_names:
+                remaining.remove(candidate)
+                return candidate
+        candidate = remaining[0]
+        return remaining.pop(0)
+
+    index_of: dict[ColumnRef, int] = {}
+    joined: list[Row] = []
+    joined_names: set[str] = set()
+    width = 0
+    while remaining:
+        quantifier = pop_next(joined_names)
+        table = child_tables[quantifier.name]
+        rows = child_rows[quantifier.name]
+        offset = width
+        for i, name in enumerate(table.columns):
+            index_of[ColumnRef(quantifier.name, name)] = offset + i
+        if not joined_names:
+            joined = rows
+            joined_names = {quantifier.name}
+            width = len(table.columns)
+            continue
+        # Hash keys: every unused equi-join predicate connecting the new
+        # child to the already-joined side.
+        keys: list[tuple[int, int]] = []  # (joined index, new-child index)
+        for join in equijoins:
+            if join.used:
+                continue
+            sides = {join.left.qualifier: join.left, join.right.qualifier: join.right}
+            if quantifier.name not in sides:
+                continue
+            other = set(sides) - {quantifier.name}
+            if not other or next(iter(other)) not in joined_names:
+                continue
+            new_ref = sides[quantifier.name]
+            old_ref = sides[next(iter(other))]
+            keys.append(
+                (index_of[old_ref], table.column_index(new_ref.name))
+            )
+            join.used = True
+        joined = _hash_join(joined, rows, keys)
+        joined_names.add(quantifier.name)
+        width += len(table.columns)
+    return joined, index_of
+
+
+def _hash_join(
+    left_rows: list[Row], right_rows: list[Row], keys: list[tuple[int, int]]
+) -> list[Row]:
+    if not keys:
+        return [l + r for l in left_rows for r in right_rows]
+    right_key_indexes = [right_index for _, right_index in keys]
+    left_key_indexes = [left_index for left_index, _ in keys]
+    buckets: dict[tuple, list[Row]] = {}
+    for row in right_rows:
+        key = tuple(row[i] for i in right_key_indexes)
+        if any(value is None for value in key):
+            continue  # NULL never equi-joins
+        buckets.setdefault(key, []).append(row)
+    joined = []
+    for row in left_rows:
+        key = tuple(row[i] for i in left_key_indexes)
+        for match in buckets.get(key, ()):  # missing key -> no rows
+            joined.append(row + match)
+    return joined
+
+
+def _filter_rows(
+    rows: list[Row], predicates: list[Expr], index_of: dict[ColumnRef, int]
+) -> list[Row]:
+    cell: list[Row] = [()]
+
+    def resolve(ref: ColumnRef) -> Any:
+        return cell[0][index_of[ref]]
+
+    kept = []
+    for row in rows:
+        cell[0] = row
+        if all(evaluate(predicate, resolve) is True for predicate in predicates):
+            kept.append(row)
+    return kept
+
+
+def _project_rows(
+    rows: list[Row], exprs: list[Expr], index_of: dict[ColumnRef, int]
+) -> list[Row]:
+    cell: list[Row] = [()]
+
+    def resolve(ref: ColumnRef) -> Any:
+        return cell[0][index_of[ref]]
+
+    # Fast path for plain column projections.
+    plans: list[Any] = []
+    for expr in exprs:
+        if isinstance(expr, ColumnRef):
+            plans.append(index_of[expr])
+        else:
+            plans.append(expr)
+    out = []
+    for row in rows:
+        cell[0] = row
+        out.append(
+            tuple(
+                row[plan] if isinstance(plan, int) else evaluate(plan, resolve)
+                for plan in plans
+            )
+        )
+    return out
+
+
+def _dedupe(rows: list[Row]) -> list[Row]:
+    seen: set = set()
+    unique = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique

@@ -1,0 +1,185 @@
+"""Saving and loading databases.
+
+A database directory contains ``catalog.json`` (schemas, keys, RI
+constraints, summary-table definitions) and one ``<table>.jsonl`` per
+table (one JSON array per row; dates as ISO strings, re-typed on load
+from the declared column types). Summary tables are saved with their
+materialized rows *and* their defining SQL, so a reload restores the
+exact snapshot without re-running the definitions.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ForeignKeyConstraint,
+    TableSchema,
+    UniqueKey,
+)
+from repro.catalog.types import DataType
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.errors import ReproError
+
+FORMAT_VERSION = 1
+
+
+def save_database(database: Database, path: str | Path) -> Path:
+    """Write ``database`` to a directory; returns the directory path."""
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    summaries = {
+        summary.name: summary for summary in database.summary_tables.values()
+    }
+    manifest: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "tables": [],
+        "foreign_keys": [
+            {
+                "child_table": fk.child_table,
+                "child_columns": list(fk.child_columns),
+                "parent_table": fk.parent_table,
+                "parent_columns": list(fk.parent_columns),
+            }
+            for fk in database.catalog.foreign_keys
+        ],
+        "summary_tables": [
+            {"name": summary.name, "sql": summary.sql}
+            for summary in summaries.values()
+        ],
+    }
+    for key, schema in database.catalog.tables.items():
+        manifest["tables"].append(_schema_to_json(schema))
+        _write_rows(root / f"{schema.name}.jsonl", database.tables[key])
+    (root / "catalog.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_database(path: str | Path) -> Database:
+    """Reconstruct a database saved by :func:`save_database`."""
+    root = Path(path)
+    manifest_path = root / "catalog.json"
+    if not manifest_path.exists():
+        raise ReproError(f"{root} does not contain a saved database")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported save format {manifest.get('format_version')!r}"
+        )
+
+    catalog = Catalog()
+    schemas: dict[str, TableSchema] = {}
+    for entry in manifest["tables"]:
+        schema = _schema_from_json(entry)
+        catalog.add_table(schema)
+        schemas[schema.name] = schema
+    for entry in manifest["foreign_keys"]:
+        catalog.add_foreign_key(
+            ForeignKeyConstraint(
+                entry["child_table"],
+                tuple(entry["child_columns"]),
+                entry["parent_table"],
+                tuple(entry["parent_columns"]),
+            )
+        )
+
+    database = Database(catalog)
+    for name, schema in schemas.items():
+        rows = _read_rows(root / f"{name}.jsonl", schema)
+        database.tables[name.lower()] = Table(schema.column_names, rows)
+
+    # Re-register summary tables around the already-loaded snapshots.
+    from repro.asts.definition import SummaryTable
+
+    for entry in manifest["summary_tables"]:
+        name = entry["name"]
+        schema = schemas[name]
+        graph = database.bind(entry["sql"], label="A")
+        table = database.tables[name.lower()]
+        summary = SummaryTable(
+            name=name,
+            sql=entry["sql"],
+            graph=graph,
+            schema=schema,
+            table=table,
+        )
+        summary.stats["rows"] = float(len(table))
+        database.summary_tables[name.lower()] = summary
+    return database
+
+
+# ----------------------------------------------------------------------
+def _schema_to_json(schema: TableSchema) -> dict[str, Any]:
+    return {
+        "name": schema.name,
+        "columns": [
+            {"name": c.name, "type": c.dtype.value, "nullable": c.nullable}
+            for c in schema.columns
+        ],
+        "keys": [
+            {"columns": list(k.columns), "primary": k.is_primary}
+            for k in schema.keys
+        ],
+    }
+
+
+def _schema_from_json(entry: dict[str, Any]) -> TableSchema:
+    columns = [
+        Column(c["name"], DataType(c["type"]), c["nullable"])
+        for c in entry["columns"]
+    ]
+    keys = [UniqueKey(tuple(k["columns"]), k["primary"]) for k in entry["keys"]]
+    return TableSchema(entry["name"], columns, keys)
+
+
+def _write_rows(path: Path, table: Table) -> None:
+    with path.open("w") as handle:
+        for row in table.rows:
+            handle.write(json.dumps([_encode(value) for value in row]))
+            handle.write("\n")
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return value
+
+
+def _read_rows(path: Path, schema: TableSchema) -> list[tuple]:
+    if not path.exists():
+        return []
+    decoders = [_decoder(column.dtype) for column in schema.columns]
+    rows: list[tuple] = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            if len(raw) != len(decoders):
+                raise ReproError(
+                    f"row width mismatch in {path.name}: {raw!r}"
+                )
+            rows.append(
+                tuple(
+                    None if value is None else decode(value)
+                    for decode, value in zip(decoders, raw)
+                )
+            )
+    return rows
+
+
+def _decoder(dtype: DataType):
+    if dtype is DataType.DATE:
+        return datetime.date.fromisoformat
+    if dtype is DataType.FLOAT:
+        return float
+    if dtype is DataType.INTEGER:
+        return int
+    return lambda value: value

@@ -1,0 +1,164 @@
+"""A deliberately naive reference executor.
+
+This is an independent, unoptimized implementation of QGM semantics used
+to cross-validate the real executor: SELECT boxes build the full
+cartesian product of their children and only then filter (no predicate
+pushdown, no hash joins, no join ordering), grouping is done by sorting
+rather than hashing, and DISTINCT is a quadratic scan. Anything the two
+engines disagree on is a bug in one of them — property tests feed both
+random queries and require identical row multisets.
+
+Never use this for real workloads; cartesian products explode.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping
+
+from repro.engine.aggregates import make_accumulator
+from repro.engine.table import Row, Table
+from repro.errors import ExecutionError
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import AggCall, ColumnRef, Expr
+from repro.qgm.boxes import (
+    BaseTableBox,
+    GroupByBox,
+    QGMBox,
+    QueryGraph,
+    SelectBox,
+    UnionAllBox,
+)
+
+
+class ReferenceExecutor:
+    """Straight-line QGM evaluation, no optimizations anywhere."""
+
+    def __init__(self, tables: Mapping[str, Table]):
+        self._tables = tables
+
+    def run(self, graph: QueryGraph) -> Table:
+        result = self._evaluate(graph.root)
+        if graph.order_by:
+            result = Table(result.columns, result.rows)
+            result.sort_by(graph.order_by)
+        if graph.limit is not None:
+            result = Table(result.columns, result.rows[: graph.limit])
+        return result
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, box: QGMBox) -> Table:
+        if isinstance(box, BaseTableBox):
+            table = self._tables.get(box.table_name.lower())
+            if table is None:
+                raise ExecutionError(f"no data for {box.table_name!r}")
+            return table
+        if isinstance(box, SelectBox):
+            return self._evaluate_select(box)
+        if isinstance(box, GroupByBox):
+            return self._evaluate_groupby(box)
+        if isinstance(box, UnionAllBox):
+            rows: list[Row] = []
+            for quantifier in box.quantifiers():
+                rows.extend(self._evaluate(quantifier.box).rows)
+            return Table(box.output_names, rows)
+        raise ExecutionError(f"cannot execute {box!r}")
+
+    def _evaluate_select(self, box: SelectBox) -> Table:
+        quantifiers = box.quantifiers()
+        child_tables = [self._evaluate(q.box) for q in quantifiers]
+        index_of: dict[ColumnRef, int] = {}
+        offset = 0
+        for quantifier, table in zip(quantifiers, child_tables):
+            for i, column in enumerate(table.columns):
+                index_of[ColumnRef(quantifier.name, column)] = offset + i
+            offset += len(table.columns)
+
+        out_rows: list[Row] = []
+        for combo in itertools.product(*(t.rows for t in child_tables)):
+            row = tuple(itertools.chain.from_iterable(combo))
+            if not self._passes(box.predicates, row, index_of):
+                continue
+            out_rows.append(
+                tuple(
+                    self._scalar(qcl.expr, row, index_of) for qcl in box.outputs
+                )
+            )
+        if box.distinct:
+            unique: list[Row] = []
+            for row in out_rows:  # quadratic on purpose: independent path
+                if row not in unique:
+                    unique.append(row)
+            out_rows = unique
+        return Table(box.output_names, out_rows)
+
+    def _evaluate_groupby(self, box: GroupByBox) -> Table:
+        child = self._evaluate(box.child_quantifier.box)
+        qname = box.child_quantifier.name
+
+        def source_index(ref: ColumnRef) -> int:
+            if ref.qualifier != qname:
+                raise ExecutionError(f"foreign reference {ref!r}")
+            return child.column_index(ref.name)
+
+        out_rows: list[Row] = []
+        for grouping_set in box.grouping_sets:
+            key_indexes = [
+                source_index(box.output(name).expr) for name in grouping_set
+            ]
+            # Sort-based grouping (the real engine hashes).
+            keyed = sorted(
+                child.rows,
+                key=lambda row: tuple(_orderable(row[i]) for i in key_indexes),
+            )
+            for key, group_iter in itertools.groupby(
+                keyed, key=lambda row: tuple(row[i] for i in key_indexes)
+            ):
+                group = list(group_iter)
+                out_rows.append(
+                    self._group_row(box, grouping_set, key, group, source_index)
+                )
+            if not child.rows and not grouping_set:
+                out_rows.append(
+                    self._group_row(box, grouping_set, (), [], source_index)
+                )
+        return Table(box.output_names, out_rows)
+
+    def _group_row(self, box, grouping_set, key, group, source_index) -> Row:
+        key_by_name = dict(zip(grouping_set, key))
+        values = []
+        for qcl in box.outputs:
+            if isinstance(qcl.expr, AggCall):
+                accumulator = make_accumulator(qcl.expr)
+                for row in group:
+                    if qcl.expr.arg is None:
+                        accumulator.add(True)
+                    else:
+                        accumulator.add(row[source_index(qcl.expr.arg)])
+                values.append(accumulator.result())
+            elif qcl.name in key_by_name:
+                values.append(key_by_name[qcl.name])
+            else:
+                values.append(None)
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _passes(predicates, row: Row, index_of) -> bool:
+        def resolve(ref: ColumnRef) -> Any:
+            return row[index_of[ref]]
+
+        return all(evaluate(p, resolve) is True for p in predicates)
+
+    @staticmethod
+    def _scalar(expr: Expr, row: Row, index_of) -> Any:
+        def resolve(ref: ColumnRef) -> Any:
+            return row[index_of[ref]]
+
+        return evaluate(expr, resolve)
+
+
+def _orderable(value: Any) -> tuple:
+    if value is None:
+        return (1, "", "")
+    return (0, type(value).__name__, value)

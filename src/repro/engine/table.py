@@ -1,0 +1,179 @@
+"""In-memory relational tables.
+
+A :class:`Table` is a named list of columns plus a list of row tuples —
+deliberately simple storage so that every performance difference measured
+by the benchmarks comes from the *amount of data scanned*, which is the
+effect the paper's ASTs exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.catalog.types import value_matches_type
+from repro.errors import ExecutionError, TypeMismatchError
+
+Row = tuple
+
+
+class Table:
+    """Column names + rows. Rows are plain tuples in column order."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Row] = ()):
+        self.columns = list(columns)
+        self.rows: list[Row] = [tuple(row) for row in rows]
+        self._index = {name: i for i, name in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise ExecutionError(f"duplicate column names: {self.columns}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schema(cls, schema: TableSchema, rows: Iterable[Row] = ()) -> "Table":
+        table = cls(schema.column_names)
+        table.extend_checked(rows, schema)
+        return table
+
+    def extend_checked(self, rows: Iterable[Row], schema: TableSchema) -> None:
+        """Append rows, validating arity, types and nullability."""
+        width = len(schema.columns)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise TypeMismatchError(
+                    f"row has {len(row)} values, table {schema.name!r} has {width}"
+                )
+            for value, column in zip(row, schema.columns):
+                if value is None and not column.nullable:
+                    raise TypeMismatchError(
+                        f"NULL in non-nullable column {schema.name}.{column.name}"
+                    )
+                if not value_matches_type(value, column.dtype):
+                    raise TypeMismatchError(
+                        f"value {value!r} does not match "
+                        f"{schema.name}.{column.name}: {column.dtype.value}"
+                    )
+            self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no column {name!r}; have {self.columns}"
+            ) from None
+
+    def column_values(self, name: str) -> list[Any]:
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a canonical order, for set-style comparison in tests."""
+        return sorted(self.rows, key=_row_sort_key)
+
+    def sort_by(self, keys: list[tuple[str, bool]]) -> None:
+        """In-place ORDER BY; NULLs sort last on ascending keys."""
+        for name, ascending in reversed(keys):
+            index = self.column_index(name)
+            self.rows.sort(
+                key=lambda row: _null_aware_key(row[index], ascending),
+                reverse=not ascending,
+            )
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def pretty(self, limit: int = 20) -> str:
+        """A fixed-width rendering for examples and docs."""
+        shown = self.rows[:limit]
+        cells = [[_fmt(v) for v in row] for row in shown]
+        widths = [
+            max([len(name)] + [len(row[i]) for row in cells])
+            for i, name in enumerate(self.columns)
+        ]
+        header = "  ".join(name.ljust(w) for name, w in zip(self.columns, widths))
+        rule = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(value.ljust(w) for value, w in zip(row, widths))
+            for row in cells
+        ]
+        footer = [] if len(self.rows) <= limit else [f"... ({len(self.rows)} rows)"]
+        return "\n".join([header, rule, *body, *footer])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.columns}, {len(self.rows)} rows)"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _row_sort_key(row: Row) -> tuple:
+    return tuple(_null_aware_key(value, True) for value in row)
+
+
+def _null_aware_key(value: Any, ascending: bool) -> tuple:
+    # (null flag, type bucket, value) gives a total order over mixed rows.
+    if value is None:
+        return (1 if ascending else 0, "", "")
+    return (0 if ascending else 1, type(value).__name__, value)
+
+
+def tables_equal(left: Table, right: Table) -> bool:
+    """Multiset equality of rows (column order must agree).
+
+    Floats compare with a relative tolerance: different plans sum in
+    different orders, so the low bits legitimately differ.
+    """
+    if len(left.columns) != len(right.columns):
+        return False
+    if len(left.rows) != len(right.rows):
+        return False
+    left_sorted = sorted(left.rows, key=_freeze_row)
+    right_sorted = sorted(right.rows, key=_freeze_row)
+    return all(
+        _rows_close(a, b) for a, b in zip(left_sorted, right_sorted)
+    )
+
+
+def _rows_close(left: Row, right: Row) -> bool:
+    import math
+
+    for a, b in zip(left, right):
+        if a is None or b is None:
+            if a is not b:
+                return False
+            continue
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            if not math.isclose(a, b, rel_tol=1e-6, abs_tol=1e-9):
+                return False
+            continue
+        if a != b:
+            return False
+    return True
+
+
+def _freeze_row(row: Row) -> tuple:
+    return tuple(_null_aware_key(_canonical_value(value), True) for value in row)
+
+
+def _canonical_value(value: Any) -> Any:
+    # Sort key only: coarse enough that float noise does not reorder rows
+    # relative to their counterpart in the other table.
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, float):
+        return float(f"{value:.6g}")
+    return value

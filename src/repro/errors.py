@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type. The subtypes mirror the pipeline stages:
+parsing, semantic analysis (binding SQL to a catalog), execution, and
+matching/rewrite.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token so
+    callers can point at the exact spot in the query text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(ReproError):
+    """A parsed query references unknown tables/columns or is ambiguous."""
+
+
+class CatalogError(ReproError):
+    """Invalid schema definition (duplicate tables, bad constraints, ...)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while evaluating a query graph."""
+
+
+class TypeMismatchError(ExecutionError):
+    """Row data did not match the declared column types."""
+
+
+class UnsupportedSqlError(ReproError):
+    """The SQL construct is valid but outside the supported subset.
+
+    The paper explicitly excludes correlated and recursive queries; those
+    raise this error rather than silently producing a wrong graph.
+    """
+
+
+class RewriteError(ReproError):
+    """The rewrite engine could not apply a match to the query graph."""
+
+
+class MaintenanceError(ReproError):
+    """A summary table could not be incrementally maintained."""

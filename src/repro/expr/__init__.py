@@ -1,0 +1,58 @@
+"""Expression trees, evaluation, normalization, equivalence, subsumption."""
+
+from repro.expr.equivalence import EquivalenceClasses, canonical, equivalent
+from repro.expr.evaluator import evaluate, evaluate_constant, is_constant
+from repro.expr.nodes import (
+    AGGREGATE_FUNCS,
+    FALSE,
+    NULL,
+    TRUE,
+    AggCall,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    NaryOp,
+    UnaryOp,
+    conjunction,
+    disjunction,
+    split_conjuncts,
+)
+from repro.expr.normalize import normal_equal, normalize, sort_key
+from repro.expr.subsume import implies, subsumes
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "AggCall",
+    "BinaryOp",
+    "CaseWhen",
+    "ColumnRef",
+    "EquivalenceClasses",
+    "Expr",
+    "FALSE",
+    "FuncCall",
+    "InList",
+    "IsNull",
+    "Literal",
+    "NULL",
+    "NaryOp",
+    "TRUE",
+    "UnaryOp",
+    "canonical",
+    "conjunction",
+    "disjunction",
+    "equivalent",
+    "evaluate",
+    "evaluate_constant",
+    "implies",
+    "is_constant",
+    "normal_equal",
+    "normalize",
+    "sort_key",
+    "split_conjuncts",
+    "subsumes",
+]

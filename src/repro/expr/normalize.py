@@ -1,0 +1,225 @@
+"""Expression normalization.
+
+Two expressions are *syntactically equivalent* when their normal forms are
+equal. Normalization performs:
+
+* bottom-up constant folding (guarded: runtime errors such as division by
+  zero leave the node unfolded),
+* flattening of nested n-ary operators (``(a+b)+c`` → ``+(a,b,c)``),
+* canonical sorting of commutative operands via a deterministic total
+  order on trees,
+* identity-element removal (``x+0``, ``x*1``, ``AND TRUE``, ``OR FALSE``),
+* direction canonicalization of comparisons (the lesser side, per the
+  total order, goes left: ``10 < x`` → ``x > 10``),
+* NOT elimination: double negation, negated comparisons, negated IS NULL,
+  and De Morgan over AND/OR.
+
+The result is deterministic and idempotent (property-tested).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.expr.evaluator import evaluate_constant, is_constant
+from repro.expr.nodes import (
+    FALSE,
+    MIRRORED_COMPARISON,
+    NEGATED_COMPARISON,
+    TRUE,
+    AggCall,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    NaryOp,
+    UnaryOp,
+)
+
+SortKey = tuple
+
+
+def sort_key(expr: Expr) -> SortKey:
+    """A deterministic total order over expression trees."""
+    if isinstance(expr, Literal):
+        return (0, _value_key(expr.value))
+    if isinstance(expr, ColumnRef):
+        return (1, expr.qualifier or "", expr.name)
+    if isinstance(expr, FuncCall):
+        return (2, expr.name, tuple(sort_key(a) for a in expr.args))
+    if isinstance(expr, AggCall):
+        arg_key = () if expr.arg is None else sort_key(expr.arg)
+        return (3, expr.func, expr.distinct, arg_key)
+    if isinstance(expr, UnaryOp):
+        return (4, expr.op, sort_key(expr.operand))
+    if isinstance(expr, BinaryOp):
+        return (5, expr.op, sort_key(expr.left), sort_key(expr.right))
+    if isinstance(expr, NaryOp):
+        return (6, expr.op, tuple(sort_key(o) for o in expr.operands))
+    if isinstance(expr, IsNull):
+        return (7, expr.negated, sort_key(expr.operand))
+    if isinstance(expr, InList):
+        return (
+            8,
+            expr.negated,
+            sort_key(expr.operand),
+            tuple(sort_key(i) for i in expr.items),
+        )
+    if isinstance(expr, CaseWhen):
+        return (9, tuple(sort_key(b) for b in expr.branches), sort_key(expr.default))
+    raise TypeError(f"no sort key for {expr!r}")
+
+
+def _value_key(value: Any) -> SortKey:
+    # Mixed-type literals must still sort deterministically.
+    return (type(value).__name__, repr(value))
+
+
+def normalize(expr: Expr) -> Expr:
+    """The canonical form of ``expr`` (idempotent)."""
+    return _normalize_cached(expr)
+
+
+@lru_cache(maxsize=65536)
+def _normalize_cached(expr: Expr) -> Expr:
+    children = expr.children()
+    if children:
+        expr = expr.with_children(tuple(normalize(child) for child in children))
+    if isinstance(expr, NaryOp):
+        return _normalize_nary(expr)
+    if isinstance(expr, BinaryOp):
+        return _normalize_binary(expr)
+    if isinstance(expr, UnaryOp):
+        return _normalize_unary(expr)
+    if isinstance(expr, (FuncCall, IsNull, InList)):
+        return _fold(expr)
+    if isinstance(expr, CaseWhen):
+        return _fold(expr)
+    return expr
+
+
+def _fold(expr: Expr) -> Expr:
+    """Replace a constant subtree by its value, if it evaluates cleanly."""
+    if isinstance(expr, Literal) or not is_constant(expr):
+        return expr
+    try:
+        return Literal(evaluate_constant(expr))
+    except ExecutionError:
+        return expr
+
+
+def _normalize_nary(expr: NaryOp) -> Expr:
+    flat: list[Expr] = []
+    for operand in expr.operands:
+        if isinstance(operand, NaryOp) and operand.op == expr.op:
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+
+    if expr.op == "and":
+        return _normalize_logical(flat, identity=TRUE, absorber=FALSE, op="and")
+    if expr.op == "or":
+        return _normalize_logical(flat, identity=FALSE, absorber=TRUE, op="or")
+
+    identity_value = 0 if expr.op == "+" else 1
+    constants = [o for o in flat if isinstance(o, Literal)]
+    others = [o for o in flat if not isinstance(o, Literal)]
+    folded: Expr | None = None
+    if constants:
+        if any(c.value is None for c in constants):
+            # NULL in arithmetic annihilates the whole expression.
+            return Literal(None)
+        total = constants[0].value
+        for constant in constants[1:]:
+            total = total + constant.value if expr.op == "+" else total * constant.value
+        if total != identity_value or not others:
+            folded = Literal(total)
+    operands = sorted(others, key=sort_key)
+    if folded is not None:
+        operands.append(folded)
+    if not operands:
+        return Literal(identity_value)
+    if len(operands) == 1:
+        return operands[0]
+    return NaryOp(expr.op, tuple(operands))
+
+
+def _normalize_logical(
+    operands: list[Expr], identity: Literal, absorber: Literal, op: str
+) -> Expr:
+    live: list[Expr] = []
+    for operand in operands:
+        if operand == identity:
+            continue
+        if operand == absorber:
+            return absorber
+        live.append(operand)
+    unique: list[Expr] = []
+    seen: set[Expr] = set()
+    for operand in sorted(live, key=sort_key):
+        if operand not in seen:
+            seen.add(operand)
+            unique.append(operand)
+    if not unique:
+        return identity
+    if len(unique) == 1:
+        return unique[0]
+    return NaryOp(op, tuple(unique))
+
+
+def _normalize_binary(expr: BinaryOp) -> Expr:
+    folded = _fold(expr)
+    if isinstance(folded, Literal):
+        return folded
+    if expr.op in MIRRORED_COMPARISON and _should_swap(expr.left, expr.right):
+        return BinaryOp(MIRRORED_COMPARISON[expr.op], expr.right, expr.left)
+    return expr
+
+
+def _should_swap(left: Expr, right: Expr) -> bool:
+    """Canonical comparison direction: the non-literal side goes left
+    (so ``10 < x`` becomes ``x > 10``); otherwise order by sort key."""
+    left_literal = isinstance(left, Literal)
+    right_literal = isinstance(right, Literal)
+    if left_literal != right_literal:
+        return left_literal
+    return sort_key(right) < sort_key(left)
+
+
+def _normalize_unary(expr: UnaryOp) -> Expr:
+    inner = expr.operand
+    if expr.op == "-":
+        if isinstance(inner, Literal):
+            return Literal(None if inner.value is None else -inner.value)
+        if isinstance(inner, UnaryOp) and inner.op == "-":
+            return inner.operand
+        return expr
+    # NOT elimination.
+    if isinstance(inner, Literal):
+        if inner.value is None:
+            return Literal(None)
+        return Literal(not inner.value)
+    if isinstance(inner, UnaryOp) and inner.op == "not":
+        return inner.operand
+    if isinstance(inner, BinaryOp) and inner.op in NEGATED_COMPARISON:
+        return normalize(BinaryOp(NEGATED_COMPARISON[inner.op], inner.left, inner.right))
+    if isinstance(inner, IsNull):
+        return IsNull(inner.operand, not inner.negated)
+    if isinstance(inner, InList):
+        return InList(inner.operand, inner.items, not inner.negated)
+    if isinstance(inner, NaryOp) and inner.op in ("and", "or"):
+        flipped = "or" if inner.op == "and" else "and"
+        negated = tuple(normalize(UnaryOp("not", o)) for o in inner.operands)
+        return normalize(NaryOp(flipped, negated))
+    return expr
+
+
+def normal_equal(left: Expr, right: Expr) -> bool:
+    """Syntactic equivalence: equality of normal forms."""
+    return normalize(left) == normalize(right)

@@ -1,0 +1,155 @@
+"""Predicate subsumption.
+
+Footnote 4 of the paper generalizes predicate matching: a subsumer
+predicate ``p1`` may *subsume* a subsumee predicate ``p2``, meaning every
+row eliminated by ``p1`` is also eliminated by ``p2`` — equivalently,
+``p2 implies p1`` (e.g. ``x > 10`` subsumes ``x > 20``). When that holds,
+the AST retains every row the query needs and the (stricter) query
+predicate is re-applied in the compensation.
+
+We decide implication for the practically useful fragment:
+
+* identical predicates (after canonicalization),
+* single-column/expression comparisons against constants (interval logic),
+* equality implies any satisfied comparison (``x = 30`` implies ``x > 20``),
+* IN-lists (implication = list containment; all members satisfy a range),
+* a conjunction implies anything one of its conjuncts implies.
+
+Everything else conservatively returns False — sound, never complete.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.expr.equivalence import EquivalenceClasses, canonical
+from repro.expr.nodes import (
+    COMPARISON_OPS,
+    BinaryOp,
+    Expr,
+    InList,
+    Literal,
+    NaryOp,
+)
+
+
+def implies(premise: Expr, conclusion: Expr, classes: EquivalenceClasses | None = None) -> bool:
+    """True when every row satisfying ``premise`` satisfies ``conclusion``."""
+    premise = canonical(premise, classes)
+    conclusion = canonical(conclusion, classes)
+    return _implies(premise, conclusion)
+
+
+def subsumes(subsumer_pred: Expr, subsumee_pred: Expr, classes: EquivalenceClasses | None = None) -> bool:
+    """Paper footnote 4: subsumer predicate keeps every row the (stricter)
+    subsumee predicate keeps."""
+    return implies(subsumee_pred, subsumer_pred, classes)
+
+
+def _implies(premise: Expr, conclusion: Expr) -> bool:
+    if premise == conclusion:
+        return True
+    if isinstance(premise, NaryOp) and premise.op == "and":
+        if any(_implies(conjunct, conclusion) for conjunct in premise.operands):
+            return True
+    if isinstance(conclusion, NaryOp) and conclusion.op == "and":
+        return all(_implies(premise, conjunct) for conjunct in conclusion.operands)
+    if isinstance(conclusion, NaryOp) and conclusion.op == "or":
+        if any(_implies(premise, disjunct) for disjunct in conclusion.operands):
+            return True
+    if isinstance(premise, NaryOp) and premise.op == "or":
+        return all(_implies(disjunct, conclusion) for disjunct in premise.operands)
+
+    premise_parts = _as_constant_test(premise)
+    conclusion_parts = _as_constant_test(conclusion)
+    if premise_parts is None or conclusion_parts is None:
+        return False
+    subject_p, op_p, values_p = premise_parts
+    subject_c, op_c, values_c = conclusion_parts
+    if subject_p != subject_c:
+        return False
+    return _constant_test_implies(op_p, values_p, op_c, values_c)
+
+
+def _as_constant_test(
+    predicate: Expr,
+) -> tuple[Expr, str, tuple[Any, ...]] | None:
+    """Decompose ``predicate`` into (subject, op, constants).
+
+    Handles ``subject <cmp> literal`` (either direction) and
+    ``subject IN (literals)``. Returns None for anything else.
+    """
+    if isinstance(predicate, BinaryOp) and predicate.op in COMPARISON_OPS:
+        if isinstance(predicate.right, Literal):
+            if predicate.right.value is None:
+                return None
+            return (predicate.left, predicate.op, (predicate.right.value,))
+        return None
+    if isinstance(predicate, InList) and not predicate.negated:
+        values = []
+        for item in predicate.items:
+            if not isinstance(item, Literal) or item.value is None:
+                return None
+            values.append(item.value)
+        return (predicate.operand, "in", tuple(values))
+    return None
+
+
+def _satisfies(value: Any, op: str, bounds: tuple[Any, ...]) -> bool:
+    """Does a known constant ``value`` satisfy ``op bounds``?"""
+    try:
+        if op == "=":
+            return value == bounds[0]
+        if op == "<>":
+            return value != bounds[0]
+        if op == "<":
+            return value < bounds[0]
+        if op == "<=":
+            return value <= bounds[0]
+        if op == ">":
+            return value > bounds[0]
+        if op == ">=":
+            return value >= bounds[0]
+        if op == "in":
+            return value in bounds
+    except TypeError:
+        return False
+    return False
+
+
+def _constant_test_implies(
+    op_p: str, values_p: tuple[Any, ...], op_c: str, values_c: tuple[Any, ...]
+) -> bool:
+    """Implication between two constant tests on the same subject."""
+    # Premises with finitely many satisfying values: check each one.
+    if op_p == "=":
+        return _satisfies(values_p[0], op_c, values_c)
+    if op_p == "in":
+        return all(_satisfies(value, op_c, values_c) for value in values_p)
+
+    constant_p = values_p[0]
+    if op_c == "<>":
+        # A range implies x <> c only if c lies outside the range.
+        return not _satisfies(values_c[0], op_p, values_p)
+    if op_c not in ("<", "<=", ">", ">="):
+        return False
+    if op_p not in ("<", "<=", ">", ">="):
+        return False
+    # Same-direction interval containment, e.g. x > 20 implies x > 10.
+    constant_c = values_c[0]
+    try:
+        if op_p in (">", ">=") and op_c in (">", ">="):
+            if constant_p > constant_c:
+                return True
+            if constant_p == constant_c:
+                return not (op_p == ">=" and op_c == ">")
+            return False
+        if op_p in ("<", "<=") and op_c in ("<", "<="):
+            if constant_p < constant_c:
+                return True
+            if constant_p == constant_c:
+                return not (op_p == "<=" and op_c == "<")
+            return False
+    except TypeError:
+        return False
+    return False

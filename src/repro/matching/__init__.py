@@ -1,0 +1,16 @@
+"""The matching algorithm: navigator, match function, patterns,
+expression translation and derivation."""
+
+from repro.matching.framework import MAIN, MatchContext, MatchResult, SubsumerRef
+from repro.matching.matchfn import match_boxes
+from repro.matching.navigator import match_graphs, root_matches
+
+__all__ = [
+    "MAIN",
+    "MatchContext",
+    "MatchResult",
+    "SubsumerRef",
+    "match_boxes",
+    "match_graphs",
+    "root_matches",
+]

@@ -1,0 +1,341 @@
+"""Expression and aggregate derivation (Sections 4.1.2 and 6).
+
+*Scalar derivation* rewrites an expression (already translated into the
+subsumer's QNC context) as a function of the subsumer's **output**
+columns and rejoin columns. The tree is collapsed greedily top-down:
+whole subtrees that equal a subsumer QCL (modulo column equivalence)
+become output references; n-ary ``+``/``*`` nodes are covered by
+*multiset subset matching* against QCL operand sets, largest first, which
+realizes the paper's "minimum number of subsumer QCLs" preference
+(Figure 5: ``amt`` is derived from ``value`` and ``disc``, not from
+``qty``, ``price`` and ``disc``).
+
+*Aggregate derivation* implements the re-aggregation rules (a)–(g) of
+Section 4.1.2, plus AVG as the algebraic SUM/COUNT combination the paper
+licenses. A derivation is returned as an :class:`AggRecipe`: column(s) to
+compute below the regrouping GROUP-BY, the aggregate(s) to apply, and a
+final combining expression.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.expr.equivalence import EquivalenceClasses, canonical
+from repro.expr.nodes import (
+    AggCall,
+    ColumnRef,
+    Expr,
+    Literal,
+    NaryOp,
+)
+from repro.matching.framework import MAIN
+
+
+class DerivationScope:
+    """The vocabulary a derivation may use.
+
+    ``outputs`` maps usable subsumer output names to their defining
+    expressions (over the subsumer box's QNCs); ``classes`` holds the
+    column equivalences valid in that context; ``rejoin_names`` are
+    quantifier names whose columns may be used verbatim.
+    """
+
+    def __init__(
+        self,
+        outputs: dict[str, Expr],
+        classes: EquivalenceClasses | None = None,
+        rejoin_names: set[str] | None = None,
+        qualifier: str = MAIN,
+    ):
+        self.classes = classes or EquivalenceClasses()
+        self.rejoin_names = rejoin_names or set()
+        self.qualifier = qualifier
+        self._by_canonical: dict[Expr, str] = {}
+        for name, expr in outputs.items():
+            key = canonical(expr, self.classes)
+            # Prefer the first output computing a given expression.
+            self._by_canonical.setdefault(key, name)
+
+    def lookup(self, expr: Expr) -> str | None:
+        """The subsumer output computing ``expr``, if any."""
+        return self._by_canonical.get(canonical(expr, self.classes))
+
+    def out_ref(self, name: str) -> ColumnRef:
+        return ColumnRef(self.qualifier, name)
+
+    def canonical_outputs(self) -> dict[Expr, str]:
+        return dict(self._by_canonical)
+
+
+def derive_scalar(expr: Expr, scope: DerivationScope) -> Expr | None:
+    """Rewrite ``expr`` over the scope's outputs; None when impossible."""
+    name = scope.lookup(expr)
+    if name is not None:
+        return scope.out_ref(name)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier in scope.rejoin_names:
+            return expr
+        return None  # equivalence-class members were covered by lookup()
+    if isinstance(expr, AggCall):
+        return None  # aggregates are derived by derive_aggregate()
+    if isinstance(expr, NaryOp) and expr.op in ("+", "*"):
+        covered = _cover_nary(expr, scope)
+        if covered is not None:
+            return covered
+    children = expr.children()
+    derived_children = []
+    for child in children:
+        derived = derive_scalar(child, scope)
+        if derived is None:
+            return None
+        derived_children.append(derived)
+    return expr.with_children(tuple(derived_children))
+
+
+def _cover_nary(expr: NaryOp, scope: DerivationScope) -> Expr | None:
+    """Cover an n-ary +/* node with as few subsumer outputs as possible.
+
+    Example: target ``qty * price * (1 - disc)``, available outputs
+    ``value := qty * price`` and ``disc`` — the multiset {qty, price} of
+    ``value`` is subtracted from the target's operand multiset, and the
+    remainder ``1 - disc`` derives recursively.
+    """
+    target = Counter(canonical(operand, scope.classes) for operand in expr.operands)
+    # Candidate outputs whose expression is an n-ary node of the same op.
+    candidates = []
+    for key, name in scope.canonical_outputs().items():
+        if isinstance(key, NaryOp) and key.op == expr.op:
+            candidates.append((len(key.operands), key, name))
+    candidates.sort(key=lambda item: -item[0])  # largest first
+
+    parts: list[Expr] = []
+    remaining = Counter(target)
+    for _, key, name in candidates:
+        needed = Counter(key.operands)
+        while needed and not (needed - remaining):
+            parts.append(scope.out_ref(name))
+            remaining = remaining - needed
+    if remaining == target:
+        return None  # nothing matched; let the generic recursion handle it
+    by_canonical: dict[Expr, Expr] = {}
+    for operand in expr.operands:
+        by_canonical.setdefault(canonical(operand, scope.classes), operand)
+    for key, count in remaining.items():
+        derived = derive_scalar(by_canonical[key], scope)
+        if derived is None:
+            return None
+        parts.extend([derived] * count)
+    if len(parts) == 1:
+        return parts[0]
+    return NaryOp(expr.op, tuple(parts))
+
+
+# ----------------------------------------------------------------------
+# Aggregate derivation (rules a-g + AVG)
+# ----------------------------------------------------------------------
+@dataclass
+class AggComponent:
+    """One column to carry through the regrouping compensation:
+    ``pre_expr`` is computed in the SELECT box below the GROUP-BY, and
+    ``func``/``distinct`` aggregate it during regrouping."""
+
+    pre_expr: Expr
+    func: str
+    distinct: bool = False
+
+
+@dataclass
+class AggRecipe:
+    """How to recompute one subsumee aggregate from subsumer outputs."""
+
+    components: list[AggComponent]
+    combine: Callable[[list[ColumnRef]], Expr]
+    rule: str  # which paper rule produced it, for explain output
+    #: True when the GROUP-BY output IS the result (no combining SELECT)
+    simple: bool = False
+
+    @classmethod
+    def single(cls, component: AggComponent, rule: str) -> "AggRecipe":
+        return cls([component], lambda refs: refs[0], rule, simple=True)
+
+
+class AggregateScope:
+    """Subsumer-side facts needed by the aggregate rules."""
+
+    def __init__(
+        self,
+        scalar: DerivationScope,
+        aggregate_outputs: dict[str, AggCall],
+        grouping_outputs: dict[str, Expr],
+        arg_nullable: Callable[[Expr], bool],
+        usable_grouping: set[str] | None = None,
+        empty_groups_possible: bool = False,
+    ):
+        #: True when the regrouping includes the empty (grand-total)
+        #: grouping set — the only case where a group can be empty, which
+        #: makes SUM-based COUNT derivations yield NULL instead of 0.
+        self.empty_groups_possible = empty_groups_possible
+        #: scope over *grouping* outputs + rejoins (scalar vocabulary)
+        self.scalar = scalar
+        #: subsumer aggregate output name -> its AggCall (args canonical,
+        #: in subsumer QNC context)
+        self.aggregate_outputs = aggregate_outputs
+        #: subsumer grouping output name -> defining expr (subsumer QNCs)
+        self.grouping_outputs = grouping_outputs
+        self.arg_nullable = arg_nullable
+        self.usable_grouping = (
+            set(grouping_outputs) if usable_grouping is None else set(usable_grouping)
+        )
+
+    # -- helpers -------------------------------------------------------
+    def find_aggregate(
+        self, func: str, arg: Expr | None, distinct: bool = False
+    ) -> str | None:
+        """A subsumer aggregate output computing exactly func(arg)."""
+        wanted = None if arg is None else canonical(arg, self.scalar.classes)
+        for name, call in self.aggregate_outputs.items():
+            if call.func != func or call.distinct != distinct:
+                continue
+            have = (
+                None
+                if call.arg is None
+                else canonical(call.arg, self.scalar.classes)
+            )
+            if have == wanted:
+                return name
+        return None
+
+    def row_count_output(self) -> str | None:
+        """An output counting subsumer *rows*: COUNT(*) or COUNT(z) with z
+        non-nullable (rule a)."""
+        for name, call in self.aggregate_outputs.items():
+            if call.func != "count" or call.distinct:
+                continue
+            if call.arg is None:
+                return name
+            if not self.arg_nullable(call.arg):
+                return name
+        return None
+
+    def grouping_output_for(self, arg: Expr) -> str | None:
+        """A *usable* grouping output equal to ``arg``."""
+        name = self.scalar.lookup(arg)
+        if name is not None and name in self.usable_grouping:
+            return name
+        return None
+
+
+def derive_aggregate(call: AggCall, translated_arg: Expr | None, scope: AggregateScope) -> AggRecipe | None:
+    """Derive subsumee aggregate ``call`` (its argument already translated
+    into the subsumer's QNC context) under regrouping. Returns None when
+    no rule applies — e.g. COUNT(DISTINCT x) when x is not a grouping
+    column, the paper's Q11.3 non-match."""
+    func = call.func
+    out = scope.scalar.out_ref
+
+    if func == "count" and not call.distinct:
+        source = None
+        if call.arg is None:
+            source = scope.row_count_output()  # rule (a)
+        else:
+            source = scope.find_aggregate("count", translated_arg)  # rule (b)
+            if source is None and not scope.arg_nullable(translated_arg):
+                source = scope.row_count_output()
+        if source is None:
+            return None
+        component = AggComponent(out(source), "sum")
+        if scope.empty_groups_possible:
+            # COUNT over an empty group is 0, but SUM(cnt) is NULL; the
+            # grand-total grouping set can produce an empty group.
+            def combine(refs: list[ColumnRef]) -> Expr:
+                from repro.expr.nodes import FuncCall, Literal
+
+                return FuncCall("coalesce", (refs[0], Literal(0)))
+
+            return AggRecipe([component], combine, rule="count->coalesce(sum(cnt),0)")
+        return AggRecipe.single(component, rule="count->sum(cnt)")
+
+    if func == "sum" and not call.distinct:
+        source = scope.find_aggregate("sum", translated_arg)
+        if source is not None:  # rule (c), first form
+            return AggRecipe.single(
+                AggComponent(out(source), "sum"), rule="sum->sum(sum)"
+            )
+        grouping = scope.grouping_output_for(translated_arg)
+        row_count = scope.row_count_output()
+        if grouping is not None and row_count is not None:  # rule (c), y*cnt
+            pre = NaryOp("*", (out(grouping), out(row_count)))
+            return AggRecipe.single(
+                AggComponent(pre, "sum"), rule="sum->sum(y*cnt)"
+            )
+        return None
+
+    if func in ("min", "max") and not call.distinct:
+        source = scope.find_aggregate(func, translated_arg)
+        if source is not None:  # rules (d)/(e), first form
+            return AggRecipe.single(
+                AggComponent(out(source), func), rule=f"{func}->{func}({func})"
+            )
+        grouping = scope.grouping_output_for(translated_arg)
+        if grouping is not None:  # rules (d)/(e), grouping-column form
+            return AggRecipe.single(
+                AggComponent(out(grouping), func), rule=f"{func}->{func}(y)"
+            )
+        return None
+
+    if func in ("count", "sum") and call.distinct:  # rules (f)/(g)
+        grouping = scope.grouping_output_for(translated_arg)
+        if grouping is None:
+            return None
+        # The paper's rules (f)/(g) read COUNT(y)/SUM(y); that relies on y
+        # being unique within each regrouped group. Keeping DISTINCT is
+        # always sound and costs nothing in this engine.
+        return AggRecipe.single(
+            AggComponent(out(grouping), func, distinct=True),
+            rule=f"{func}(distinct)->{func}(distinct y)",
+        )
+
+    if func == "avg" and not call.distinct:
+        # AVG(x) = SUM(x) / COUNT(x): combine rules (b) and (c). The
+        # count stays un-coalesced: over an empty group NULL/NULL is the
+        # correct NULL (coalescing to 0 would divide by zero).
+        sum_recipe = derive_aggregate(
+            AggCall("sum", call.arg), translated_arg, scope
+        )
+        saved_flag = scope.empty_groups_possible
+        scope.empty_groups_possible = False
+        try:
+            count_recipe = derive_aggregate(
+                AggCall("count", call.arg), translated_arg, scope
+            )
+        finally:
+            scope.empty_groups_possible = saved_flag
+        if sum_recipe is None or count_recipe is None:
+            return None
+        components = sum_recipe.components + count_recipe.components
+
+        def combine(refs: list[ColumnRef]) -> Expr:
+            sum_refs = refs[: len(sum_recipe.components)]
+            count_refs = refs[len(sum_recipe.components):]
+            from repro.expr.nodes import BinaryOp
+
+            return BinaryOp(
+                "/", sum_recipe.combine(sum_refs), count_recipe.combine(count_refs)
+            )
+
+        return AggRecipe(components, combine, rule="avg->sum/count")
+
+    return None
+
+
+def match_aggregate_exact(
+    call: AggCall, translated_arg: Expr | None, scope: AggregateScope
+) -> str | None:
+    """For no-regroup compensation: the subsumee aggregate must equal a
+    subsumer aggregate output outright (condition 2 of 4.1.2)."""
+    return scope.find_aggregate(call.func, translated_arg, call.distinct)

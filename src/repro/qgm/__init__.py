@@ -1,0 +1,29 @@
+"""Query Graph Model: boxes, builder, unparser, display."""
+
+from repro.qgm.boxes import (
+    BaseTableBox,
+    GroupByBox,
+    QCL,
+    QGMBox,
+    Quantifier,
+    QueryGraph,
+    SelectBox,
+    canonical_grouping_sets,
+    expand_cube,
+    expand_rollup,
+)
+from repro.qgm.build import build_graph
+
+__all__ = [
+    "BaseTableBox",
+    "GroupByBox",
+    "QCL",
+    "QGMBox",
+    "Quantifier",
+    "QueryGraph",
+    "SelectBox",
+    "build_graph",
+    "canonical_grouping_sets",
+    "expand_cube",
+    "expand_rollup",
+]

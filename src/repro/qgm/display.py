@@ -1,0 +1,89 @@
+"""Text rendering of QGM graphs (the paper's Figure 3).
+
+``render_graph`` draws each box with its type, output columns and
+predicates, indented by depth — a faithful text version of the boxes-and-
+arrows figures. Used by examples, the explain API, and tests.
+"""
+
+from __future__ import annotations
+
+from repro.matching.framework import SubsumerRef
+from repro.qgm.boxes import (
+    BaseTableBox,
+    GroupByBox,
+    QGMBox,
+    QueryGraph,
+    SelectBox,
+    UnionAllBox,
+)
+from repro.qgm.unparse import render_expr
+
+
+def render_graph(graph: QueryGraph | QGMBox) -> str:
+    """A multi-line drawing of the graph, root at the top."""
+    root = graph.root if isinstance(graph, QueryGraph) else graph
+    lines: list[str] = []
+    _render_box(root, "", None, lines, seen=set())
+    return "\n".join(lines)
+
+
+def _render_box(
+    box: QGMBox,
+    indent: str,
+    via: str | None,
+    lines: list[str],
+    seen: set[int],
+) -> None:
+    label = f"{indent}{'(' + via + ') ' if via else ''}{_describe_box(box)}"
+    if id(box) in seen:
+        lines.append(f"{label}  [shared, shown above]")
+        return
+    seen.add(id(box))
+    lines.append(label)
+    detail_indent = indent + "    "
+    for line in _box_details(box):
+        lines.append(f"{detail_indent}{line}")
+    for quantifier in box.quantifiers():
+        _render_box(quantifier.box, indent + "  ", quantifier.name, lines, seen)
+
+
+def _describe_box(box: QGMBox) -> str:
+    if isinstance(box, BaseTableBox):
+        return f"BASE {box.name} [{box.table_name}]"
+    if isinstance(box, SelectBox):
+        kind = "SELECT DISTINCT" if box.distinct else "SELECT"
+        return f"{kind} {box.name}"
+    if isinstance(box, GroupByBox):
+        return f"GROUP-BY {box.name}"
+    if isinstance(box, UnionAllBox):
+        return f"UNION-ALL {box.name}"
+    if isinstance(box, SubsumerRef):
+        return f"SUBSUMER {box.name}"
+    return f"BOX {box.name}"
+
+
+def _box_details(box: QGMBox) -> list[str]:
+    lines: list[str] = []
+    if isinstance(box, BaseTableBox):
+        lines.append("columns: " + ", ".join(box.output_names))
+        return lines
+    if isinstance(box, (SubsumerRef, UnionAllBox)):
+        lines.append("columns: " + ", ".join(box.output_names))
+        return lines
+    outputs = ", ".join(
+        f"{qcl.name} := {render_expr(qcl.expr)}" if qcl.expr is not None else qcl.name
+        for qcl in box.outputs
+    )
+    lines.append(f"output: {outputs}")
+    if isinstance(box, SelectBox) and box.predicates:
+        predicates = " AND ".join(render_expr(p) for p in box.predicates)
+        lines.append(f"predicates: {predicates}")
+    if isinstance(box, GroupByBox):
+        if box.is_multidimensional:
+            rendered = ", ".join(
+                "(" + ", ".join(s) + ")" for s in box.grouping_sets
+            )
+            lines.append(f"grouping sets: {rendered}")
+        else:
+            lines.append(f"group by: {', '.join(box.grouping_items) or '()'}")
+    return lines

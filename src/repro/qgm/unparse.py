@@ -1,0 +1,369 @@
+"""QGM → SQL rendering.
+
+Renders a query graph back to SQL text that (a) reads like the paper's
+``NewQ`` examples and (b) round-trips through our own parser/binder (this
+is property-tested: re-binding and executing the rendered SQL yields the
+same result table).
+
+The SELECT → GROUP-BY → SELECT sandwich is collapsed into a single block
+where possible. Scalar-subquery quantifiers of the upper box render as
+derived tables and their columns join the GROUP BY list — exactly what
+the paper's NewQ10 does (``group by flid, totcnt``).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.errors import ReproError
+from repro.expr.nodes import (
+    AggCall,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    NaryOp,
+    UnaryOp,
+)
+from repro.qgm.boxes import (
+    BaseTableBox,
+    GroupByBox,
+    QGMBox,
+    QueryGraph,
+    SelectBox,
+    UnionAllBox,
+)
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "cmp": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+    "neg": 7,
+    "atom": 8,
+}
+
+
+def to_sql(graph: QueryGraph | QGMBox, pretty: bool = False) -> str:
+    """Render a graph (or a single box subtree) as SQL text.
+
+    ``pretty=True`` breaks the text at top-level clause keywords for
+    display; the result still parses identically.
+    """
+    box = graph.root if isinstance(graph, QueryGraph) else graph
+    sql = _render_box(box)
+    if isinstance(graph, QueryGraph) and graph.order_by:
+        keys = ", ".join(
+            name if ascending else f"{name} DESC"
+            for name, ascending in graph.order_by
+        )
+        sql = f"{sql} ORDER BY {keys}"
+    if isinstance(graph, QueryGraph) and graph.limit is not None:
+        sql = f"{sql} LIMIT {graph.limit}"
+    if pretty:
+        sql = format_sql(sql)
+    return sql
+
+
+def format_sql(sql: str) -> str:
+    """Line-break a rendered statement at top-level clause keywords."""
+    breakers = (
+        "FROM", "WHERE", "GROUP BY", "HAVING", "ORDER BY", "LIMIT",
+        "UNION ALL",
+    )
+    out: list[str] = []
+    depth = 0
+    in_string = False
+    index = 0
+    while index < len(sql):
+        char = sql[index]
+        if in_string:
+            out.append(char)
+            in_string = char != "'" or (
+                index + 1 < len(sql) and sql[index + 1] == "'"
+            )
+            index += 1
+            continue
+        if char == "'":
+            in_string = True
+            out.append(char)
+            index += 1
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if depth == 0 and char == " ":
+            rest = sql[index + 1 :]
+            if any(rest.startswith(keyword + " ") or rest == keyword
+                   for keyword in breakers):
+                out.append("\n")
+                index += 1
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def render_expr(expr: Expr, precedence: int = 0) -> str:
+    text, own = _render_expr(expr)
+    if own < precedence:
+        return f"({text})"
+    return text
+
+
+def _render_expr(expr: Expr) -> tuple[str, int]:
+    if isinstance(expr, Literal):
+        return _render_literal(expr.value), _PRECEDENCE["atom"]
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier is None:
+            return expr.name, _PRECEDENCE["atom"]
+        return f"{expr.qualifier}.{expr.name}", _PRECEDENCE["atom"]
+    if isinstance(expr, FuncCall):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.name}({args})", _PRECEDENCE["atom"]
+    if isinstance(expr, AggCall):
+        if expr.arg is None:
+            return "COUNT(*)", _PRECEDENCE["atom"]
+        inner = render_expr(expr.arg)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.func.upper()}({inner})", _PRECEDENCE["atom"]
+    if isinstance(expr, NaryOp):
+        if expr.op in ("and", "or"):
+            own = _PRECEDENCE[expr.op]
+            joined = f" {expr.op.upper()} ".join(
+                render_expr(o, own + 1) for o in expr.operands
+            )
+            return joined, own
+        own = _PRECEDENCE[expr.op]
+        joined = f" {expr.op} ".join(render_expr(o, own) for o in expr.operands)
+        return joined, own
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("-", "/", "%"):
+            own = _PRECEDENCE[expr.op]
+            left = render_expr(expr.left, own)
+            right = render_expr(expr.right, own + 1)  # left-associative
+            return f"{left} {expr.op} {right}", own
+        own = _PRECEDENCE["cmp"]
+        left = render_expr(expr.left, own + 1)
+        right = render_expr(expr.right, own + 1)
+        return f"{left} {expr.op} {right}", own
+    if isinstance(expr, UnaryOp):
+        if expr.op == "-":
+            own = _PRECEDENCE["neg"]
+            return f"-{render_expr(expr.operand, own)}", own
+        own = _PRECEDENCE["not"]
+        return f"NOT {render_expr(expr.operand, own + 1)}", own
+    if isinstance(expr, IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        inner = render_expr(expr.operand, _PRECEDENCE["cmp"] + 1)
+        return f"{inner} {keyword}", _PRECEDENCE["cmp"]
+    if isinstance(expr, InList):
+        keyword = "NOT IN" if expr.negated else "IN"
+        inner = render_expr(expr.operand, _PRECEDENCE["cmp"] + 1)
+        items = ", ".join(render_expr(i) for i in expr.items)
+        return f"{inner} {keyword} ({items})", _PRECEDENCE["cmp"]
+    if isinstance(expr, CaseWhen):
+        whens = " ".join(
+            f"WHEN {render_expr(c)} THEN {render_expr(v)}" for c, v in expr.pairs()
+        )
+        return f"CASE {whens} ELSE {render_expr(expr.default)} END", _PRECEDENCE["atom"]
+    raise ReproError(f"cannot render expression {expr!r}")
+
+
+def _render_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# Boxes
+# ----------------------------------------------------------------------
+def _render_box(box: QGMBox) -> str:
+    if isinstance(box, BaseTableBox):
+        # A bare table is not a statement; wrap in SELECT *.
+        return f"SELECT * FROM {box.table_name}"
+    if isinstance(box, SelectBox):
+        sandwich = _as_sandwich(box)
+        if sandwich is not None:
+            return sandwich
+        return _render_plain_select(box)
+    if isinstance(box, GroupByBox):
+        return _render_groupby_block(box)
+    if isinstance(box, UnionAllBox):
+        return " UNION ALL ".join(
+            _render_union_branch(q.box, box) for q in box.quantifiers()
+        )
+    raise ReproError(f"cannot render box {box!r}")
+
+
+def _render_union_branch(child: QGMBox, union: UnionAllBox) -> str:
+    rendered = _render_box(child)
+    if child.output_names != union.output_names:
+        # Re-alias through a derived table so every branch exposes the
+        # union's column names.
+        items = ", ".join(
+            f"{inner} AS {outer}" if inner != outer else inner
+            for inner, outer in zip(child.output_names, union.output_names)
+        )
+        return f"SELECT {items} FROM ({rendered}) AS u"
+    return rendered
+
+
+def _render_from_item(quantifier) -> str:
+    child = quantifier.box
+    if isinstance(child, BaseTableBox):
+        if quantifier.name.lower() == child.table_name.lower():
+            return child.table_name
+        return f"{child.table_name} AS {quantifier.name}"
+    return f"({_render_box(child)}) AS {quantifier.name}"
+
+
+def _render_plain_select(box: SelectBox) -> str:
+    items = ", ".join(
+        _render_select_item(qcl.expr, qcl.name) for qcl in box.outputs
+    )
+    from_clause = ", ".join(_render_from_item(q) for q in box.quantifiers())
+    head = "SELECT DISTINCT" if box.distinct else "SELECT"
+    sql = f"{head} {items} FROM {from_clause}"
+    if box.predicates:
+        where = " AND ".join(render_expr(p, _PRECEDENCE["and"]) for p in box.predicates)
+        sql += f" WHERE {where}"
+    return sql
+
+
+def _render_select_item(expr: Expr, name: str) -> str:
+    rendered = render_expr(expr)
+    if isinstance(expr, ColumnRef) and expr.name.lower() == name.lower():
+        return rendered
+    return f"{rendered} AS {name}"
+
+
+def _render_groupby_block(box: GroupByBox) -> str:
+    child = box.child_quantifier
+    items = ", ".join(
+        _render_select_item(qcl.expr, qcl.name) for qcl in box.outputs
+    )
+    sql = f"SELECT {items} FROM {_render_from_item(child)}"
+    sql += f" {_render_group_by_clause(box, lambda name: ColumnRef(child.name, _grouping_source(box, name)))}"
+    return sql
+
+
+def _grouping_source(box: GroupByBox, name: str) -> str:
+    expr = box.output(name).expr
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    raise ReproError(f"grouping output {name!r} is not simple")
+
+
+def _render_group_by_clause(box: GroupByBox, expr_for) -> str:
+    if not box.is_multidimensional:
+        (only_set,) = box.grouping_sets
+        if not only_set:
+            # Grand total: GROUP BY () — render via GROUPING SETS for
+            # parser compatibility.
+            return "GROUP BY GROUPING SETS (())"
+        keys = ", ".join(render_expr(expr_for(name)) for name in only_set)
+        return f"GROUP BY {keys}"
+    rendered_sets = []
+    for grouping_set in box.grouping_sets:
+        inner = ", ".join(render_expr(expr_for(name)) for name in grouping_set)
+        rendered_sets.append(f"({inner})")
+    return f"GROUP BY GROUPING SETS ({', '.join(rendered_sets)})"
+
+
+def _as_sandwich(upper: SelectBox) -> str | None:
+    """Collapse SELECT(upper) -> GROUP-BY -> SELECT(lower) into one block."""
+    grouped = [
+        q for q in upper.quantifiers() if isinstance(q.box, GroupByBox)
+    ]
+    if len(grouped) != 1:
+        return None
+    gq = grouped[0]
+    groupby: GroupByBox = gq.box
+    lower = groupby.child_quantifier.box
+    if not isinstance(lower, SelectBox) or lower.distinct:
+        return None
+    extra_quantifiers = [q for q in upper.quantifiers() if q is not gq]
+    if any(isinstance(q.box, GroupByBox) for q in extra_quantifiers):
+        return None
+    lower_q = groupby.child_quantifier
+
+    def expand(expr: Expr) -> Expr | None:
+        """Map an upper-box expression into the lower box's context;
+        aggregate refs become aggregate calls over lower expressions."""
+
+        def visit(node: Expr) -> Expr | None:
+            if not isinstance(node, ColumnRef):
+                return None
+            if node.qualifier != gq.name:
+                return node  # scalar-subquery quantifier of the upper box
+            gb_expr = groupby.output(node.name).expr
+            if isinstance(gb_expr, AggCall):
+                if gb_expr.arg is None:
+                    return gb_expr
+                lower_expr = lower.output(gb_expr.arg.name).expr
+                return AggCall(gb_expr.func, lower_expr, gb_expr.distinct)
+            lower_expr = lower.output(gb_expr.name).expr
+            return lower_expr
+
+        return expr.transform(visit)
+
+    select_items = []
+    group_extra: list[str] = []
+    for qcl in upper.outputs:
+        expanded = expand(qcl.expr)
+        select_items.append(_render_select_item(expanded, qcl.name))
+        for ref in expanded.column_refs():
+            if any(ref.qualifier == q.name for q in extra_quantifiers):
+                rendered = render_expr(ref)
+                if rendered not in group_extra:
+                    group_extra.append(rendered)
+
+    from_items = [_render_from_item(q) for q in lower.quantifiers()]
+    from_items.extend(_render_from_item(q) for q in extra_quantifiers)
+    head = "SELECT DISTINCT" if upper.distinct else "SELECT"
+    sql = f"{head} {', '.join(select_items)} FROM {', '.join(from_items)}"
+    if lower.predicates:
+        where = " AND ".join(
+            render_expr(p, _PRECEDENCE["and"]) for p in lower.predicates
+        )
+        sql += f" WHERE {where}"
+
+    def grouping_expr(name: str) -> Expr:
+        source = _grouping_source(groupby, name)
+        return lower.output(source).expr
+
+    clause = _render_group_by_clause(groupby, grouping_expr)
+    if group_extra:
+        if "GROUPING SETS" in clause:
+            return None  # cannot append plain keys to a supergroup cleanly
+        clause += ", " + ", ".join(group_extra)
+    sql += f" {clause}"
+    if upper.predicates:
+        having = " AND ".join(
+            render_expr(expand(p), _PRECEDENCE["and"]) for p in upper.predicates
+        )
+        sql += f" HAVING {having}"
+    return sql

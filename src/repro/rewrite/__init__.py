@@ -1,0 +1,5 @@
+"""Query rewriting over summary tables, plus the cost-based planner."""
+
+from repro.rewrite.rewriter import AppliedRewrite, RewriteResult, apply_match, rewrite_query
+
+__all__ = ["AppliedRewrite", "RewriteResult", "apply_match", "rewrite_query"]

@@ -1,0 +1,164 @@
+"""Query rewriting: apply a match to reroute a query over an AST.
+
+Given a match between a query box E and an AST's root box, the rewrite
+splices the match's compensation chain onto a scan of the materialized
+summary table and re-points E's consumers at the chain top. Rewriting is
+iterative (Section 7): after a successful rewrite the result is matched
+against the remaining ASTs, so one query can combine several summary
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asts.definition import SummaryTable
+from repro.expr.nodes import ColumnRef
+from repro.matching.framework import MAIN, MatchResult, rebase_chain
+from repro.matching.navigator import match_graphs, root_matches
+from repro.qgm.boxes import BaseTableBox, QCL, QGMBox, QueryGraph, SelectBox
+
+
+@dataclass
+class AppliedRewrite:
+    """One accepted match, for explain output."""
+
+    summary: SummaryTable
+    match: MatchResult
+
+    def describe(self) -> str:
+        return f"{self.summary.name}: {self.match.describe()}"
+
+
+@dataclass
+class RewriteResult:
+    """The outcome of :func:`rewrite_query`."""
+
+    graph: QueryGraph
+    applied: list[AppliedRewrite] = field(default_factory=list)
+
+    @property
+    def summary_tables(self) -> list[SummaryTable]:
+        return [entry.summary for entry in self.applied]
+
+    @property
+    def sql(self) -> str:
+        """The rewritten query rendered back to SQL."""
+        from repro.qgm.unparse import to_sql
+
+        return to_sql(self.graph)
+
+    def explain(self) -> str:
+        lines = [entry.describe() for entry in self.applied]
+        return "\n".join(lines) if lines else "(no rewrite applied)"
+
+
+def rewrite_query(
+    graph: QueryGraph,
+    summaries: list[SummaryTable],
+    accept=None,
+    options: dict | None = None,
+) -> RewriteResult | None:
+    """Reroute ``graph`` over the given summary tables.
+
+    ``accept`` is an optional callback ``(summary, match) -> bool`` — the
+    related problem (b) hook; :mod:`repro.rewrite.planner` provides a
+    cost-based implementation. ``options`` are matcher knobs (see
+    :data:`repro.matching.framework.DEFAULT_OPTIONS`). Returns None when
+    nothing matched.
+    """
+    applied: list[AppliedRewrite] = []
+    remaining = list(summaries)
+    while remaining:
+        # Gather every candidate (summary, match) and take the best one:
+        # the highest query box saved, then the smallest summary table
+        # (a lightweight instance of related problem (b)).
+        heights = _box_heights(graph)
+        candidates = []
+        for summary in remaining:
+            match = _best_match(graph, summary, options)
+            if match is None:
+                continue
+            candidates.append(
+                (-heights.get(id(match.subsumee), 0), summary.row_count, summary, match)
+            )
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        chosen = None
+        for _, _, summary, match in candidates:
+            if accept is None or accept(summary, match):
+                chosen = (summary, match)
+                break
+            remaining.remove(summary)
+        if chosen is None:
+            break
+        summary, match = chosen
+        apply_match(graph, match, summary)
+        applied.append(AppliedRewrite(summary, match))
+        remaining.remove(summary)
+    if not applied:
+        return None
+    graph.validate()
+    return RewriteResult(graph, applied)
+
+
+def _box_heights(graph: QueryGraph) -> dict[int, int]:
+    heights: dict[int, int] = {}
+    for box in graph.boxes():
+        child_heights = [heights[id(child)] for child in box.children()]
+        heights[id(box)] = 1 + max(child_heights, default=0)
+    return heights
+
+
+def _best_match(
+    graph: QueryGraph, summary: SummaryTable, options: dict | None = None
+) -> MatchResult | None:
+    if not summary.base_tables() & graph.base_tables():
+        # Quick pruning only when the AST shares no table with the query;
+        # a superset is fine (extra children join losslessly).
+        return None
+    ctx = match_graphs(graph, summary.graph, options=options)
+    candidates = root_matches(graph, summary.graph, ctx)
+    return candidates[0] if candidates else None
+
+
+def apply_match(
+    graph: QueryGraph, match: MatchResult, summary: SummaryTable
+) -> QGMBox:
+    """Destructively replace ``match.subsumee`` in ``graph`` with the
+    compensation applied to a scan of the summary table. Returns the new
+    box standing in for the subsumee."""
+    scan = BaseTableBox(f"Scan[{summary.name}]", summary.schema)
+    counter = [0]
+
+    def fresh(box: QGMBox) -> str:
+        counter[0] += 1
+        return f"{box.name}@{counter[0]}"
+
+    if match.exact:
+        # Footnote 5: exact up to extra subsumer columns / names; a thin
+        # projection restores the subsumee's exact output signature.
+        replacement: QGMBox = _projection(match, scan)
+    else:
+        rebased = rebase_chain(match.chain, scan, fresh)
+        replacement = rebased[-1]
+
+    parents = graph.parents_of(match.subsumee)
+    for _, quantifier in parents:
+        quantifier.box = replacement
+    if graph.root is match.subsumee:
+        graph.root = replacement
+    return replacement
+
+
+def _projection(match: MatchResult, scan: BaseTableBox) -> SelectBox:
+    projection = SelectBox(f"Project[{match.subsumee.name}]")
+    projection.add_quantifier(MAIN, scan)
+    for qcl in match.subsumee.outputs:
+        projection.add_output(
+            QCL(
+                qcl.name,
+                ColumnRef(MAIN, match.column_map[qcl.name]),
+                qcl.nullable,
+            )
+        )
+    return projection

@@ -1,0 +1,33 @@
+"""SQL front end: lexer, parser, and parse-tree nodes."""
+
+from repro.sql.ast import (
+    Cube,
+    DerivedTableRef,
+    GroupingSets,
+    OrderItem,
+    Rollup,
+    SelectItem,
+    SelectStatement,
+    SimpleGrouping,
+    SubqueryExpr,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse, parse_expression
+
+__all__ = [
+    "Cube",
+    "DerivedTableRef",
+    "GroupingSets",
+    "OrderItem",
+    "Rollup",
+    "SelectItem",
+    "SelectStatement",
+    "SimpleGrouping",
+    "SubqueryExpr",
+    "TableRef",
+    "Token",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,172 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` with 1-based line/column positions
+for error reporting. Keywords are recognized case-insensitively;
+identifiers preserve their original spelling but compare case-insensitively
+downstream. String literals use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "select", "distinct", "from", "where", "group", "by", "having",
+        "order", "asc", "desc", "as", "and", "or", "not", "in", "is",
+        "null", "true", "false", "between", "case", "when", "then",
+        "else", "end", "join", "inner", "cross", "on", "rollup", "cube",
+        "grouping", "sets", "date", "union", "all", "limit",
+    }
+)
+
+PUNCTUATION = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "+",
+               "-", "*", "/", "%", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token. ``kind`` is 'keyword', 'ident', 'number',
+    'string', 'punct' or 'eof'; ``value`` is the cooked value."""
+
+    kind: str
+    value: Any
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_punct(self, *symbols: str) -> bool:
+        return self.kind == "punct" and self.value in symbols
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; always ends with a single 'eof' token."""
+    return list(_scan(sql))
+
+
+def _scan(sql: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(sql)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        char = sql[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline < 0 else newline
+            continue
+        start_column = column()
+        if char.isdigit() or (char == "." and _peek_digit(sql, position + 1)):
+            text, value, position = _scan_number(sql, position, line, start_column)
+            yield Token("number", value, text, line, start_column)
+            continue
+        if char == "'":
+            text, value, position = _scan_string(sql, position, line, start_column)
+            yield Token("string", value, text, line, start_column)
+            continue
+        if char.isalpha() or char == "_":
+            end = position + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            text = sql[position:end]
+            lowered = text.lower()
+            position = end
+            if lowered in KEYWORDS:
+                yield Token("keyword", lowered, text, line, start_column)
+            else:
+                yield Token("ident", text, text, line, start_column)
+            continue
+        matched = False
+        for symbol in PUNCTUATION:
+            if sql.startswith(symbol, position):
+                value = "<>" if symbol == "!=" else symbol
+                yield Token("punct", value, symbol, line, start_column)
+                position += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {char!r}", line, start_column)
+    yield Token("eof", None, "", line, position - line_start + 1)
+
+
+def _peek_digit(sql: str, index: int) -> bool:
+    return index < len(sql) and sql[index].isdigit()
+
+
+def _scan_number(
+    sql: str, position: int, line: int, column: int
+) -> tuple[str, Any, int]:
+    end = position
+    length = len(sql)
+    saw_dot = False
+    saw_exp = False
+    while end < length:
+        char = sql[end]
+        if char.isdigit():
+            end += 1
+        elif char == "." and not saw_dot and not saw_exp:
+            saw_dot = True
+            end += 1
+        elif char in "eE" and not saw_exp and end + 1 < length and (
+            sql[end + 1].isdigit() or sql[end + 1] in "+-"
+        ):
+            saw_exp = True
+            end += 1
+            if sql[end] in "+-":
+                end += 1
+        else:
+            break
+    text = sql[position:end]
+    try:
+        value: Any = float(text) if saw_dot or saw_exp else int(text)
+    except ValueError:
+        raise SqlSyntaxError(f"bad numeric literal {text!r}", line, column) from None
+    return text, value, end
+
+
+def _scan_string(
+    sql: str, position: int, line: int, column: int
+) -> tuple[str, str, int]:
+    end = position + 1
+    length = len(sql)
+    pieces: list[str] = []
+    while end < length:
+        char = sql[end]
+        if char == "'":
+            if end + 1 < length and sql[end + 1] == "'":
+                pieces.append("'")
+                end += 2
+                continue
+            return sql[position : end + 1], "".join(pieces), end + 1
+        if char == "\n":
+            break
+        pieces.append(char)
+        end += 1
+    raise SqlSyntaxError("unterminated string literal", line, column)
+
+
+def parse_date_literal(text: str, line: int = 0, column: int = 0) -> datetime.date:
+    """Parse the body of a ``DATE 'YYYY-MM-DD'`` literal."""
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        raise SqlSyntaxError(f"bad date literal {text!r}", line, column) from None

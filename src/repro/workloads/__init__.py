@@ -1,0 +1,28 @@
+"""Synthetic workloads: the paper's credit-card schema and a mini TPC-D."""
+
+from repro.workloads.datagen import (
+    GeneratorConfig,
+    bench_config,
+    populate_credit_db,
+    small_config,
+)
+from repro.workloads.tpcd import QUERIES, build_tpcd_db, install_asts, tpcd_catalog
+
+__all__ = [
+    "GeneratorConfig",
+    "QUERIES",
+    "bench_config",
+    "build_tpcd_db",
+    "install_asts",
+    "populate_credit_db",
+    "small_config",
+    "tpcd_catalog",
+]
+
+from repro.workloads.webmetrics import (  # noqa: E402
+    build_web_db,
+    install_web_asts,
+    web_catalog,
+)
+
+__all__ += ["build_web_db", "install_web_asts", "web_catalog"]

@@ -1,0 +1,140 @@
+"""Deterministic synthetic data for the paper's credit-card schema.
+
+The generator reproduces the data characteristics the paper's Section 1.1
+argues from: "the average customer performs a few hundred transactions
+per year, most of them within the same city", which makes AST1 roughly a
+hundred times smaller than ``Trans``. Everything is seeded, so every test
+and benchmark run sees identical data.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+
+US_STATES = ["CA", "NY", "TX", "WA", "IL", "MA", "FL", "GA", "CO", "OR"]
+COUNTRIES = ["USA", "France", "Germany", "Japan", "Brazil"]
+PRODUCT_GROUPS = [
+    "TV", "Radio", "Laptop", "Phone", "Camera", "Tablet", "Printer",
+    "Monitor", "Speaker", "Console",
+]
+STATUSES = ["gold", "silver", "bronze"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the synthetic workload; defaults give ~60k transactions."""
+
+    seed: int = 2000
+    customers: int = 60
+    accounts_per_customer: int = 2
+    cities: int = 60
+    product_groups: int = 10
+    years: tuple[int, ...] = (1990, 1991, 1992)
+    #: "the average customer performs a few hundred transactions per year"
+    transactions_per_account_year: int = 240
+    #: "most of them within the same city" — this affinity makes AST1
+    #: roughly two orders of magnitude smaller than Trans
+    home_city_affinity: float = 0.99
+
+    def scaled(self, factor: float) -> "GeneratorConfig":
+        return GeneratorConfig(
+            seed=self.seed,
+            customers=max(1, int(self.customers * factor)),
+            accounts_per_customer=self.accounts_per_customer,
+            cities=self.cities,
+            product_groups=self.product_groups,
+            years=self.years,
+            transactions_per_account_year=self.transactions_per_account_year,
+            home_city_affinity=self.home_city_affinity,
+        )
+
+
+def populate_credit_db(database, config: GeneratorConfig | None = None) -> dict[str, int]:
+    """Fill a Database built on ``credit_card_catalog`` with synthetic
+    rows; returns row counts per table."""
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+
+    pgroups = [
+        (i + 1, PRODUCT_GROUPS[i % len(PRODUCT_GROUPS)])
+        for i in range(config.product_groups)
+    ]
+    database.load("PGroup", pgroups)
+
+    locations = []
+    for lid in range(1, config.cities + 1):
+        country = COUNTRIES[0] if rng.random() < 0.7 else rng.choice(COUNTRIES[1:])
+        state = rng.choice(US_STATES) if country == "USA" else "XX"
+        locations.append((lid, f"City{lid}", state, country))
+    database.load("Loc", locations)
+
+    customers = []
+    for cid in range(1, config.customers + 1):
+        customers.append((cid, f"Customer{cid}", rng.choice(US_STATES)))
+    database.load("Cust", customers)
+
+    accounts = []
+    home_city: dict[int, int] = {}
+    aid = 0
+    for cid in range(1, config.customers + 1):
+        for _ in range(config.accounts_per_customer):
+            aid += 1
+            accounts.append((aid, cid, rng.choice(STATUSES)))
+            home_city[aid] = rng.randint(1, config.cities)
+    database.load("Acct", accounts)
+
+    transactions = []
+    tid = 0
+    for account_id in range(1, aid + 1):
+        for year in config.years:
+            for _ in range(config.transactions_per_account_year):
+                tid += 1
+                if rng.random() < config.home_city_affinity:
+                    flid = home_city[account_id]
+                else:
+                    flid = rng.randint(1, config.cities)
+                date = datetime.date(
+                    year, rng.randint(1, 12), rng.randint(1, 28)
+                )
+                qty = rng.randint(1, 5)
+                price = round(rng.uniform(5.0, 900.0), 2)
+                disc = round(rng.choice([0.0, 0.05, 0.1, 0.15, 0.2, 0.25]), 2)
+                transactions.append(
+                    (
+                        tid,
+                        rng.randint(1, config.product_groups),
+                        flid,
+                        account_id,
+                        date,
+                        qty,
+                        price,
+                        disc,
+                    )
+                )
+    database.load("Trans", transactions)
+    return {
+        "PGroup": len(pgroups),
+        "Loc": len(locations),
+        "Cust": len(customers),
+        "Acct": len(accounts),
+        "Trans": len(transactions),
+    }
+
+
+def small_config() -> GeneratorConfig:
+    """A configuration small enough for unit tests (~2k transactions)."""
+    return GeneratorConfig(
+        customers=10,
+        accounts_per_customer=2,
+        cities=12,
+        transactions_per_account_year=12,
+        years=(1990, 1991, 1992),
+    )
+
+
+def bench_config(scale: float = 1.0) -> GeneratorConfig:
+    """The benchmark configuration (~57k transactions at scale 1.0);
+    override via the REPRO_SCALE environment variable."""
+    return GeneratorConfig().scaled(scale)

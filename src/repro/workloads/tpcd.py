@@ -1,0 +1,205 @@
+"""A miniature TPC-D-like workload.
+
+The paper's Section 8 reports "dramatic improvements in query response
+times both with TPC-D queries and with a number of customer applications"
+using a small number of ASTs. TPC-D data and the DB2 testbed are not
+available here, so we build the closest synthetic equivalent: a scaled-
+down order/lineitem star schema, a deterministic generator, a set of
+decision-support queries shaped like TPC-D Q1/Q3/Q5/Q6, and two summary
+tables that cover them. Shape — who wins and by roughly what factor — is
+what the benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ForeignKeyConstraint,
+    TableSchema,
+    UniqueKey,
+)
+from repro.catalog.types import DataType
+from repro.engine.database import Database
+
+NATIONS = ["USA", "FRANCE", "GERMANY", "JAPAN", "BRAZIL", "INDIA", "CANADA"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-LOW", "5-NONE"]
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUSES = ["O", "F"]
+
+
+def tpcd_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(
+        TableSchema(
+            "Customer",
+            [
+                Column("custkey", DataType.INTEGER),
+                Column("cname", DataType.STRING),
+                Column("nation", DataType.STRING),
+            ],
+            keys=[UniqueKey(("custkey",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "Orders",
+            [
+                Column("orderkey", DataType.INTEGER),
+                Column("ocustkey", DataType.INTEGER),
+                Column("orderdate", DataType.DATE),
+                Column("orderpriority", DataType.STRING),
+            ],
+            keys=[UniqueKey(("orderkey",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "Lineitem",
+            [
+                Column("lorderkey", DataType.INTEGER),
+                Column("linenumber", DataType.INTEGER),
+                Column("quantity", DataType.INTEGER),
+                Column("extendedprice", DataType.FLOAT),
+                Column("discount", DataType.FLOAT),
+                Column("tax", DataType.FLOAT),
+                Column("returnflag", DataType.STRING),
+                Column("linestatus", DataType.STRING),
+                Column("shipdate", DataType.DATE),
+            ],
+            keys=[UniqueKey(("lorderkey", "linenumber"), is_primary=True)],
+        )
+    )
+    catalog.add_foreign_key(
+        ForeignKeyConstraint("Orders", ("ocustkey",), "Customer", ("custkey",))
+    )
+    catalog.add_foreign_key(
+        ForeignKeyConstraint("Lineitem", ("lorderkey",), "Orders", ("orderkey",))
+    )
+    return catalog
+
+
+def build_tpcd_db(orders: int = 2000, seed: int = 19980401) -> Database:
+    """A populated mini TPC-D database (~4 lineitems per order)."""
+    rng = random.Random(seed)
+    database = Database(tpcd_catalog())
+
+    customer_count = max(10, orders // 10)
+    database.load(
+        "Customer",
+        [
+            (ck, f"Customer#{ck}", rng.choice(NATIONS))
+            for ck in range(1, customer_count + 1)
+        ],
+    )
+    order_rows = []
+    line_rows = []
+    for orderkey in range(1, orders + 1):
+        orderdate = datetime.date(
+            rng.choice([1995, 1996, 1997, 1998]),
+            rng.randint(1, 12),
+            rng.randint(1, 28),
+        )
+        order_rows.append(
+            (
+                orderkey,
+                rng.randint(1, customer_count),
+                orderdate,
+                rng.choice(PRIORITIES),
+            )
+        )
+        for linenumber in range(1, rng.randint(2, 6)):
+            ship = orderdate + datetime.timedelta(days=rng.randint(1, 90))
+            line_rows.append(
+                (
+                    orderkey,
+                    linenumber,
+                    rng.randint(1, 50),
+                    round(rng.uniform(100.0, 50000.0), 2),
+                    round(rng.choice([0.0, 0.02, 0.04, 0.06, 0.08, 0.1]), 2),
+                    round(rng.choice([0.0, 0.02, 0.04, 0.06, 0.08]), 2),
+                    rng.choice(RETURN_FLAGS),
+                    rng.choice(LINE_STATUSES),
+                    ship,
+                )
+            )
+    database.load("Orders", order_rows)
+    database.load("Lineitem", line_rows)
+    return database
+
+
+#: The two summary tables the suite uses (a "small number of ASTs").
+PRICING_AST = """
+select returnflag, linestatus, year(shipdate) as year, month(shipdate) as month,
+       count(*) as cnt,
+       sum(quantity) as sum_qty,
+       sum(extendedprice) as sum_base,
+       sum(extendedprice * (1 - discount)) as revenue
+from Lineitem
+group by returnflag, linestatus, year(shipdate), month(shipdate)
+"""
+
+NATION_AST = """
+select nation, orderpriority, year(orderdate) as year,
+       count(*) as cnt,
+       sum(extendedprice * (1 - discount)) as revenue
+from Lineitem, Orders, Customer
+where lorderkey = orderkey and ocustkey = custkey
+group by nation, orderpriority, year(orderdate)
+"""
+
+
+def install_asts(database: Database) -> list[str]:
+    database.create_summary_table("PricingAst", PRICING_AST)
+    database.create_summary_table("NationAst", NATION_AST)
+    return ["PricingAst", "NationAst"]
+
+
+#: Decision-support queries shaped like TPC-D Q1 / Q3 / Q5 / Q6.
+QUERIES: dict[str, str] = {
+    # Q1: pricing summary report (aggregates by flag/status up to a date)
+    "q1_pricing": """
+        select returnflag, linestatus,
+               sum(quantity) as sum_qty,
+               sum(extendedprice) as sum_base,
+               sum(extendedprice * (1 - discount)) as revenue,
+               count(*) as cnt
+        from Lineitem
+        where year(shipdate) <= 1997
+        group by returnflag, linestatus
+    """,
+    # Q3-like: revenue per priority and year
+    "q3_priority": """
+        select orderpriority, year, sum(revenue) as revenue
+        from (select nation, orderpriority, year(orderdate) as year,
+                     sum(extendedprice * (1 - discount)) as revenue
+              from Lineitem, Orders, Customer
+              where lorderkey = orderkey and ocustkey = custkey
+              group by nation, orderpriority, year(orderdate)) as t
+        group by orderpriority, year
+    """,
+    # Q5-like: revenue per nation for one year
+    "q5_nation": """
+        select nation, sum(extendedprice * (1 - discount)) as revenue
+        from Lineitem, Orders, Customer
+        where lorderkey = orderkey and ocustkey = custkey
+              and year(orderdate) = 1996
+        group by nation
+    """,
+    # Q6-like: total discounted revenue in a time window
+    "q6_forecast": """
+        select sum(extendedprice * (1 - discount)) as revenue, count(*) as cnt
+        from Lineitem
+        where year(shipdate) = 1996
+    """,
+    # monthly trend over the pricing cube
+    "monthly_trend": """
+        select year(shipdate) as year, month(shipdate) as month,
+               sum(extendedprice * (1 - discount)) as revenue
+        from Lineitem
+        group by year(shipdate), month(shipdate)
+    """,
+}

@@ -1,0 +1,172 @@
+"""A second "customer application": web-analytics reporting.
+
+The paper reports AST wins "with a number of customer applications"
+beyond TPC-D. This workload models the other archetypal summary-table
+consumer: a page-view fact table with page and visitor dimensions, a
+reporting dashboard, and two join ASTs (the summaries themselves join
+dimension tables — exercising matching where the AST has *more* joins
+than some queries and fewer than others).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ForeignKeyConstraint,
+    TableSchema,
+    UniqueKey,
+)
+from repro.catalog.types import DataType
+from repro.engine.database import Database
+
+SECTIONS = ["news", "sports", "shop", "forum", "video", "docs"]
+COUNTRIES = ["USA", "Germany", "Japan", "Brazil", "India"]
+BROWSERS = ["chrome", "firefox", "safari", "edge"]
+
+
+def web_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table(
+        TableSchema(
+            "Page",
+            [
+                Column("pid", DataType.INTEGER),
+                Column("path", DataType.STRING),
+                Column("section", DataType.STRING),
+            ],
+            keys=[UniqueKey(("pid",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "Visitor",
+            [
+                Column("vid", DataType.INTEGER),
+                Column("country", DataType.STRING),
+                Column("browser", DataType.STRING),
+            ],
+            keys=[UniqueKey(("vid",), is_primary=True)],
+        )
+    )
+    catalog.add_table(
+        TableSchema(
+            "PageView",
+            [
+                Column("pvid", DataType.INTEGER),
+                Column("fpid", DataType.INTEGER),
+                Column("fvid", DataType.INTEGER),
+                Column("vdate", DataType.DATE),
+                Column("dwell", DataType.INTEGER),
+                Column("bytes", DataType.FLOAT),
+            ],
+            keys=[UniqueKey(("pvid",), is_primary=True)],
+        )
+    )
+    catalog.add_foreign_key(ForeignKeyConstraint("PageView", ("fpid",), "Page", ("pid",)))
+    catalog.add_foreign_key(
+        ForeignKeyConstraint("PageView", ("fvid",), "Visitor", ("vid",))
+    )
+    return catalog
+
+
+def build_web_db(views: int = 40000, seed: int = 20000514) -> Database:
+    rng = random.Random(seed)
+    database = Database(web_catalog())
+    pages = max(20, views // 400)
+    visitors = max(50, views // 200)
+    database.load(
+        "Page",
+        [
+            (pid, f"/{rng.choice(SECTIONS)}/p{pid}", rng.choice(SECTIONS))
+            for pid in range(1, pages + 1)
+        ],
+    )
+    database.load(
+        "Visitor",
+        [
+            (vid, rng.choice(COUNTRIES), rng.choice(BROWSERS))
+            for vid in range(1, visitors + 1)
+        ],
+    )
+    rows = []
+    for pvid in range(1, views + 1):
+        rows.append(
+            (
+                pvid,
+                rng.randint(1, pages),
+                rng.randint(1, visitors),
+                datetime.date(
+                    rng.choice([1999, 2000]), rng.randint(1, 12), rng.randint(1, 28)
+                ),
+                rng.randint(1, 600),
+                float(rng.randint(1, 500) * 1024),
+            )
+        )
+    database.load("PageView", rows)
+    return database
+
+
+#: the two summary tables behind the dashboard
+SECTION_AST = """
+select section, year(vdate) as year, month(vdate) as month,
+       count(*) as views, sum(dwell) as total_dwell, sum(bytes) as traffic
+from PageView, Page
+where fpid = pid
+group by section, year(vdate), month(vdate)
+"""
+
+COUNTRY_AST = """
+select country, browser, year(vdate) as year, month(vdate) as month,
+       count(*) as views, count(distinct fvid) as uniques
+from PageView, Visitor
+where fvid = vid
+group by country, browser, year(vdate), month(vdate)
+"""
+
+
+def install_web_asts(database: Database) -> list[str]:
+    database.create_summary_table("SectionAst", SECTION_AST)
+    database.create_summary_table("CountryAst", COUNTRY_AST)
+    return ["SectionAst", "CountryAst"]
+
+
+QUERIES: dict[str, str] = {
+    # monthly traffic per section
+    "section_monthly": """
+        select section, year(vdate) as year, month(vdate) as month,
+               count(*) as views, sum(bytes) as traffic
+        from PageView, Page where fpid = pid
+        group by section, year(vdate), month(vdate)
+    """,
+    # yearly rollup re-derived from the monthly AST
+    "section_yearly": """
+        select section, year(vdate) as year,
+               count(*) as views, sum(dwell) as total_dwell
+        from PageView, Page where fpid = pid
+        group by section, year(vdate)
+    """,
+    # engagement: average dwell per section (AVG via SUM/COUNT rules)
+    "section_engagement": """
+        select section, avg(dwell) as avg_dwell
+        from PageView, Page where fpid = pid
+        group by section
+    """,
+    # country/browser views for one year, with HAVING
+    "country_browser": """
+        select country, browser, count(*) as views
+        from PageView, Visitor
+        where fvid = vid and year(vdate) = 2000
+        group by country, browser
+        having count(*) > 10
+    """,
+    # top-line totals for the year 2000
+    "totals_2000": """
+        select count(*) as views, sum(bytes) as traffic
+        from PageView, Page
+        where fpid = pid and year(vdate) = 2000
+    """,
+}

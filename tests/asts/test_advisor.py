@@ -1,0 +1,104 @@
+"""Greedy lattice advisor (related problem (a))."""
+
+import pytest
+
+from repro.asts.advisor import Advisor
+
+
+ATTRIBUTES = {
+    "faid": "faid",
+    "flid": "flid",
+    "year": "year(date)",
+}
+
+
+@pytest.fixture
+def advisor(tiny_db):
+    return Advisor(tiny_db, "Trans", ATTRIBUTES)
+
+
+class TestLattice:
+    def test_all_cuboids_enumerated(self, advisor):
+        candidates = advisor.candidates()
+        assert len(candidates) == 8  # 2^3 subsets
+        sizes = {len(view.attributes) for view in candidates}
+        assert sizes == {0, 1, 2, 3}
+
+    def test_sizes_measured_exactly(self, advisor, tiny_db):
+        by_attrs = {view.attributes: view for view in advisor.candidates()}
+        assert by_attrs[frozenset()].rows == 1  # grand total
+        assert by_attrs[frozenset({"faid"})].rows == 2
+        assert by_attrs[frozenset({"year"})].rows == 3
+
+    def test_answers_relation(self, advisor):
+        by_attrs = {view.attributes: view for view in advisor.candidates()}
+        top = by_attrs[frozenset({"faid", "flid", "year"})]
+        small = by_attrs[frozenset({"faid"})]
+        assert top.answers(small)
+        assert not small.answers(top)
+
+
+class TestGreedySelection:
+    def test_respects_budget(self, advisor):
+        result = advisor.select(budget_rows=5)
+        assert result.total_rows <= 5
+        assert result.selected
+
+    def test_zero_budget_selects_nothing(self, advisor):
+        assert advisor.select(budget_rows=0).selected == []
+
+    def test_max_views_cap(self, advisor):
+        result = advisor.select(budget_rows=10**6, max_views=2)
+        assert len(result.selected) <= 2
+
+    def test_benefits_monotonically_decrease(self, advisor):
+        result = advisor.select(budget_rows=10**6, max_views=4)
+        benefits = [benefit for _, benefit in result.steps]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_first_pick_is_high_benefit(self, advisor, tiny_db):
+        # With a generous budget the top cuboid (which answers every
+        # query at 6 rows instead of 6 base rows... tiny data) is chosen
+        # by total benefit; just assert determinism and a describe().
+        result = advisor.select(budget_rows=10**6, max_views=3)
+        text = result.describe()
+        assert "total materialized rows" in text
+
+    def test_selected_views_materialize_and_match(self, tiny_db):
+        advisor = Advisor(tiny_db, "Trans", ATTRIBUTES)
+        result = advisor.select(budget_rows=100, max_views=2)
+        names = advisor.create_selected(result)
+        assert names
+        # The advisor's output plugs straight into the matcher.
+        rewrite = tiny_db.rewrite(
+            "select faid, count(*) as n from Trans group by faid"
+        )
+        assert rewrite is not None
+
+    def test_deterministic(self, tiny_db):
+        first = Advisor(tiny_db, "Trans", ATTRIBUTES).select(100)
+        second = Advisor(tiny_db, "Trans", ATTRIBUTES).select(100)
+        assert [v.attributes for v in first.selected] == [
+            v.attributes for v in second.selected
+        ]
+
+
+class TestStackedSummaries:
+    def test_coarse_ast_built_from_fine_ast(self, tiny_db):
+        """AST-over-AST: materializing a rollup from a finer summary."""
+        tiny_db.create_summary_table(
+            "Fine",
+            "select faid, flid, count(*) as cnt from Trans group by faid, flid",
+        )
+        coarse = tiny_db.create_summary_table(
+            "Coarse",
+            "select faid, count(*) as cnt from Trans group by faid",
+            use_summary_tables=True,
+        )
+        from repro.engine.table import tables_equal
+
+        direct = tiny_db.execute(
+            "select faid, count(*) as cnt from Trans group by faid",
+            use_summary_tables=False,
+        )
+        assert tables_equal(coarse.table, direct)

@@ -1,0 +1,186 @@
+"""Incremental summary-table maintenance (related problem (c))."""
+
+import datetime
+
+import pytest
+
+from repro.asts.maintenance import maintain_delete, maintain_insert
+from repro.engine.table import tables_equal
+from repro.errors import MaintenanceError
+
+
+D = datetime.date
+AST = (
+    "select faid, year(date) as year, count(*) as cnt, sum(qty) as sqty, "
+    "max(price) as hi from Trans group by faid, year(date)"
+)
+NEW_ROWS = [
+    (101, 1, 1, 10, D(1990, 5, 1), 4, 999.0, 0.0),
+    (102, 1, 2, 10, D(1993, 6, 1), 2, 5.0, 0.1),
+    (103, 2, 3, 20, D(1991, 7, 1), 1, 50.0, 0.2),
+]
+
+
+def recomputed_copy(db, sql):
+    return db.execute(sql, use_summary_tables=False)
+
+
+class TestInsert:
+    def test_incremental_matches_recompute(self, tiny_db):
+        summary = tiny_db.create_summary_table("S1", AST)
+        report = maintain_insert(tiny_db, "Trans", NEW_ROWS)
+        assert report.was_incremental("S1")
+        assert tables_equal(summary.table, recomputed_copy(tiny_db, AST))
+
+    def test_new_group_appended(self, tiny_db):
+        summary = tiny_db.create_summary_table("S1", AST)
+        before = summary.row_count
+        maintain_insert(tiny_db, "Trans", NEW_ROWS)
+        # (10,1990) and (20,1991) already exist; only (10,1993) is new.
+        assert summary.row_count == before + 1
+
+    def test_max_updated_on_insert(self, tiny_db):
+        summary = tiny_db.create_summary_table("S1", AST)
+        maintain_insert(tiny_db, "Trans", NEW_ROWS)
+        rows = {(r[0], r[1]): r for r in summary.table.rows}
+        assert rows[(10, 1990)][4] == 999.0
+
+    def test_base_table_actually_loaded(self, tiny_db):
+        tiny_db.create_summary_table("S1", AST)
+        maintain_insert(tiny_db, "Trans", NEW_ROWS)
+        assert len(tiny_db.table("Trans")) == 9
+
+    def test_empty_insert_is_noop(self, tiny_db):
+        summary = tiny_db.create_summary_table("S1", AST)
+        before = list(summary.table.rows)
+        maintain_insert(tiny_db, "Trans", [])
+        assert summary.table.rows == before
+
+    def test_unaffected_summary_skipped(self, tiny_db):
+        tiny_db.create_summary_table(
+            "SP", "select pgid, count(*) as c from PGroup group by pgid"
+        )
+        report = maintain_insert(tiny_db, "Trans", NEW_ROWS)
+        assert "SP" in report.unaffected
+
+
+class TestDelete:
+    def test_incremental_delete(self, tiny_db):
+        summary = tiny_db.create_summary_table(
+            "S1",
+            "select faid, year(date) as year, count(*) as cnt, sum(qty) as s "
+            "from Trans group by faid, year(date)",
+        )
+        victim = tiny_db.table("Trans").rows[0]
+        report = maintain_delete(tiny_db, "Trans", [victim])
+        assert report.was_incremental("S1")
+        fresh = recomputed_copy(
+            tiny_db,
+            "select faid, year(date) as year, count(*) as cnt, sum(qty) as s "
+            "from Trans group by faid, year(date)",
+        )
+        assert tables_equal(summary.table, fresh)
+
+    def test_emptied_group_removed(self, tiny_db):
+        summary = tiny_db.create_summary_table(
+            "S1",
+            "select faid, year(date) as year, count(*) as cnt "
+            "from Trans group by faid, year(date)",
+        )
+        before = summary.row_count
+        # tid 6 is the only 1992 transaction.
+        victim = [r for r in tiny_db.table("Trans").rows if r[0] == 6][0]
+        maintain_delete(tiny_db, "Trans", [victim])
+        assert summary.row_count == before - 1
+
+    def test_delete_with_max_recomputes(self, tiny_db):
+        summary = tiny_db.create_summary_table("S1", AST)
+        victim = tiny_db.table("Trans").rows[0]
+        report = maintain_delete(tiny_db, "Trans", [victim])
+        assert "S1" in report.recomputed
+        assert tables_equal(summary.table, recomputed_copy(tiny_db, AST))
+
+    def test_delete_missing_row_raises(self, tiny_db):
+        tiny_db.create_summary_table("S1", AST)
+        ghost = (999, 1, 1, 10, D(1990, 1, 1), 1, 1.0, 0.0)
+        with pytest.raises(MaintenanceError):
+            maintain_delete(tiny_db, "Trans", [ghost])
+
+
+class TestFallbacks:
+    def check_reason(self, tiny_db, sql, needle):
+        tiny_db.create_summary_table("S1", sql)
+        report = maintain_insert(tiny_db, "Trans", NEW_ROWS[:1])
+        assert "S1" in report.recomputed
+        assert needle in report.recomputed["S1"]
+        fresh = recomputed_copy(tiny_db, sql)
+        assert tables_equal(tiny_db.summary_tables["s1"].table, fresh)
+
+    def test_avg_falls_back(self, tiny_db):
+        self.check_reason(
+            tiny_db,
+            "select faid, avg(qty) as a from Trans group by faid",
+            "AVG",
+        )
+
+    def test_distinct_aggregate_falls_back(self, tiny_db):
+        self.check_reason(
+            tiny_db,
+            "select faid, count(distinct flid) as c from Trans group by faid",
+            "DISTINCT",
+        )
+
+    def test_having_falls_back(self, tiny_db):
+        self.check_reason(
+            tiny_db,
+            "select faid, count(*) as c from Trans group by faid "
+            "having count(*) > 0",
+            "HAVING",
+        )
+
+    def test_self_join_falls_back(self, tiny_db):
+        self.check_reason(
+            tiny_db,
+            "select t1.faid, count(*) as c from Trans t1, Trans t2 "
+            "where t1.faid = t2.faid group by t1.faid",
+            "more than once",
+        )
+
+    def test_join_view_is_maintainable(self, tiny_db):
+        # Dimension joins are fine: the delta joins against full tables.
+        sql = (
+            "select state, count(*) as c from Trans, Loc where flid = lid "
+            "group by state"
+        )
+        summary = tiny_db.create_summary_table("S1", sql)
+        report = maintain_insert(tiny_db, "Trans", NEW_ROWS)
+        assert report.was_incremental("S1")
+        assert tables_equal(summary.table, recomputed_copy(tiny_db, sql))
+
+
+class TestDimensionTableChanges:
+    SQL = (
+        "select state, count(*) as c from Trans, Loc where flid = lid "
+        "group by state"
+    )
+
+    def test_insert_into_dimension_table(self, tiny_db):
+        """The delta of a join view w.r.t. a dimension insert joins the
+        new dimension rows against the full fact table."""
+        summary = tiny_db.create_summary_table("S1", self.SQL)
+        report = maintain_insert(tiny_db, "Loc", [(4, "Lyon", "XX", "France")])
+        assert report.was_incremental("S1")
+        fresh = recomputed_copy(tiny_db, self.SQL)
+        assert tables_equal(summary.table, fresh)
+
+    def test_insert_referenced_dimension_rows_update_groups(self, tiny_db):
+        summary = tiny_db.create_summary_table("S1", self.SQL)
+        # A new city plus transactions in it.
+        maintain_insert(tiny_db, "Loc", [(5, "Kyoto", "KY", "Japan")])
+        report = maintain_insert(
+            tiny_db,
+            "Trans",
+            [(50, 1, 5, 10, datetime.date(1992, 3, 3), 1, 10.0, 0.0)],
+        )
+        assert report.was_incremental("S1")
+        assert tables_equal(summary.table, recomputed_copy(tiny_db, self.SQL))

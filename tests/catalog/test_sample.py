@@ -1,0 +1,38 @@
+"""The paper's Figure 1 schema."""
+
+from repro.catalog import credit_card_catalog
+
+
+def test_all_tables_present():
+    catalog = credit_card_catalog()
+    for name in ("Trans", "Loc", "PGroup", "Acct", "Cust"):
+        assert catalog.has_table(name)
+
+
+def test_trans_columns_match_paper():
+    schema = credit_card_catalog().table("Trans")
+    assert schema.column_names == [
+        "tid", "fpgid", "flid", "faid", "date", "qty", "price", "disc",
+    ]
+
+
+def test_ri_arrows_of_figure_1():
+    catalog = credit_card_catalog()
+    assert catalog.find_foreign_key("Trans", "PGroup") is not None
+    assert catalog.find_foreign_key("Trans", "Loc") is not None
+    assert catalog.find_foreign_key("Trans", "Acct") is not None
+    assert catalog.find_foreign_key("Acct", "Cust") is not None
+
+
+def test_fact_columns_non_nullable():
+    # The supergroup matching conditions assume non-nullable grouping
+    # sources; the sample schema guarantees it.
+    schema = credit_card_catalog().table("Trans")
+    assert all(not column.nullable for column in schema.columns)
+
+
+def test_dimension_keys_are_primary():
+    catalog = credit_card_catalog()
+    for table, key in (("Loc", "lid"), ("PGroup", "pgid"), ("Acct", "aid")):
+        schema = catalog.table(table)
+        assert schema.is_unique_key({key})

@@ -1,0 +1,55 @@
+"""Type-system tests."""
+
+import datetime
+
+import pytest
+
+from repro.catalog import DataType, infer_literal_type, is_numeric
+from repro.catalog.types import value_matches_type
+
+
+class TestValueMatchesType:
+    def test_null_matches_everything(self):
+        for dtype in DataType:
+            assert value_matches_type(None, dtype)
+
+    def test_integer(self):
+        assert value_matches_type(7, DataType.INTEGER)
+        assert not value_matches_type(7.5, DataType.INTEGER)
+        assert not value_matches_type("7", DataType.INTEGER)
+
+    def test_bool_is_not_integer(self):
+        assert not value_matches_type(True, DataType.INTEGER)
+        assert value_matches_type(True, DataType.BOOLEAN)
+
+    def test_float_accepts_int(self):
+        assert value_matches_type(3, DataType.FLOAT)
+        assert value_matches_type(3.5, DataType.FLOAT)
+
+    def test_date(self):
+        assert value_matches_type(datetime.date(2000, 5, 14), DataType.DATE)
+        assert not value_matches_type("2000-05-14", DataType.DATE)
+
+    def test_string(self):
+        assert value_matches_type("x", DataType.STRING)
+        assert not value_matches_type(1, DataType.STRING)
+
+
+class TestInference:
+    def test_infer_literals(self):
+        assert infer_literal_type(1) is DataType.INTEGER
+        assert infer_literal_type(1.5) is DataType.FLOAT
+        assert infer_literal_type("s") is DataType.STRING
+        assert infer_literal_type(True) is DataType.BOOLEAN
+        assert infer_literal_type(datetime.date(1999, 1, 1)) is DataType.DATE
+        assert infer_literal_type(None) is None
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            infer_literal_type(object())
+
+    def test_is_numeric(self):
+        assert is_numeric(DataType.INTEGER)
+        assert is_numeric(DataType.FLOAT)
+        assert not is_numeric(DataType.STRING)
+        assert not is_numeric(None)

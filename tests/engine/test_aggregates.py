@@ -1,0 +1,79 @@
+"""Aggregate accumulators (SQL NULL semantics)."""
+
+import pytest
+
+from repro.engine.aggregates import make_accumulator
+from repro.errors import ExecutionError
+from repro.expr import AggCall, ColumnRef
+
+
+X = ColumnRef("t", "x")
+
+
+def run(call, values):
+    accumulator = make_accumulator(call)
+    for value in values:
+        accumulator.add(value)
+    return accumulator.result()
+
+
+class TestCount:
+    def test_count_star_counts_everything(self):
+        assert run(AggCall("count"), [1, None, 2]) == 3
+
+    def test_count_skips_nulls(self):
+        assert run(AggCall("count", X), [1, None, 2]) == 2
+
+    def test_count_empty_is_zero(self):
+        assert run(AggCall("count", X), []) == 0
+
+    def test_count_distinct(self):
+        assert run(AggCall("count", X, distinct=True), [1, 1, 2, None]) == 2
+
+
+class TestSum:
+    def test_sum(self):
+        assert run(AggCall("sum", X), [1, 2, 3]) == 6
+
+    def test_sum_skips_nulls(self):
+        assert run(AggCall("sum", X), [1, None, 2]) == 3
+
+    def test_sum_all_null_is_null(self):
+        assert run(AggCall("sum", X), [None, None]) is None
+
+    def test_sum_empty_is_null(self):
+        assert run(AggCall("sum", X), []) is None
+
+    def test_sum_distinct(self):
+        assert run(AggCall("sum", X, distinct=True), [2, 2, 3]) == 5
+
+
+class TestMinMax:
+    def test_min_max(self):
+        assert run(AggCall("min", X), [3, 1, 2]) == 1
+        assert run(AggCall("max", X), [3, 1, 2]) == 3
+
+    def test_min_max_skip_nulls(self):
+        assert run(AggCall("min", X), [None, 5]) == 5
+        assert run(AggCall("max", X), [None]) is None
+
+    def test_strings(self):
+        assert run(AggCall("min", X), ["b", "a"]) == "a"
+
+
+class TestAvg:
+    def test_avg(self):
+        assert run(AggCall("avg", X), [1, 2, 3]) == 2
+
+    def test_avg_skips_nulls(self):
+        assert run(AggCall("avg", X), [2, None, 4]) == 3
+
+    def test_avg_empty_is_null(self):
+        assert run(AggCall("avg", X), []) is None
+
+
+def test_unknown_aggregate_rejected():
+    call = AggCall("sum", X)
+    object.__setattr__(call, "func", "median")
+    with pytest.raises(ExecutionError):
+        make_accumulator(call)

@@ -1,0 +1,234 @@
+"""End-to-end executor behaviour over the tiny hand-checked database."""
+
+import pytest
+
+from repro.errors import ExecutionError
+
+
+def rows(db, sql):
+    return db.execute(sql, use_summary_tables=False).sorted_rows()
+
+
+class TestScansAndFilters:
+    def test_full_scan(self, tiny_db):
+        assert len(rows(tiny_db, "select tid from Trans")) == 6
+
+    def test_where_filter(self, tiny_db):
+        result = rows(tiny_db, "select tid from Trans where qty > 1")
+        assert result == [(1,), (3,), (5,)]
+
+    def test_predicate_unknown_filters_row(self, tiny_db):
+        # No NULLs in data, but constants can produce UNKNOWN.
+        result = rows(tiny_db, "select tid from Trans where null = 1")
+        assert result == []
+
+    def test_projection_expression(self, tiny_db):
+        result = rows(
+            tiny_db, "select tid, qty * price as v from Trans where tid = 1"
+        )
+        assert result == [(1, 220.0)]
+
+    def test_distinct(self, tiny_db):
+        result = rows(tiny_db, "select distinct faid from Trans")
+        assert result == [(10,), (20,)]
+
+
+class TestJoins:
+    def test_equi_join(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select tid, city from Trans, Loc where flid = lid and tid = 3",
+        )
+        assert result == [(3, "Paris")]
+
+    def test_three_way_join(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select tid, pgname, status from Trans, PGroup, Acct "
+            "where fpgid = pgid and faid = aid and tid = 4",
+        )
+        assert result == [(4, "TV", "silver")]
+
+    def test_cross_join_counts(self, tiny_db):
+        result = rows(tiny_db, "select tid, pgid from Trans cross join PGroup")
+        assert len(result) == 12
+
+    def test_self_join_with_aliases(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select t1.tid, t2.tid from Trans t1, Trans t2 "
+            "where t1.faid = t2.faid and t1.tid < t2.tid and t1.faid = 20",
+        )
+        assert result == [(4, 5), (4, 6), (5, 6)]
+
+    def test_join_on_expression_is_residual(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select tid from Trans, Loc where flid + 0 = lid and tid = 1",
+        )
+        assert result == [(1,)]
+
+    def test_empty_join_result(self, tiny_db):
+        result = rows(
+            tiny_db, "select tid from Trans, Loc where flid = lid and lid > 99"
+        )
+        assert result == []
+
+
+class TestAggregation:
+    def test_group_by_counts(self, tiny_db):
+        result = rows(
+            tiny_db, "select faid, count(*) as c from Trans group by faid"
+        )
+        assert result == [(10, 3), (20, 3)]
+
+    def test_group_by_expression(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select year(date) as y, count(*) as c from Trans group by year(date)",
+        )
+        assert result == [(1990, 2), (1991, 3), (1992, 1)]
+
+    def test_having(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select year(date) as y, count(*) as c from Trans "
+            "group by year(date) having count(*) >= 2",
+        )
+        assert result == [(1990, 2), (1991, 3)]
+
+    def test_multiple_aggregates(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select faid, sum(qty) as q, min(price) as lo, max(price) as hi, "
+            "avg(disc) as d from Trans group by faid having faid = 10",
+        )
+        (row,) = result
+        assert row[0:4] == (10, 6, 30.0, 150.0)
+        assert abs(row[4] - 0.21666666) < 1e-6
+
+    def test_count_distinct(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select faid, count(distinct flid) as c from Trans group by faid",
+        )
+        assert result == [(10, 2), (20, 1)]
+
+    def test_scalar_aggregate(self, tiny_db):
+        assert rows(tiny_db, "select count(*) as n from Trans") == [(6,)]
+
+    def test_scalar_aggregate_on_empty_filter(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select count(*) as n, sum(qty) as s from Trans where qty > 99",
+        )
+        assert result == [(0, None)]
+
+    def test_group_by_on_empty_input_no_rows(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select faid, count(*) as n from Trans where qty > 99 group by faid",
+        )
+        assert result == []
+
+
+class TestSubqueriesAndOrder:
+    def test_scalar_subquery_value(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select lid, (select count(*) from Trans) as n from Loc where lid = 1",
+        )
+        assert result == [(1, 6)]
+
+    def test_subquery_in_predicate(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select faid, count(*) as c from Trans group by faid "
+            "having count(*) * 2 = (select count(*) from Trans)",
+        )
+        assert result == [(10, 3), (20, 3)]
+
+    def test_order_by_applied(self, tiny_db):
+        result = tiny_db.execute(
+            "select tid, price from Trans order by price desc",
+            use_summary_tables=False,
+        )
+        prices = [row[1] for row in result.rows]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_missing_table_data(self, tiny_db):
+        from repro.catalog import Column, DataType, TableSchema
+        from repro.engine.executor import Executor
+        from repro.qgm import build_graph
+
+        tiny_db.catalog.add_table(
+            TableSchema("Ghost", [Column("g", DataType.INTEGER)])
+        )
+        graph = build_graph("select g from Ghost", tiny_db.catalog)
+        with pytest.raises(ExecutionError):
+            Executor(tiny_db.tables).run(graph)
+
+
+class TestDerivedTables:
+    def test_nested_aggregation(self, tiny_db):
+        result = rows(
+            tiny_db,
+            "select ycnt, count(*) as n from "
+            "(select year(date) as y, count(*) as ycnt from Trans "
+            " group by year(date)) as t group by ycnt",
+        )
+        assert result == [(1, 1), (2, 1), (3, 1)]
+
+    def test_shared_subquery_memoized(self, tiny_db):
+        # Two references to structurally identical subqueries share one
+        # quantifier; execution should still be correct.
+        result = rows(
+            tiny_db,
+            "select (select count(*) from Trans) as a, "
+            "(select count(*) from Trans) as b from PGroup where pgid = 1",
+        )
+        assert result == [(6, 6)]
+
+
+class TestLimit:
+    def test_limit_truncates(self, tiny_db):
+        result = tiny_db.execute(
+            "select tid from Trans order by tid limit 3",
+            use_summary_tables=False,
+        )
+        assert result.rows == [(1,), (2,), (3,)]
+
+    def test_limit_larger_than_result(self, tiny_db):
+        result = tiny_db.execute(
+            "select tid from Trans limit 100", use_summary_tables=False
+        )
+        assert len(result) == 6
+
+    def test_limit_survives_rewrite(self, tiny_db):
+        tiny_db.create_summary_table(
+            "S", "select faid, count(*) as cnt from Trans group by faid"
+        )
+        result = tiny_db.execute(
+            "select faid, count(*) as n from Trans group by faid "
+            "order by n desc limit 1"
+        )
+        assert len(result) == 1
+
+    def test_limit_in_subquery_rejected(self, tiny_db):
+        import pytest
+
+        from repro.errors import UnsupportedSqlError
+
+        with pytest.raises(UnsupportedSqlError):
+            tiny_db.execute(
+                "select x from (select tid as x from Trans limit 2) as d",
+                use_summary_tables=False,
+            )
+
+    def test_limit_requires_integer(self, tiny_db):
+        import pytest
+
+        from repro.errors import SqlSyntaxError
+
+        with pytest.raises(SqlSyntaxError):
+            tiny_db.execute("select tid from Trans limit 2.5")

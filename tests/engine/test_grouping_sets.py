@@ -1,0 +1,108 @@
+"""Grouping-sets execution semantics — reproduces the paper's Figure 12
+sample table exactly."""
+
+import datetime
+
+from repro.catalog import credit_card_catalog
+from repro.engine import Database
+
+
+def figure_12_db() -> Database:
+    """The sample Trans table of Figure 12 (flid, year, faid triples)."""
+    db = Database(credit_card_catalog())
+    db.load("Loc", [(1, "c1", "CA", "USA"), (2, "c2", "TX", "USA")])
+    db.load("PGroup", [(1, "TV")])
+    db.load("Cust", [(1, "A", "CA")])
+    acct_ids = [100, 200, 300, 400]
+    db.load("Acct", [(a, 1, "gold") for a in acct_ids])
+    triples = [
+        (1, 1990, 100),
+        (1, 1991, 100),
+        (1, 1991, 200),
+        (1, 1991, 300),
+        (1, 1992, 100),
+        (1, 1992, 400),
+        (2, 1991, 400),
+        (2, 1991, 400),
+    ]
+    rows = [
+        (tid, 1, flid, faid, datetime.date(year, 6, 15), 1, 10.0, 0.0)
+        for tid, (flid, year, faid) in enumerate(triples, start=1)
+    ]
+    db.load("Trans", rows)
+    return db
+
+
+QUERY = """
+select flid, year(date) as year, faid, count(*) as cnt
+from Trans
+group by grouping sets ((flid, year(date)), (faid))
+"""
+
+#: the paper's printed query result (Figure 12)
+EXPECTED = {
+    (1, 1990, None, 1),
+    (1, 1991, None, 3),
+    (1, 1992, None, 2),
+    (2, 1991, None, 2),
+    (None, None, 100, 3),
+    (None, None, 200, 1),
+    (None, None, 300, 1),
+    (None, None, 400, 3),
+}
+
+
+def test_figure_12_sample_result():
+    db = figure_12_db()
+    result = db.execute(QUERY, use_summary_tables=False)
+    assert set(result.rows) == EXPECTED
+    assert len(result.rows) == len(EXPECTED)
+
+
+def test_rollup_includes_grand_total():
+    db = figure_12_db()
+    result = db.execute(
+        "select flid, year(date) as year, count(*) as cnt from Trans "
+        "group by rollup(flid, year(date))",
+        use_summary_tables=False,
+    )
+    rows = set(result.rows)
+    assert (None, None, 8) in rows  # grand total
+    assert (1, None, 6) in rows and (2, None, 2) in rows  # per-flid subtotals
+    assert (1, 1991, 3) in rows  # finest level
+
+    # |rollup| = finest + per-flid + grand total
+    finest = {r for r in rows if r[0] is not None and r[1] is not None}
+    assert len(rows) == len(finest) + 2 + 1
+
+
+def test_cube_has_all_four_cuboids():
+    db = figure_12_db()
+    result = db.execute(
+        "select flid, faid, count(*) as cnt from Trans group by cube(flid, faid)",
+        use_summary_tables=False,
+    )
+    rows = result.rows
+    patterns = {(r[0] is None, r[1] is None) for r in rows}
+    assert patterns == {
+        (False, False), (False, True), (True, False), (True, True),
+    }
+
+
+def test_duplicate_grouping_sets_are_canonicalized():
+    db = figure_12_db()
+    result = db.execute(
+        "select flid, count(*) as cnt from Trans "
+        "group by grouping sets ((flid), (flid))",
+        use_summary_tables=False,
+    )
+    assert sorted(result.rows) == [(1, 6), (2, 2)]
+
+
+def test_empty_grouping_set_on_empty_table():
+    db = Database(credit_card_catalog())
+    result = db.execute(
+        "select count(*) as n from Trans group by grouping sets (())",
+        use_summary_tables=False,
+    )
+    assert result.rows == [(0,)]

@@ -1,0 +1,132 @@
+"""Save/load round-trips for whole databases."""
+
+import pytest
+
+from repro.engine.persist import load_database, save_database
+from repro.engine.table import tables_equal
+from repro.errors import ReproError
+
+
+class TestRoundTrip:
+    def test_base_tables_round_trip(self, tiny_db, tmp_path):
+        save_database(tiny_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        for name in ("Trans", "Loc", "PGroup", "Acct", "Cust"):
+            assert tables_equal(tiny_db.table(name), loaded.table(name))
+
+    def test_schema_round_trip(self, tiny_db, tmp_path):
+        save_database(tiny_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        schema = loaded.catalog.table("Trans")
+        assert schema.column_names == tiny_db.catalog.table("Trans").column_names
+        assert schema.is_unique_key({"tid"})
+        assert loaded.catalog.find_foreign_key("Trans", "Loc") is not None
+
+    def test_date_values_retyped(self, tiny_db, tmp_path):
+        import datetime
+
+        save_database(tiny_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        value = loaded.table("Trans").rows[0][4]
+        assert isinstance(value, datetime.date)
+
+    def test_summary_tables_round_trip(self, tiny_db, tmp_path):
+        tiny_db.create_summary_table(
+            "S1", "select faid, count(*) as cnt from Trans group by faid"
+        )
+        save_database(tiny_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert "s1" in loaded.summary_tables
+        # The restored AST is matched again, without re-materializing.
+        result = loaded.rewrite(
+            "select faid, count(*) as n from Trans group by faid"
+        )
+        assert result is not None
+        assert tables_equal(
+            loaded.execute_graph(result.graph),
+            tiny_db.execute(
+                "select faid, count(*) as n from Trans group by faid",
+                use_summary_tables=False,
+            ),
+        )
+
+    def test_queries_agree_after_reload(self, tiny_db, tmp_path):
+        save_database(tiny_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        sql = (
+            "select faid, state, count(*) as n from Trans, Loc "
+            "where flid = lid group by faid, state"
+        )
+        assert tables_equal(
+            tiny_db.execute(sql, use_summary_tables=False),
+            loaded.execute(sql, use_summary_tables=False),
+        )
+
+    def test_empty_database(self, tmp_path):
+        from repro.engine import Database
+
+        save_database(Database(), tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert not loaded.catalog.tables
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_database(tmp_path / "nope")
+
+    def test_bad_format_version(self, tiny_db, tmp_path):
+        import json
+
+        target = save_database(tiny_db, tmp_path / "db")
+        manifest = json.loads((target / "catalog.json").read_text())
+        manifest["format_version"] = 99
+        (target / "catalog.json").write_text(json.dumps(manifest))
+        with pytest.raises(ReproError):
+            load_database(target)
+
+    def test_row_width_mismatch(self, tiny_db, tmp_path):
+        target = save_database(tiny_db, tmp_path / "db")
+        (target / "PGroup.jsonl").write_text('[1]\n')
+        with pytest.raises(ReproError):
+            load_database(target)
+
+
+class TestShellIntegration:
+    def test_save_and_open_commands(self, tiny_db, tmp_path):
+        import io
+
+        from repro.cli import Shell
+        from repro.engine import Database
+
+        out = io.StringIO()
+        shell = Shell(tiny_db, out=out)
+        assert shell.handle_line(f"\\save {tmp_path / 'snap'}")
+        fresh = Shell(Database(), out=out)
+        assert fresh.handle_line(f"\\open {tmp_path / 'snap'}")
+        fresh.handle_line("select count(*) as n from Trans;")
+        assert "(1 rows)" in out.getvalue()
+
+    def test_open_missing_reports_error(self, tmp_path):
+        import io
+
+        from repro.cli import Shell
+        from repro.engine import Database
+
+        out = io.StringIO()
+        shell = Shell(Database(), out=out)
+        shell.handle_line(f"\\open {tmp_path / 'missing'}")
+        assert "error:" in out.getvalue()
+
+    def test_usage_messages(self):
+        import io
+
+        from repro.cli import Shell
+        from repro.engine import Database
+
+        out = io.StringIO()
+        shell = Shell(Database(), out=out)
+        shell.handle_line("\\save")
+        shell.handle_line("\\open")
+        text = out.getvalue()
+        assert "usage: \\save" in text and "usage: \\open" in text

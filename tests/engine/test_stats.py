@@ -1,0 +1,90 @@
+"""Statistics collection and group-count estimation."""
+
+import random
+
+import pytest
+
+from repro.engine.stats import collect_stats, estimate_group_count
+from repro.engine.table import Table
+
+
+def make_table(rows):
+    return Table(["a", "b", "c"], rows)
+
+
+class TestCollectStats:
+    def test_counts_and_bounds(self):
+        table = make_table([(1, "x", None), (2, "x", None), (2, "y", 5.0)])
+        stats = collect_stats(table)
+        assert stats.rows == 3
+        assert stats.columns["a"].distinct == 2
+        assert stats.columns["b"].distinct == 2
+        assert stats.columns["c"].nulls == 2
+        assert stats.columns["a"].minimum == 1
+        assert stats.columns["a"].maximum == 2
+
+    def test_ndv_fallback(self):
+        stats = collect_stats(make_table([(1, "x", 1.0)]))
+        assert stats.ndv("missing") == 1
+
+    def test_mixed_types_do_not_crash(self):
+        table = Table(["a"], [(1,), ("x",)])
+        stats = collect_stats(table)
+        assert stats.columns["a"].distinct == 2
+
+
+class TestEstimateGroupCount:
+    def test_empty_and_trivial(self):
+        table = make_table([])
+        assert estimate_group_count(table, ["a"]) == 0
+        assert estimate_group_count(make_table([(1, "x", 0.0)]), []) == 1
+
+    def test_small_tables_exact(self):
+        rows = [(i % 5, "x", 0.0) for i in range(100)]
+        assert estimate_group_count(make_table(rows), ["a"]) == 5
+
+    def test_large_low_cardinality_close(self):
+        rng = random.Random(0)
+        rows = [(rng.randint(1, 20), f"g{rng.randint(1, 5)}", 0.0) for __ in range(20000)]
+        table = make_table(rows)
+        estimate = estimate_group_count(table, ["a", "b"])
+        exact = len({(r[0], r[1]) for r in rows})
+        assert exact * 0.5 <= estimate <= exact * 2
+
+    def test_high_cardinality_scales_up(self):
+        rows = [(i, "x", 0.0) for i in range(50000)]
+        table = make_table(rows)
+        estimate = estimate_group_count(table, ["a"])
+        assert estimate > 10000  # singleton scale-up kicks in
+
+    def test_bounded_by_ndv_product(self):
+        rng = random.Random(1)
+        rows = [(rng.randint(1, 3), f"g{rng.randint(1, 3)}", 0.0) for __ in range(30000)]
+        table = make_table(rows)
+        stats = collect_stats(table)
+        estimate = estimate_group_count(table, ["a", "b"], stats=stats)
+        assert estimate <= 9
+
+    def test_deterministic(self):
+        rows = [(i % 997, "x", 0.0) for i in range(30000)]
+        table = make_table(rows)
+        assert estimate_group_count(table, ["a"]) == estimate_group_count(table, ["a"])
+
+
+class TestSamplingAdvisor:
+    def test_sampling_mode_close_to_exact(self, small_db):
+        from repro.asts.advisor import Advisor
+
+        attributes = {"faid": "faid", "year": "year(date)"}
+        exact = Advisor(small_db, "Trans", attributes, estimate="exact")
+        sampled = Advisor(small_db, "Trans", attributes, estimate="sample")
+        exact_sizes = {v.attributes: v.rows for v in exact.candidates()}
+        for view in sampled.candidates():
+            truth = exact_sizes[view.attributes]
+            assert truth * 0.4 <= view.rows <= max(truth * 2.5, truth + 2)
+
+    def test_invalid_mode_rejected(self, small_db):
+        from repro.asts.advisor import Advisor
+
+        with pytest.raises(ValueError):
+            Advisor(small_db, "Trans", {"faid": "faid"}, estimate="guess")

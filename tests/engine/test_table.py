@@ -1,0 +1,112 @@
+"""Table storage and validation."""
+
+import pytest
+
+from repro.catalog import Column, DataType, TableSchema
+from repro.engine import Table, tables_equal
+from repro.errors import ExecutionError, TypeMismatchError
+
+
+SCHEMA = TableSchema(
+    "T",
+    [
+        Column("id", DataType.INTEGER),
+        Column("name", DataType.STRING, nullable=True),
+        Column("score", DataType.FLOAT, nullable=True),
+    ],
+)
+
+
+class TestLoading:
+    def test_from_schema(self):
+        table = Table.from_schema(SCHEMA, [(1, "a", 1.5), (2, None, None)])
+        assert len(table) == 2
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeMismatchError):
+            Table.from_schema(SCHEMA, [(1, "a")])
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeMismatchError):
+            Table.from_schema(SCHEMA, [("x", "a", 1.0)])
+
+    def test_null_in_non_nullable(self):
+        with pytest.raises(TypeMismatchError):
+            Table.from_schema(SCHEMA, [(None, "a", 1.0)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ExecutionError):
+            Table(["a", "a"])
+
+
+class TestAccess:
+    def test_column_index_and_values(self):
+        table = Table(["a", "b"], [(1, 2), (3, 4)])
+        assert table.column_index("b") == 1
+        assert table.column_values("a") == [1, 3]
+
+    def test_unknown_column(self):
+        with pytest.raises(ExecutionError):
+            Table(["a"], []).column_index("b")
+
+    def test_iteration(self):
+        table = Table(["a"], [(1,), (2,)])
+        assert list(table) == [(1,), (2,)]
+
+    def test_to_dicts(self):
+        table = Table(["a", "b"], [(1, 2)])
+        assert table.to_dicts() == [{"a": 1, "b": 2}]
+
+
+class TestSorting:
+    def test_sort_by_multiple_keys(self):
+        table = Table(["a", "b"], [(2, 1), (1, 2), (1, 1)])
+        table.sort_by([("a", True), ("b", False)])
+        assert table.rows == [(1, 2), (1, 1), (2, 1)]
+
+    def test_nulls_sort_last_ascending(self):
+        table = Table(["a"], [(None,), (1,), (2,)])
+        table.sort_by([("a", True)])
+        assert table.rows == [(1,), (2,), (None,)]
+
+    def test_sorted_rows_canonical(self):
+        table = Table(["a"], [(3,), (None,), (1,)])
+        assert table.sorted_rows() == [(1,), (3,), (None,)]
+
+
+class TestEquality:
+    def test_multiset_semantics(self):
+        left = Table(["a"], [(1,), (1,), (2,)])
+        right = Table(["a"], [(2,), (1,), (1,)])
+        assert tables_equal(left, right)
+        assert not tables_equal(left, Table(["a"], [(1,), (2,)]))
+        assert not tables_equal(left, Table(["a"], [(1,), (2,), (2,)]))
+
+    def test_int_float_equivalence(self):
+        assert tables_equal(Table(["a"], [(2,)]), Table(["a"], [(2.0,)]))
+
+    def test_float_tolerance(self):
+        left = Table(["a"], [(3006987.095000001,)])
+        right = Table(["a"], [(3006987.0949999997,)])
+        assert tables_equal(left, right)
+
+    def test_clearly_different_floats(self):
+        assert not tables_equal(Table(["a"], [(1.0,)]), Table(["a"], [(1.1,)]))
+
+    def test_nulls_compare_equal(self):
+        assert tables_equal(Table(["a"], [(None,)]), Table(["a"], [(None,)]))
+        assert not tables_equal(Table(["a"], [(None,)]), Table(["a"], [(0,)]))
+
+    def test_column_count_mismatch(self):
+        assert not tables_equal(Table(["a"], []), Table(["a", "b"], []))
+
+
+class TestPretty:
+    def test_pretty_contains_headers_and_null(self):
+        table = Table(["name", "n"], [("x", 1), (None, 2)])
+        text = table.pretty()
+        assert "name" in text and "NULL" in text
+
+    def test_pretty_truncates(self):
+        table = Table(["a"], [(i,) for i in range(50)])
+        assert "(50 rows)" in table.pretty(limit=3)

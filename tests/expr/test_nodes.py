@@ -1,0 +1,114 @@
+"""Expression tree construction and traversal."""
+
+import pytest
+
+from repro.expr import (
+    AggCall,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    NaryOp,
+    UnaryOp,
+    conjunction,
+    disjunction,
+    split_conjuncts,
+)
+from repro.expr.nodes import TRUE, FALSE, CaseWhen
+
+
+X = ColumnRef("t", "x")
+Y = ColumnRef("t", "y")
+
+
+class TestConstruction:
+    def test_nodes_are_hashable_and_equal_by_structure(self):
+        a = NaryOp("+", (X, Literal(1)))
+        b = NaryOp("+", (ColumnRef("t", "x"), Literal(1)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_nary_rejects_noncommutative(self):
+        with pytest.raises(ValueError):
+            NaryOp("-", (X, Y))
+
+    def test_binary_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            BinaryOp("**", X, Y)
+
+    def test_unary_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            UnaryOp("~", X)
+
+    def test_agg_requires_arg_except_count(self):
+        assert AggCall("count").arg is None
+        with pytest.raises(ValueError):
+            AggCall("sum")
+        with pytest.raises(ValueError):
+            AggCall("median", X)
+
+    def test_case_requires_pairs(self):
+        with pytest.raises(ValueError):
+            CaseWhen((X,))
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        expr = BinaryOp("-", NaryOp("+", (X, Y)), Literal(1))
+        nodes = list(expr.walk())
+        assert nodes[0] is expr
+        assert X in nodes and Y in nodes and Literal(1) in nodes
+
+    def test_column_refs_with_duplicates(self):
+        expr = NaryOp("*", (X, X, Y))
+        assert expr.column_refs().count(X) == 2
+
+    def test_contains_aggregate(self):
+        assert NaryOp("+", (AggCall("count"), Literal(1))).contains_aggregate()
+        assert not NaryOp("+", (X, Literal(1))).contains_aggregate()
+
+    def test_substitute_largest_subtree(self):
+        product = NaryOp("*", (X, Y))
+        expr = BinaryOp("-", product, X)
+        replaced = expr.substitute({product: ColumnRef("s", "value")})
+        assert replaced == BinaryOp("-", ColumnRef("s", "value"), X)
+
+    def test_with_children_roundtrip(self):
+        expr = InList(X, (Literal(1), Literal(2)), negated=True)
+        rebuilt = expr.with_children(expr.children())
+        assert rebuilt == expr
+
+    def test_transform_does_not_revisit_replacements(self):
+        calls = []
+
+        def visit(node):
+            calls.append(node)
+            if node == X:
+                return Y
+            return None
+
+        result = UnaryOp("-", X).transform(visit)
+        assert result == UnaryOp("-", Y)
+        assert Y not in calls  # replacement not revisited
+
+
+class TestConjunctions:
+    def test_conjunction_flattening(self):
+        assert conjunction([]) == TRUE
+        assert conjunction([X]) == X
+        both = conjunction([X, Y])
+        assert isinstance(both, NaryOp) and both.op == "and"
+
+    def test_disjunction(self):
+        assert disjunction([]) == FALSE
+        assert disjunction([X]) == X
+
+    def test_split_conjuncts_nested(self):
+        pred = NaryOp("and", (X, NaryOp("and", (Y, IsNull(X)))))
+        assert split_conjuncts(pred) == [X, Y, IsNull(X)]
+
+    def test_split_true_is_empty(self):
+        assert split_conjuncts(TRUE) == []

@@ -1,0 +1,119 @@
+"""Normalization: the matcher's notion of syntactic equivalence."""
+
+from repro.expr import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    NaryOp,
+    UnaryOp,
+    normal_equal,
+    normalize,
+)
+from repro.expr.nodes import FALSE, TRUE
+
+
+X = ColumnRef("t", "x")
+Y = ColumnRef("t", "y")
+
+
+class TestFolding:
+    def test_constant_folding(self):
+        assert normalize(NaryOp("+", (Literal(1), Literal(2)))) == Literal(3)
+        assert normalize(BinaryOp("-", Literal(5), Literal(2))) == Literal(3)
+        assert normalize(FuncCall("abs", (Literal(-3),))) == Literal(3)
+
+    def test_division_by_zero_not_folded(self):
+        expr = BinaryOp("/", Literal(1), Literal(0))
+        assert normalize(expr) == expr  # left for runtime to raise
+
+    def test_identity_elements_removed(self):
+        assert normalize(NaryOp("+", (X, Literal(0)))) == X
+        assert normalize(NaryOp("*", (X, Literal(1)))) == X
+
+    def test_null_annihilates_arithmetic(self):
+        assert normalize(NaryOp("+", (X, Literal(None)))) == Literal(None)
+
+    def test_partial_constant_fold(self):
+        expr = NaryOp("+", (Literal(1), X, Literal(2)))
+        result = normalize(expr)
+        assert result == NaryOp("+", (X, Literal(3)))
+
+
+class TestCommutativity:
+    def test_flattening(self):
+        nested = NaryOp("+", (X, NaryOp("+", (Y, Literal(1)))))
+        flat = NaryOp("+", (Y, X, Literal(1)))
+        assert normal_equal(nested, flat)
+
+    def test_operand_ordering(self):
+        assert normalize(NaryOp("*", (Y, X))) == normalize(NaryOp("*", (X, Y)))
+
+    def test_and_dedupe(self):
+        pred = NaryOp("and", (BinaryOp(">", X, Literal(1)),) * 2)
+        assert normalize(pred) == BinaryOp(">", X, Literal(1))
+
+    def test_and_identity_and_absorber(self):
+        assert normalize(NaryOp("and", (TRUE, TRUE))) == TRUE
+        assert normalize(NaryOp("and", (X, FALSE))) == FALSE
+        assert normalize(NaryOp("or", (X, TRUE))) == TRUE
+
+
+class TestComparisons:
+    def test_literal_moves_right(self):
+        assert normalize(BinaryOp("<", Literal(10), X)) == BinaryOp(
+            ">", X, Literal(10)
+        )
+
+    def test_column_order_canonical(self):
+        a = BinaryOp("=", Y, X)
+        b = BinaryOp("=", X, Y)
+        assert normalize(a) == normalize(b)
+
+    def test_constant_comparison_folds(self):
+        assert normalize(BinaryOp(">", Literal(3), Literal(1))) == TRUE
+
+
+class TestNotElimination:
+    def test_double_negation(self):
+        assert normalize(UnaryOp("not", UnaryOp("not", X))) == X
+
+    def test_negated_comparison(self):
+        expr = UnaryOp("not", BinaryOp(">", X, Literal(5)))
+        assert normalize(expr) == BinaryOp("<=", X, Literal(5))
+
+    def test_negated_is_null(self):
+        assert normalize(UnaryOp("not", IsNull(X))) == IsNull(X, negated=True)
+
+    def test_de_morgan(self):
+        expr = UnaryOp(
+            "not",
+            NaryOp("and", (BinaryOp(">", X, Literal(1)), BinaryOp("<", Y, Literal(2)))),
+        )
+        result = normalize(expr)
+        assert isinstance(result, NaryOp) and result.op == "or"
+        assert BinaryOp("<=", X, Literal(1)) in result.operands
+        assert BinaryOp(">=", Y, Literal(2)) in result.operands
+
+    def test_negated_in_list(self):
+        expr = UnaryOp("not", InList(X, (Literal(1),)))
+        assert normalize(expr) == InList(X, (Literal(1),), negated=True)
+
+    def test_unary_minus_folds(self):
+        assert normalize(UnaryOp("-", Literal(4))) == Literal(-4)
+        assert normalize(UnaryOp("-", UnaryOp("-", X))) == X
+
+
+class TestIdempotence:
+    def test_normalize_idempotent_on_examples(self):
+        samples = [
+            NaryOp("+", (Literal(1), NaryOp("+", (X, Literal(2))))),
+            UnaryOp("not", NaryOp("or", (IsNull(X), BinaryOp("=", X, Y)))),
+            NaryOp("*", (X, Y, Literal(1))),
+            BinaryOp("<", Literal(0), NaryOp("+", (Y, X))),
+        ]
+        for expr in samples:
+            once = normalize(expr)
+            assert normalize(once) == once

@@ -1,0 +1,117 @@
+"""Predicate subsumption (footnote 4: x > 10 subsumes x > 20)."""
+
+from repro.expr import (
+    BinaryOp,
+    ColumnRef,
+    InList,
+    Literal,
+    NaryOp,
+    implies,
+    subsumes,
+)
+
+X = ColumnRef("t", "x")
+Y = ColumnRef("t", "y")
+
+
+def gt(v):
+    return BinaryOp(">", X, Literal(v))
+
+
+def ge(v):
+    return BinaryOp(">=", X, Literal(v))
+
+
+def lt(v):
+    return BinaryOp("<", X, Literal(v))
+
+
+def le(v):
+    return BinaryOp("<=", X, Literal(v))
+
+
+def eq(v):
+    return BinaryOp("=", X, Literal(v))
+
+
+class TestPaperExample:
+    def test_x_gt_10_subsumes_x_gt_20(self):
+        assert subsumes(gt(10), gt(20))
+        assert not subsumes(gt(20), gt(10))
+
+
+class TestRangeImplication:
+    def test_same_direction(self):
+        assert implies(gt(20), gt(10))
+        assert implies(gt(10), gt(10))
+        assert implies(ge(11), gt(10))
+        assert implies(gt(10), ge(10))
+        assert not implies(ge(10), gt(10))
+        assert implies(lt(5), lt(10))
+        assert implies(le(5), lt(10))
+        assert not implies(lt(10), lt(5))
+
+    def test_opposite_direction_never(self):
+        assert not implies(gt(10), lt(20))
+
+    def test_equality_implies_range(self):
+        assert implies(eq(30), gt(20))
+        assert not implies(eq(10), gt(20))
+        assert implies(eq(10), InList(X, (Literal(10), Literal(20))))
+
+    def test_range_implies_not_equal(self):
+        assert implies(gt(20), BinaryOp("<>", X, Literal(5)))
+        assert not implies(gt(20), BinaryOp("<>", X, Literal(25)))
+
+    def test_different_subjects_never(self):
+        assert not implies(gt(20), BinaryOp(">", Y, Literal(10)))
+
+
+class TestInLists:
+    def test_subset(self):
+        small = InList(X, (Literal(1), Literal(2)))
+        big = InList(X, (Literal(1), Literal(2), Literal(3)))
+        assert implies(small, big)
+        assert not implies(big, small)
+
+    def test_in_list_implies_range(self):
+        members = InList(X, (Literal(30), Literal(40)))
+        assert implies(members, gt(20))
+        assert not implies(members, gt(35))
+
+
+class TestConjunctions:
+    def test_conjunct_implies(self):
+        both = NaryOp("and", (gt(20), BinaryOp("<", Y, Literal(5))))
+        assert implies(both, gt(10))
+
+    def test_implies_conjunction_needs_all(self):
+        goal = NaryOp("and", (gt(10), lt(100)))
+        assert implies(NaryOp("and", (gt(20), lt(50))), goal)
+        assert not implies(gt(20), goal)
+
+    def test_disjunctive_premise(self):
+        either = NaryOp("or", (gt(30), gt(40)))
+        assert implies(either, gt(20))
+        assert not implies(either, gt(35))
+
+    def test_disjunctive_conclusion(self):
+        goal = NaryOp("or", (gt(100), gt(10)))
+        assert implies(gt(20), goal)
+
+
+class TestConservatism:
+    def test_unknown_shapes_refuse(self):
+        # Sound but incomplete: anything unrecognized is not implied.
+        assert not implies(gt(20), BinaryOp(">", X, Y))
+        assert not implies(BinaryOp(">", X, Y), BinaryOp(">", X, Y).with_children((Y, X)))
+
+    def test_identical_complex_predicates(self):
+        pred = BinaryOp(">", NaryOp("+", (X, Y)), Literal(0))
+        assert implies(pred, pred)
+
+    def test_null_literal_refused(self):
+        assert not implies(BinaryOp("=", X, Literal(None)), gt(10))
+
+    def test_incomparable_types_refused(self):
+        assert not implies(BinaryOp(">", X, Literal("abc")), gt(10))

@@ -1,0 +1,101 @@
+"""The interactive shell (driven through StringIO, no subprocess)."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, demo_database
+from repro.engine.database import Database
+
+
+def run_shell(script: str, database: Database | None = None) -> str:
+    out = io.StringIO()
+    shell = Shell(database or Database(), out=out)
+    shell.run(io.StringIO(script), interactive=False)
+    return out.getvalue()
+
+
+class TestShellBasics:
+    def test_ddl_query_roundtrip(self):
+        output = run_shell(
+            "create table T (a integer not null, primary key (a));\n"
+            "insert into T values (1), (2), (3);\n"
+            "select count(*) as n from T;\n"
+        )
+        assert "table T created" in output
+        assert "3 row(s) inserted" in output
+        assert "(1 rows)" in output
+
+    def test_multiline_statement(self):
+        output = run_shell(
+            "create table T (a integer not null);\n"
+            "select a\n"
+            "from T\n"
+            "where a > 0;\n"
+        )
+        assert "(0 rows)" in output
+
+    def test_describe(self):
+        output = run_shell(
+            "create table T (a integer not null);\n\\d\n"
+        )
+        assert "table T (0 rows): a" in output
+
+    def test_describe_empty(self):
+        assert "(no tables)" in run_shell("\\d\n")
+
+    def test_error_reported_not_fatal(self):
+        output = run_shell(
+            "select broken from Nowhere;\nselect 1 as x from Nowhere;\n"
+        )
+        assert output.count("error:") == 2
+
+    def test_quit(self):
+        output = run_shell("\\q\nselect nope;\n")
+        assert "error" not in output
+
+    def test_timing_toggle(self):
+        output = run_shell(
+            "\\timing\n"
+            "create table T (a integer not null);\n"
+        )
+        assert "timing is on" in output
+        assert "time:" in output
+
+    def test_unknown_command(self):
+        assert "unknown command" in run_shell("\\frobnicate\n")
+
+
+class TestShellWithSummaries:
+    def test_noast_toggle_changes_plan(self):
+        db = demo_database()
+        out = run_shell(
+            "explain select faid, count(*) as n from Trans group by faid;\n",
+            db,
+        )
+        assert "AST1" in out
+        out_disabled = run_shell(
+            "\\noast\n"
+            "select faid, count(*) as n from Trans group by faid;\n",
+            db,
+        )
+        assert "rewriting disabled" in out_disabled
+
+    def test_demo_database_has_ast1(self):
+        db = demo_database()
+        assert "ast1" in db.summary_tables
+        output = run_shell("\\d\n", db)
+        assert "summary table AST1" in output
+
+
+class TestCliMain:
+    def test_script_file(self, tmp_path):
+        script = tmp_path / "script.sql"
+        script.write_text(
+            "create table T (a integer not null);\n"
+            "insert into T values (5);\n"
+            "select a from T;\n"
+        )
+        from repro.cli import main
+
+        assert main([str(script)]) == 0

@@ -1,0 +1,163 @@
+"""Golden structural signatures for every figure's compensation.
+
+Result equivalence alone cannot distinguish "the paper's compensation"
+from "any correct plan" — these tests pin the *shape*: which boxes the
+chain contains, which children are rejoined, whether slicing predicates
+appear, and which aggregate rewrites are used. A refactor that changes a
+compensation silently will trip one of these.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import FIGURES, make_database
+from repro.expr.nodes import AggCall, IsNull
+from repro.matching.framework import MAIN
+from repro.matching.navigator import match_graphs, root_matches
+from repro.qgm.boxes import GroupByBox, SelectBox
+from repro.workloads import small_config
+
+
+def signature(figure: str) -> dict:
+    ast_name, ast_sql, query, _ = FIGURES[figure]
+    db = make_database(small_config())
+    db.create_summary_table(ast_name, ast_sql)
+    graph = db.bind(query)
+    summary = db.summary_tables[ast_name.lower()]
+    ctx = match_graphs(graph, summary.graph)
+    match = root_matches(graph, summary.graph, ctx)[0]
+
+    chain_kinds = [type(box).__name__ for box in match.chain]
+    rejoins = sorted(
+        q.name
+        for box in match.chain
+        for q in box.quantifiers()
+        if q.name != MAIN
+    )
+    predicates = [
+        p
+        for box in match.chain
+        if isinstance(box, SelectBox)
+        for p in box.predicates
+    ]
+    slicing = sum(1 for p in predicates if isinstance(p, IsNull))
+    regrouped_aggs = sorted(
+        repr(qcl.expr)
+        for box in match.chain
+        if isinstance(box, GroupByBox)
+        for qcl in box.outputs
+        if isinstance(qcl.expr, AggCall)
+    )
+    return {
+        "pattern": match.pattern,
+        "chain": chain_kinds,
+        "rejoins": rejoins,
+        "non_slicing_predicates": len(predicates) - slicing,
+        "slicing_predicates": slicing,
+        "regrouped_aggregates": regrouped_aggs,
+    }
+
+
+EXPECTED = {
+    "fig02_q1": {
+        "pattern": "4.2.4",
+        "chain": ["SelectBox", "GroupByBox", "SelectBox"],
+        "rejoins": ["Loc"],
+        "non_slicing_predicates": 3,  # flid=lid, country='USA', HAVING
+        "slicing_predicates": 0,
+        "regrouped_aggregates": ["SUM(Col(_in.cnt))"],
+    },
+    "fig05_q2": {
+        "pattern": "4.1.1",
+        "chain": ["SelectBox"],
+        "rejoins": ["PGroup"],
+        "non_slicing_predicates": 3,  # pgid=fpgid, price>100, pgname='TV'
+        "slicing_predicates": 0,
+        "regrouped_aggregates": [],
+    },
+    "fig06_q4": {
+        "pattern": "4.2.4",
+        "chain": ["SelectBox", "GroupByBox", "SelectBox"],
+        "rejoins": [],
+        "non_slicing_predicates": 0,
+        "slicing_predicates": 0,
+        "regrouped_aggregates": ["SUM(Col(_in.value))"],
+    },
+    "fig07_q6": {
+        "pattern": "4.2.4",
+        "chain": ["SelectBox", "GroupByBox", "SelectBox"],
+        "rejoins": [],
+        "non_slicing_predicates": 1,  # month >= 6 pulled up
+        "slicing_predicates": 0,
+        "regrouped_aggregates": ["SUM(Col(_in.value))"],
+    },
+    "fig08_q7": {
+        "pattern": "4.2.3",
+        "chain": ["SelectBox"],  # the 1:N rule: no regrouping
+        "rejoins": ["Loc"],
+        "non_slicing_predicates": 2,  # flid=lid, country='USA'
+        "slicing_predicates": 0,
+        "regrouped_aggregates": [],
+    },
+    "fig10_q8": {
+        "pattern": "4.2.4",
+        "chain": [
+            "SelectBox", "GroupByBox", "SelectBox",  # months -> years
+            "SelectBox", "GroupByBox", "SelectBox",  # the histogram regroup
+        ],
+        "rejoins": [],
+        "non_slicing_predicates": 0,
+        "slicing_predicates": 0,
+        "regrouped_aggregates": [
+            "COUNT(*)",  # the copied histogram count
+            "SUM(Col(_in.tcnt))",  # yearly counts from tcnt*mcnt
+        ],
+    },
+    "fig11_q10": {
+        "pattern": "4.2.4",
+        "chain": ["SelectBox", "GroupByBox", "SelectBox"],
+        "rejoins": ["Loc"],
+        "non_slicing_predicates": 3,  # flid=lid, country, HAVING
+        "slicing_predicates": 0,
+        # Q10's count(*) has no alias, so its column is generated (agg1).
+        "regrouped_aggregates": ["SUM(Col(_in.agg1))"],
+    },
+    "fig13_q11_1": {
+        "pattern": "4.2.3",
+        "chain": ["SelectBox"],
+        "rejoins": [],
+        "non_slicing_predicates": 1,  # year > 1990
+        "slicing_predicates": 4,  # one per AST grouping column
+        "regrouped_aggregates": [],
+    },
+    "fig13_q11_2": {
+        "pattern": "4.2.4",
+        "chain": ["SelectBox", "GroupByBox", "SelectBox"],
+        "rejoins": [],
+        "non_slicing_predicates": 1,  # month >= 6 pulled up
+        "slicing_predicates": 4,
+        "regrouped_aggregates": ["SUM(Col(_in.cnt))"],
+    },
+    "fig14_q12_1": {
+        "pattern": "4.2.3",
+        "chain": ["SelectBox"],
+        "rejoins": [],
+        "non_slicing_predicates": 2,  # year > 1990 + the OR of slices
+        "slicing_predicates": 0,  # the disjunction is not a bare IsNull
+        "regrouped_aggregates": [],
+    },
+    "fig14_q12_2": {
+        "pattern": "4.2.4",
+        "chain": ["SelectBox", "GroupByBox", "SelectBox"],
+        "rejoins": [],
+        "non_slicing_predicates": 1,  # year > 1990
+        "slicing_predicates": 4,  # slice the (flid, year) cuboid
+        "regrouped_aggregates": ["SUM(Col(_in.cnt))"],
+    },
+}
+
+
+@pytest.mark.parametrize("figure", sorted(EXPECTED))
+def test_compensation_shape(figure):
+    assert signature(figure) == EXPECTED[figure]

@@ -1,0 +1,49 @@
+"""Sanity checks over the example scripts.
+
+Full example runs take seconds each (they generate benchmark-scale
+data), so the suite only verifies that every example compiles and
+exposes a ``main``; the paper tour — the cheapest and most important —
+runs for real.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[2].joinpath("examples").glob("*.py")
+)
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "analyst_dashboard",
+        "nested_query_matching",
+        "summary_table_advisor",
+        "incremental_maintenance",
+        "web_reporting",
+        "paper_tour",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_loads_and_has_main(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None)), path.stem
+
+
+def test_paper_tour_runs(capsys):
+    module = _load(next(p for p in EXAMPLES if p.stem == "paper_tour"))
+    module.main()
+    output = capsys.readouterr().out
+    assert "tour complete: 11 rewrites verified, 2 refusals confirmed" in output

@@ -1,0 +1,222 @@
+"""Property-based end-to-end check: for randomly composed queries and
+ASTs from a structured family, whenever the matcher claims a rewrite, the
+rewritten plan must return exactly the original rows.
+
+This is the library's strongest safety net: the generator covers
+predicates, grouping expressions, supergroups and aggregate mixes far
+beyond the paper's eleven worked examples.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.catalog import credit_card_catalog
+from repro.engine import Database
+from repro.engine.table import tables_equal
+from repro.workloads import populate_credit_db, small_config
+
+GROUP_EXPRS = [
+    ("faid", "faid"),
+    ("flid", "flid"),
+    ("year", "year(date)"),
+    ("month", "month(date)"),
+    ("qty", "qty"),
+]
+
+AGGREGATES = [
+    "count(*) as cnt",
+    "sum(qty) as sqty",
+    "min(price) as lo",
+    "max(price) as hi",
+    "count(disc) as dcnt",
+    "avg(qty) as aq",
+    "sum(qty * price) as revenue",
+]
+
+PREDICATES = [
+    "year(date) > 1990",
+    "month(date) >= 6",
+    "faid <= 20",
+    "qty > 2",
+    "flid = 1",
+    "year(date) > 2100",  # eliminates every row: empty-group semantics
+]
+
+
+def _build_db() -> Database:
+    db = Database(credit_card_catalog())
+    populate_credit_db(db, small_config())
+    return db
+
+
+_DB = _build_db()  # shared read-only base data
+_SUMMARY_CACHE: dict[str, Database] = {}
+
+
+def _db_with_ast(ast_sql: str) -> Database:
+    db = _SUMMARY_CACHE.get(ast_sql)
+    if db is None:
+        db = _build_db()
+        db.create_summary_table("PropAst", ast_sql)
+        _SUMMARY_CACHE[ast_sql] = db
+        if len(_SUMMARY_CACHE) > 48:
+            _SUMMARY_CACHE.pop(next(iter(_SUMMARY_CACHE)))
+    return db
+
+
+def _grouped_sql(groups, aggregates, predicate, supergroup):
+    select_parts = [f"{expr} as {name}" for name, expr in groups]
+    select_parts.extend(aggregates)
+    sql = f"select {', '.join(select_parts)} from Trans"
+    if predicate:
+        sql += f" where {predicate}"
+    if groups:
+        keys = [expr for _, expr in groups]
+        if supergroup == "rollup":
+            sql += f" group by rollup({', '.join(keys)})"
+        elif supergroup == "cube" and len(keys) <= 2:
+            sql += f" group by cube({', '.join(keys)})"
+        else:
+            sql += f" group by {', '.join(keys)}"
+    return sql
+
+
+@st.composite
+def scenario(draw):
+    ast_groups = draw(
+        st.lists(st.sampled_from(GROUP_EXPRS), min_size=1, max_size=3, unique=True)
+    )
+    ast_aggs = draw(
+        st.lists(st.sampled_from(AGGREGATES), min_size=1, max_size=3, unique=True)
+    )
+    if not any(a.startswith("count(*)") for a in ast_aggs):
+        ast_aggs.append("count(*) as cnt")
+    ast_super = draw(st.sampled_from(["plain", "plain", "rollup", "cube"]))
+    ast_sql = _grouped_sql(ast_groups, ast_aggs, None, ast_super)
+
+    query_groups = draw(
+        st.lists(st.sampled_from(ast_groups), min_size=0, max_size=len(ast_groups), unique=True)
+    )
+    query_aggs = draw(
+        st.lists(st.sampled_from(AGGREGATES), min_size=1, max_size=3, unique=True)
+    )
+    predicate = draw(st.sampled_from([None] + PREDICATES))
+    query_super = draw(st.sampled_from(["plain", "plain", "rollup"]))
+    query_sql = _grouped_sql(query_groups, query_aggs, predicate, query_super)
+    return ast_sql, query_sql
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario())
+def test_rewrite_soundness(case):
+    """Whatever the matcher decides, accepted rewrites are always exact."""
+    ast_sql, query_sql = case
+    db = _db_with_ast(ast_sql)
+    result = db.rewrite(query_sql)
+    if result is None:
+        return  # refusing is always sound
+    original = db.execute(query_sql, use_summary_tables=False)
+    rewritten = db.execute_graph(result.graph)
+    assert tables_equal(original, rewritten), (
+        f"AST: {ast_sql}\nQuery: {query_sql}\nRewritten: {result.sql}"
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario())
+def test_rewrite_completeness_for_identical_grouping(case):
+    """When the query is the AST's own defining query, a match must be
+    found (reflexivity of the match relation)."""
+    ast_sql, _ = case
+    db = _db_with_ast(ast_sql)
+    result = db.rewrite(ast_sql)
+    assert result is not None
+    original = db.execute(ast_sql, use_summary_tables=False)
+    rewritten = db.execute_graph(result.graph)
+    assert tables_equal(original, rewritten)
+
+
+# ---------------------------------------------------------------------------
+# Join-shape scenarios: rejoins (query joins more) and extra children
+# (AST joins more, lossless via RI).
+# ---------------------------------------------------------------------------
+JOIN_GROUPS = [
+    ("faid", "faid"),
+    ("flid", "flid"),
+    ("state", "state"),      # only available via the Loc rejoin
+    ("country", "country"),  # likewise
+    ("year", "year(date)"),
+]
+
+
+def _join_sql(groups, aggregates, predicate, join_loc):
+    select_parts = [f"{expr} as {name}" for name, expr in groups]
+    select_parts.extend(aggregates)
+    tables = "Trans, Loc" if join_loc else "Trans"
+    conjuncts = []
+    if join_loc:
+        conjuncts.append("flid = lid")
+    if predicate:
+        conjuncts.append(predicate)
+    where = f" where {' and '.join(conjuncts)}" if conjuncts else ""
+    sql = f"select {', '.join(select_parts)} from {tables}{where}"
+    if groups:
+        sql += f" group by {', '.join(expr for _, expr in groups)}"
+    return sql
+
+
+@st.composite
+def join_scenario(draw):
+    ast_join = draw(st.booleans())
+    available = JOIN_GROUPS if ast_join else [
+        g for g in JOIN_GROUPS if g[0] not in ("state", "country")
+    ]
+    ast_groups = draw(
+        st.lists(st.sampled_from(available), min_size=1, max_size=3, unique=True)
+    )
+    ast_sql = _join_sql(
+        ast_groups, ["count(*) as cnt", "sum(qty) as sq"], None, ast_join
+    )
+
+    query_join = draw(st.booleans())
+    query_groups = draw(
+        st.lists(
+            st.sampled_from(ast_groups + ([("state", "state")] if query_join else [])),
+            min_size=0,
+            max_size=3,
+            unique=True,
+        )
+    )
+    if not query_join:
+        query_groups = [g for g in query_groups if g[0] not in ("state", "country")]
+    aggregates = draw(
+        st.lists(
+            st.sampled_from(["count(*) as cnt", "sum(qty) as sq"]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    predicate = draw(
+        st.sampled_from([None, "year(date) > 1990", "country = 'USA'" if query_join else None])
+    )
+    query_sql = _join_sql(query_groups, aggregates, predicate, query_join)
+    return ast_sql, query_sql
+
+
+@settings(max_examples=60, deadline=None)
+@given(join_scenario())
+def test_rewrite_soundness_with_joins(case):
+    """Rejoin and extra-child paths: accepted rewrites stay exact."""
+    ast_sql, query_sql = case
+    db = _db_with_ast(ast_sql)
+    result = db.rewrite(query_sql)
+    if result is None:
+        return
+    original = db.execute(query_sql, use_summary_tables=False)
+    rewritten = db.execute_graph(result.graph)
+    assert tables_equal(original, rewritten), (
+        f"AST: {ast_sql}\nQuery: {query_sql}\nRewritten: {result.sql}"
+    )

@@ -1,0 +1,40 @@
+"""Shared helpers for matching tests."""
+
+from __future__ import annotations
+
+from repro.catalog import credit_card_catalog
+from repro.engine.table import tables_equal
+from repro.matching.navigator import match_graphs, root_matches
+from repro.qgm import build_graph
+
+CATALOG = credit_card_catalog()
+
+
+def match_roots(query_sql: str, ast_sql: str, catalog=None):
+    """Best match between the query and the AST root, or None."""
+    catalog = catalog or CATALOG
+    query = build_graph(query_sql, catalog, "Q")
+    ast = build_graph(ast_sql, catalog, "A")
+    ctx = match_graphs(query, ast)
+    candidates = root_matches(query, ast, ctx)
+    return candidates[0] if candidates else None
+
+
+def assert_rewrite_equivalent(db, query_sql: str, ast_sql: str, name="TestAst"):
+    """Create the AST, rewrite the query, check result equivalence, and
+    return the rewrite result."""
+    db.create_summary_table(name, ast_sql)
+    plain = db.execute(query_sql, use_summary_tables=False)
+    result = db.rewrite(query_sql)
+    assert result is not None, "expected a rewrite"
+    rewritten = db.execute_graph(result.graph)
+    assert tables_equal(plain, rewritten), (
+        f"rewritten results differ\nplain: {plain.sorted_rows()[:10]}"
+        f"\nrewritten: {rewritten.sorted_rows()[:10]}"
+    )
+    return result
+
+
+def assert_no_rewrite(db, query_sql: str, ast_sql: str, name="TestAst"):
+    db.create_summary_table(name, ast_sql)
+    assert db.rewrite(query_sql) is None, "expected no rewrite"

@@ -1,0 +1,258 @@
+"""Supergroup matching: Section 5 (slicing predicates, cuboid choice,
+cube-vs-cube)."""
+
+from repro.expr import IsNull
+from repro.matching.framework import MAIN, chain_has_grouping
+from repro.qgm.boxes import GroupByBox, SelectBox
+
+from tests.matching.helpers import (
+    assert_no_rewrite,
+    assert_rewrite_equivalent,
+    match_roots,
+)
+
+AST11 = """
+select flid, faid, year(date) as year, month(date) as month, count(*) as cnt
+from Trans
+group by grouping sets ((flid, faid, year(date)), (flid, year(date)),
+                        (flid, year(date), month(date)))
+"""
+
+AST12 = """
+select flid, faid, year(date) as year, month(date) as month, count(*) as cnt
+from Trans
+group by grouping sets ((flid, faid, year(date)), (flid, year(date)),
+                        (flid, year(date), month(date)), (year(date)))
+"""
+
+
+def slicing_predicates(box):
+    return [p for p in box.predicates if isinstance(p, IsNull)]
+
+
+class TestSimpleQueryCubeAst:
+    """Section 5.1."""
+
+    def test_exact_cuboid_slicing_only(self, tiny_db):
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans where year(date) > 1990 group by flid, year(date)",
+            AST11,
+        )
+        match = result.applied[0].match
+        assert not chain_has_grouping(match.chain)
+        comp = match.chain[0]
+        slices = slicing_predicates(comp)
+        # One IS [NOT] NULL conjunct per AST grouping column.
+        assert len(slices) == 4
+        wanted_not_null = {
+            p.operand.name for p in slices if p.negated
+        }
+        wanted_null = {p.operand.name for p in slices if not p.negated}
+        assert wanted_not_null == {"flid", "year"}
+        assert wanted_null == {"faid", "month"}
+
+    def test_smallest_matching_cuboid_chosen(self, tiny_db):
+        # (flid, year) is preferred over (flid, year, month) and
+        # (flid, faid, year) because it is the smallest cuboid.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans group by flid, year(date)",
+            AST11,
+        )
+        comp = result.applied[0].match.chain[0]
+        null_columns = {
+            p.operand.name for p in slicing_predicates(comp) if not p.negated
+        }
+        assert null_columns == {"faid", "month"}
+
+    def test_pullup_plus_regroup_uses_month_cuboid(self, tiny_db):
+        # Q11.2: the month >= 6 predicate forces the month-level cuboid
+        # and a regrouping back to (flid, year).
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans where month(date) >= 6 group by flid, year(date)",
+            AST11,
+        )
+        match = result.applied[0].match
+        assert chain_has_grouping(match.chain)
+        bottom = match.chain[0]
+        not_null = {
+            p.operand.name for p in slicing_predicates(bottom) if p.negated
+        }
+        assert not_null == {"flid", "year", "month"}
+
+    def test_count_distinct_non_match(self, tiny_db):
+        # Q11.3: count(distinct faid) grouped by (flid, year, month) has
+        # no cuboid containing all four columns.
+        assert_no_rewrite(
+            tiny_db,
+            "select flid, year(date) as year, month(date) as month, "
+            "count(distinct faid) as custcnt from Trans "
+            "group by flid, year(date), month(date)",
+            AST11,
+        )
+
+    def test_count_distinct_matches_when_cuboid_exists(self, tiny_db):
+        # With faid inside a matching cuboid, rule (f) applies.
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(distinct faid) as c "
+            "from Trans group by flid, year(date)",
+            AST11,
+        )
+
+    def test_nullable_grouping_source_blocks_slicing(self):
+        # A nullable grouping column would make IS NULL slicing unsound.
+        from repro.catalog import Catalog, Column, DataType, TableSchema
+
+        catalog = Catalog()
+        catalog.add_table(
+            TableSchema(
+                "F",
+                [
+                    Column("a", DataType.INTEGER, nullable=True),
+                    Column("b", DataType.INTEGER),
+                ],
+            )
+        )
+        match = match_roots(
+            "select a, count(*) as c from F group by a",
+            "select a, b, count(*) as c from F group by grouping sets ((a, b), (a))",
+            catalog,
+        )
+        assert match is None
+
+
+class TestCubeQueryCubeAst:
+    """Section 5.2."""
+
+    def test_direct_disjunctive_slicing(self, tiny_db):
+        # Q12.1: both query cuboids exist in the AST; a single SELECT with
+        # an OR of slicing conjunctions suffices.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans where year(date) > 1990 "
+            "group by grouping sets ((flid, year(date)), (year(date)))",
+            AST12,
+        )
+        match = result.applied[0].match
+        assert len(match.chain) == 1
+        assert isinstance(match.chain[0], SelectBox)
+
+    def test_regrouping_from_union_cuboid(self, tiny_db):
+        # Q12.2: (flid) is not an AST cuboid; the union set (flid, year)
+        # is sliced and regrouped with the query's own grouping sets.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans where year(date) > 1990 "
+            "group by grouping sets ((flid), (year(date)))",
+            AST12,
+        )
+        match = result.applied[0].match
+        groupbys = [b for b in match.chain if isinstance(b, GroupByBox)]
+        assert len(groupbys) == 1
+        assert groupbys[0].is_multidimensional
+        assert set(groupbys[0].grouping_sets) == {("flid",), ("year",)}
+
+    def test_missing_cuboid_everywhere_fails(self, tiny_db):
+        # (faid, month) is in no cuboid and no union covers it.
+        assert_no_rewrite(
+            tiny_db,
+            "select faid, month(date) as month, count(*) as cnt from Trans "
+            "group by grouping sets ((faid), (month(date)))",
+            AST11,
+        )
+
+    def test_cube_query_against_simple_ast_regroups(self, tiny_db):
+        # Beyond the paper's 5.2 pattern (which requires a cube AST): a
+        # cube query over a simple AST is sound via union-set regrouping.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(*) as cnt from Trans "
+            "group by grouping sets ((flid), (year(date)))",
+            "select flid, year(date) as year, count(*) as cnt from Trans "
+            "group by flid, year(date)",
+        )
+        groupbys = [b for b in result.applied[0].match.chain if isinstance(b, GroupByBox)]
+        assert groupbys and groupbys[0].is_multidimensional
+
+    def test_rollup_query_with_grand_total_over_simple_ast(self, tiny_db):
+        # The grand-total cuboid exercises the empty-group COUNT fix.
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select year(date) as year, count(*) as cnt from Trans "
+            "group by rollup(year(date))",
+            "select faid, year(date) as year, count(*) as cnt from Trans "
+            "group by faid, year(date)",
+        )
+
+
+class TestRollupQueries:
+    def test_rollup_query_over_cube_ast(self, tiny_db):
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, year(date) as year, count(*) as cnt from Trans "
+            "group by rollup(flid, year(date))",
+            "select flid, faid, year(date) as year, count(*) as cnt from Trans "
+            "group by cube(flid, faid, year(date))",
+        )
+
+    def test_rollup_ast_answers_prefix(self, tiny_db):
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select flid, count(*) as cnt from Trans group by flid",
+            "select flid, year(date) as year, count(*) as cnt from Trans "
+            "group by rollup(flid, year(date))",
+        )
+
+    def test_grand_total_from_rollup(self, tiny_db):
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select count(*) as cnt from Trans",
+            "select flid, count(*) as cnt from Trans group by rollup(flid)",
+        )
+
+
+class TestCubeWithRejoins:
+    """5.1 combined with rejoin compensation: slicing + dimension rejoin."""
+
+    CUBE_AST = """
+    select flid, faid, year(date) as year, count(*) as cnt
+    from Trans
+    group by grouping sets ((flid, faid), (flid, year(date)), (flid))
+    """
+
+    def test_rejoined_dimension_over_cuboid(self, tiny_db):
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select state, count(*) as cnt from Trans, Loc "
+            "where flid = lid group by state",
+            self.CUBE_AST,
+        )
+        match = result.applied[0].match
+        bottom = match.chain[0]
+        # slicing predicates select the smallest usable cuboid: (flid)
+        not_null = {
+            p.operand.name
+            for p in bottom.predicates
+            if isinstance(p, IsNull) and p.negated
+        }
+        assert not_null == {"flid"}
+        rejoins = [q.name for q in bottom.quantifiers() if q.name != MAIN]
+        assert rejoins == ["Loc"]
+
+    def test_rejoin_grouped_by_key_no_regroup(self, tiny_db):
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select lid, count(*) as cnt from Trans, Loc "
+            "where flid = lid group by lid",
+            self.CUBE_AST,
+        )
+        match = result.applied[0].match
+        assert not chain_has_grouping(match.chain)  # 1:N rule + slicing

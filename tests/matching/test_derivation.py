@@ -1,0 +1,208 @@
+"""Scalar and aggregate derivation unit tests."""
+
+from repro.expr import (
+    AggCall,
+    BinaryOp,
+    ColumnRef,
+    EquivalenceClasses,
+    FuncCall,
+    Literal,
+    NaryOp,
+)
+from repro.matching.derivation import (
+    AggregateScope,
+    DerivationScope,
+    derive_aggregate,
+    derive_scalar,
+    match_aggregate_exact,
+)
+from repro.matching.framework import MAIN
+
+
+QTY = ColumnRef("t", "qty")
+PRICE = ColumnRef("t", "price")
+DISC = ColumnRef("t", "disc")
+YEAR = ColumnRef("t", "year")
+
+
+def scope(outputs, classes=None, rejoins=None):
+    return DerivationScope(outputs, classes, rejoins or set())
+
+
+class TestScalarDerivation:
+    def test_direct_output(self):
+        s = scope({"qty": QTY})
+        assert derive_scalar(QTY, s) == ColumnRef(MAIN, "qty")
+
+    def test_literal_passthrough(self):
+        s = scope({})
+        assert derive_scalar(Literal(5), s) == Literal(5)
+
+    def test_missing_column_fails(self):
+        assert derive_scalar(PRICE, scope({"qty": QTY})) is None
+
+    def test_whole_expression_output(self):
+        value = NaryOp("*", (QTY, PRICE))
+        s = scope({"value": value})
+        assert derive_scalar(value, s) == ColumnRef(MAIN, "value")
+
+    def test_recursive_derivation(self):
+        s = scope({"qty": QTY, "price": PRICE})
+        expr = BinaryOp("-", QTY, PRICE)
+        derived = derive_scalar(expr, s)
+        assert derived == BinaryOp(
+            "-", ColumnRef(MAIN, "qty"), ColumnRef(MAIN, "price")
+        )
+
+    def test_function_argument_derivation(self):
+        s = scope({"d": ColumnRef("t", "date")})
+        expr = FuncCall("year", (ColumnRef("t", "date"),))
+        assert derive_scalar(expr, s) == FuncCall("year", (ColumnRef(MAIN, "d"),))
+
+    def test_minimum_qcl_subset_cover(self):
+        """Figure 5: amt uses {value, disc}, not {qty, price, disc}."""
+        s = scope(
+            {
+                "qty": QTY,
+                "price": PRICE,
+                "disc": DISC,
+                "value": NaryOp("*", (QTY, PRICE)),
+            }
+        )
+        amt = NaryOp("*", (QTY, PRICE, BinaryOp("-", Literal(1), DISC)))
+        derived = derive_scalar(amt, s)
+        names = {ref.name for ref in derived.column_refs()}
+        assert names == {"value", "disc"}
+
+    def test_subset_cover_with_repeated_factor(self):
+        s = scope({"sq": NaryOp("*", (QTY, QTY))})
+        expr = NaryOp("*", (QTY, QTY, QTY, QTY))
+        derived = derive_scalar(expr, s)
+        assert derived == NaryOp(
+            "*", (ColumnRef(MAIN, "sq"), ColumnRef(MAIN, "sq"))
+        )
+
+    def test_fallback_to_individual_operands(self):
+        s = scope({"qty": QTY, "price": PRICE})
+        expr = NaryOp("*", (QTY, PRICE))
+        derived = derive_scalar(expr, s)
+        assert derived == NaryOp(
+            "*", (ColumnRef(MAIN, "qty"), ColumnRef(MAIN, "price"))
+        )
+
+    def test_equivalence_class_lookup(self):
+        faid = ColumnRef("t", "faid")
+        aid = ColumnRef("a", "aid")
+        classes = EquivalenceClasses()
+        classes.add_equality(faid, aid)
+        s = scope({"faid": faid}, classes=classes)
+        assert derive_scalar(aid, s) == ColumnRef(MAIN, "faid")
+
+    def test_rejoin_columns_pass_through(self):
+        lid = ColumnRef("Loc", "lid")
+        s = scope({"qty": QTY}, rejoins={"Loc"})
+        derived = derive_scalar(BinaryOp("-", lid, QTY), s)
+        assert derived == BinaryOp("-", lid, ColumnRef(MAIN, "qty"))
+
+    def test_aggregate_rejected_by_scalar_derivation(self):
+        s = scope({"qty": QTY})
+        assert derive_scalar(AggCall("sum", QTY), s) is None
+
+
+def agg_scope(aggregates, grouping, nullable=frozenset(), usable=None):
+    scalar = scope(grouping)
+    return AggregateScope(
+        scalar,
+        aggregates,
+        grouping,
+        arg_nullable=lambda e: any(
+            ref.name in nullable for ref in e.column_refs()
+        ),
+        usable_grouping=usable,
+    )
+
+
+class TestAggregateRules:
+    def test_count_star_rule_a(self):
+        s = agg_scope({"cnt": AggCall("count")}, {})
+        recipe = derive_aggregate(AggCall("count"), None, s)
+        assert recipe.rule == "count->sum(cnt)"
+        assert recipe.components[0].func == "sum"
+
+    def test_count_star_via_non_nullable_count(self):
+        s = agg_scope({"c2": AggCall("count", QTY)}, {})
+        recipe = derive_aggregate(AggCall("count"), None, s)
+        assert recipe is not None
+
+    def test_count_star_nullable_count_rejected(self):
+        s = agg_scope({"c2": AggCall("count", DISC)}, {}, nullable={"disc"})
+        assert derive_aggregate(AggCall("count"), None, s) is None
+
+    def test_count_column_rule_b(self):
+        s = agg_scope({"cd": AggCall("count", DISC)}, {}, nullable={"disc"})
+        recipe = derive_aggregate(AggCall("count", DISC), DISC, s)
+        assert recipe is not None
+
+    def test_sum_rule_c(self):
+        s = agg_scope({"sq": AggCall("sum", QTY)}, {})
+        recipe = derive_aggregate(AggCall("sum", QTY), QTY, s)
+        assert recipe.rule == "sum->sum(sum)"
+
+    def test_sum_grouping_times_count(self):
+        s = agg_scope({"cnt": AggCall("count")}, {"year": YEAR})
+        recipe = derive_aggregate(AggCall("sum", YEAR), YEAR, s)
+        assert recipe.rule == "sum->sum(y*cnt)"
+        assert isinstance(recipe.components[0].pre_expr, NaryOp)
+
+    def test_sum_grouping_without_rowcount_fails(self):
+        s = agg_scope({}, {"year": YEAR})
+        assert derive_aggregate(AggCall("sum", YEAR), YEAR, s) is None
+
+    def test_max_rules_d(self):
+        s = agg_scope({"hi": AggCall("max", PRICE)}, {})
+        assert derive_aggregate(AggCall("max", PRICE), PRICE, s).rule == "max->max(max)"
+        s2 = agg_scope({}, {"year": YEAR})
+        assert derive_aggregate(AggCall("max", YEAR), YEAR, s2).rule == "max->max(y)"
+
+    def test_min_rule_e(self):
+        s = agg_scope({"lo": AggCall("min", PRICE)}, {})
+        assert derive_aggregate(AggCall("min", PRICE), PRICE, s) is not None
+
+    def test_count_distinct_rule_f(self):
+        s = agg_scope({}, {"year": YEAR})
+        recipe = derive_aggregate(
+            AggCall("count", YEAR, distinct=True), YEAR, s
+        )
+        assert recipe.components[0].distinct
+
+    def test_count_distinct_non_grouping_fails(self):
+        s = agg_scope({}, {})
+        assert derive_aggregate(AggCall("count", PRICE, distinct=True), PRICE, s) is None
+
+    def test_sum_distinct_rule_g(self):
+        s = agg_scope({}, {"year": YEAR})
+        assert derive_aggregate(AggCall("sum", YEAR, distinct=True), YEAR, s) is not None
+
+    def test_usable_grouping_restriction(self):
+        # Cuboid restriction (5.1): year is a grouping output but not in
+        # the usable cuboid, so rule (f) must not fire.
+        s = agg_scope({}, {"year": YEAR}, usable=set())
+        assert derive_aggregate(AggCall("count", YEAR, distinct=True), YEAR, s) is None
+
+    def test_avg_combination(self):
+        s = agg_scope(
+            {"sq": AggCall("sum", QTY), "cq": AggCall("count", QTY)}, {}
+        )
+        recipe = derive_aggregate(AggCall("avg", QTY), QTY, s)
+        assert recipe.rule == "avg->sum/count"
+        assert len(recipe.components) == 2
+        combined = recipe.combine(
+            [ColumnRef(MAIN, "a"), ColumnRef(MAIN, "b")]
+        )
+        assert isinstance(combined, BinaryOp) and combined.op == "/"
+
+    def test_exact_aggregate_match(self):
+        s = agg_scope({"sq": AggCall("sum", QTY)}, {})
+        assert match_aggregate_exact(AggCall("sum", QTY), QTY, s) == "sq"
+        assert match_aggregate_exact(AggCall("sum", PRICE), PRICE, s) is None
+        assert match_aggregate_exact(AggCall("sum", QTY, distinct=True), QTY, s) is None

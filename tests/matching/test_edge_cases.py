@@ -1,0 +1,243 @@
+"""Regression and edge-case tests for the matcher."""
+
+import datetime
+
+import pytest
+
+from repro.catalog import credit_card_catalog
+from repro.engine import Database
+
+from tests.matching.helpers import (
+    assert_no_rewrite,
+    assert_rewrite_equivalent,
+    match_roots,
+)
+
+
+@pytest.fixture
+def one_row_db():
+    db = Database(credit_card_catalog())
+    d = datetime.date
+    db.load("Loc", [(1, "SJ", "CA", "USA")])
+    db.load("PGroup", [(1, "TV")])
+    db.load("Cust", [(1, "A", "CA")])
+    db.load("Acct", [(10, 1, "gold")])
+    db.load("Trans", [(1, 1, 1, 10, d(1990, 1, 5), 2, 10.0, 0.1)])
+    return db
+
+
+YEARLY = (
+    "select year(date) as year, count(*) as cnt, sum(qty) as sq "
+    "from Trans group by year(date)"
+)
+
+
+class TestEmptyGroupRegression:
+    """COUNT over an empty (grand-total) group must be 0, not NULL."""
+
+    def test_filtered_out_scalar_count(self, one_row_db):
+        result = assert_rewrite_equivalent(
+            one_row_db,
+            "select count(*) as n, sum(qty) as s from Trans "
+            "where year(date) = 1850",
+            YEARLY,
+        )
+        rewritten = one_row_db.execute_graph(result.graph)
+        assert rewritten.rows == [(0, None)]
+
+    def test_filtered_out_scalar_avg(self, one_row_db):
+        result = assert_rewrite_equivalent(
+            one_row_db,
+            "select count(*) as n, avg(qty) as a from Trans "
+            "where year(date) = 1850",
+            YEARLY,
+        )
+        assert one_row_db.execute_graph(result.graph).rows == [(0, None)]
+
+    def test_rollup_grand_total_nonempty(self, one_row_db):
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select year(date) as year, count(*) as cnt from Trans "
+            "group by rollup(year(date))",
+            "select faid, year(date) as year, count(*) as cnt from Trans "
+            "group by faid, year(date)",
+        )
+
+
+class TestEmptyAndDegenerateInputs:
+    def test_empty_base_table(self):
+        db = Database(credit_card_catalog())
+        db.create_summary_table("S", YEARLY)
+        result = assert_rewrite_equivalent(
+            db,
+            "select count(*) as n from Trans",
+            "select faid, count(*) as c from Trans group by faid",
+            name="S2",
+        )
+        assert db.execute_graph(result.graph).rows == [(0,)]
+
+    def test_query_identical_to_ast(self, one_row_db):
+        result = assert_rewrite_equivalent(one_row_db, YEARLY, YEARLY)
+        assert result is not None
+
+    def test_constant_output_column(self, one_row_db):
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, 42 as k, count(*) as n from Trans group by faid",
+            "select faid, count(*) as cnt from Trans group by faid",
+        )
+
+    def test_predicate_on_constant(self, one_row_db):
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, count(*) as n from Trans where 1 = 1 group by faid",
+            "select faid, count(*) as cnt from Trans group by faid",
+        )
+
+
+class TestMatcherRobustness:
+    def test_ast_over_different_fact_table_ignored(self, one_row_db):
+        assert_no_rewrite(
+            one_row_db,
+            "select faid, count(*) as n from Trans group by faid",
+            "select cid, count(*) as n from Cust group by cid",
+        )
+
+    def test_self_join_query_conservative(self, one_row_db):
+        # Self-joins violate the pairing assumptions (footnote 3); the
+        # matcher may refuse or rewrite, but must never be wrong.
+        query = (
+            "select t1.faid, count(*) as n from Trans t1, Trans t2 "
+            "where t1.faid = t2.faid group by t1.faid"
+        )
+        one_row_db.create_summary_table(
+            "S", "select faid, count(*) as cnt from Trans group by faid"
+        )
+        result = one_row_db.rewrite(query)
+        if result is not None:
+            from repro.engine.table import tables_equal
+
+            plain = one_row_db.execute(query, use_summary_tables=False)
+            assert tables_equal(plain, one_row_db.execute_graph(result.graph))
+
+    def test_reused_ast_after_data_growth_is_stale_by_design(self, one_row_db):
+        """Summary tables are snapshots; without maintenance the rewrite
+        sees stale data (documented behaviour, exercised here)."""
+        one_row_db.create_summary_table(
+            "S", "select faid, count(*) as cnt from Trans group by faid"
+        )
+        one_row_db.load(
+            "Trans",
+            [(2, 1, 1, 10, datetime.date(1991, 2, 2), 1, 5.0, 0.0)],
+        )
+        stale = one_row_db.execute(
+            "select faid, count(*) as n from Trans group by faid"
+        )
+        assert stale.rows == [(10, 1)]  # stale snapshot
+        one_row_db.refresh_summary_tables()
+        fresh = one_row_db.execute(
+            "select faid, count(*) as n from Trans group by faid"
+        )
+        assert fresh.rows == [(10, 2)]
+
+    def test_multiple_havings_and_between(self, one_row_db):
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, count(*) as n from Trans "
+            "where qty between 1 and 5 group by faid "
+            "having count(*) > 0 and count(*) < 100",
+            "select faid, qty, count(*) as cnt from Trans group by faid, qty",
+        )
+
+    def test_in_list_predicate_compensated(self, one_row_db):
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, count(*) as n from Trans "
+            "where flid in (1, 2) group by faid",
+            "select faid, flid, count(*) as cnt from Trans group by faid, flid",
+        )
+
+
+class TestHavingSubsumption:
+    """HAVING on the AST is fine when the grouping matches exactly and the
+    query's HAVING is stricter (footnote 4 at the top select level)."""
+
+    def test_stricter_query_having_matches(self, one_row_db):
+        result = assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, count(*) as n from Trans group by faid "
+            "having count(*) > 5",
+            "select faid, count(*) as cnt from Trans group by faid "
+            "having count(*) > 2",
+        )
+        comp = result.applied[0].match.chain[0]
+        assert len(comp.predicates) == 1  # the stricter bound re-applied
+
+    def test_identical_having_is_exact(self, one_row_db):
+        result = assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, count(*) as n from Trans group by faid "
+            "having count(*) > 2",
+            "select faid, count(*) as cnt from Trans group by faid "
+            "having count(*) > 2",
+        )
+        assert result.applied[0].match.exact
+
+    def test_weaker_query_having_rejected(self, one_row_db):
+        assert_no_rewrite(
+            one_row_db,
+            "select faid, count(*) as n from Trans group by faid "
+            "having count(*) > 1",
+            "select faid, count(*) as cnt from Trans group by faid "
+            "having count(*) > 5",
+        )
+
+    def test_having_with_different_grouping_rejected(self, one_row_db):
+        # The Table 1 case again, but with the roles spelled out here for
+        # completeness: regrouping across a HAVING is never sound.
+        assert_no_rewrite(
+            one_row_db,
+            "select count(*) as n from Trans",
+            "select faid, count(*) as cnt from Trans group by faid "
+            "having count(*) > 0",
+        )
+
+
+class TestFunctionDerivationLimits:
+    """Function matching is syntactic (the paper calls expression
+    matching orthogonal): quarter(date) is mathematically a function of
+    month(date), but no algebraic reasoning is attempted."""
+
+    def test_quarter_not_derived_from_month(self, one_row_db):
+        assert_no_rewrite(
+            one_row_db,
+            "select quarter(date) as q, count(*) as n from Trans "
+            "group by quarter(date)",
+            "select month(date) as m, count(*) as cnt from Trans "
+            "group by month(date)",
+        )
+
+    def test_quarter_derived_when_ast_groups_by_it(self, one_row_db):
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select quarter(date) as q, count(*) as n from Trans "
+            "group by quarter(date)",
+            "select quarter(date) as q, faid, count(*) as cnt from Trans "
+            "group by quarter(date), faid",
+        )
+
+    def test_commuted_aggregate_argument_matches(self, one_row_db):
+        # price * qty vs qty * price: normalization handles commutativity.
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, sum(price * qty) as s from Trans group by faid",
+            "select faid, sum(qty * price) as total from Trans group by faid",
+        )
+
+    def test_case_expression_output_derived(self, one_row_db):
+        assert_rewrite_equivalent(
+            one_row_db,
+            "select faid, case when faid > 15 then 'hi' else 'lo' end as band, "
+            "count(*) as n from Trans group by faid",
+            "select faid, count(*) as cnt from Trans group by faid",
+        )

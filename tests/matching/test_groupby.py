@@ -1,0 +1,240 @@
+"""GROUP-BY patterns: 4.1.2 (with the full rule list), 4.2.1, 4.2.2."""
+
+import pytest
+
+from repro.expr import AggCall
+from repro.matching.framework import chain_has_grouping
+from repro.qgm.boxes import GroupByBox
+
+from tests.matching.helpers import (
+    assert_no_rewrite,
+    assert_rewrite_equivalent,
+    match_roots,
+)
+
+
+MONTHLY = """
+select faid, year(date) as year, month(date) as month,
+       count(*) as cnt, count(disc) as dcnt, sum(qty) as sqty,
+       min(price) as lo, max(price) as hi
+from Trans
+group by faid, year(date), month(date)
+"""
+
+
+class TestExactGrouping:
+    def test_identical_grouping_exact_match(self):
+        ast = "select faid, count(*) as c from Trans group by faid"
+        match = match_roots(
+            "select faid, count(*) as n from Trans group by faid", ast
+        )
+        assert match is not None and match.exact
+        assert match.column_map == {"faid": "faid", "n": "c"}
+
+    def test_matching_aggregates_required_when_sets_equal(self, tiny_db):
+        # Exact grouping but the AST lacks MIN: fall back to regrouping
+        # derivation (min is not derivable without a min output) -> fail.
+        assert_no_rewrite(
+            tiny_db,
+            "select faid, min(price) as lo from Trans group by faid",
+            "select faid, count(*) as c from Trans group by faid",
+        )
+
+
+class TestAggregateRules:
+    """Section 4.1.2's derivation rules (a)-(g) under regrouping."""
+
+    def check(self, tiny_db, select_list, expect=True):
+        query = f"select faid, {select_list} from Trans group by faid"
+        if expect:
+            return assert_rewrite_equivalent(tiny_db, query, MONTHLY)
+        assert_no_rewrite(tiny_db, query, MONTHLY)
+        return None
+
+    def test_rule_a_count_star(self, tiny_db):
+        self.check(tiny_db, "count(*) as n")
+
+    def test_rule_b_count_column(self, tiny_db):
+        self.check(tiny_db, "count(disc) as n")
+
+    def test_rule_b_count_nonnullable_uses_rowcount(self, tiny_db):
+        # count(qty): qty non-nullable, AST has no count(qty) output but
+        # count(*) works.
+        self.check(tiny_db, "count(qty) as n")
+
+    def test_rule_c_sum(self, tiny_db):
+        self.check(tiny_db, "sum(qty) as s")
+
+    def test_rule_c_sum_of_grouping_column_times_count(self, tiny_db):
+        # sum(year): year is a grouping column of the AST -> year * cnt.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select faid, sum(year(date)) as s from Trans group by faid",
+            MONTHLY,
+        )
+        chain = result.applied[0].match.chain
+        bottom = chain[0]
+        pre = bottom.output("s").expr
+        names = {ref.name for ref in pre.column_refs()}
+        assert names == {"year", "cnt"}
+
+    def test_rule_d_max(self, tiny_db):
+        self.check(tiny_db, "max(price) as m")
+
+    def test_rule_d_max_of_grouping_column(self, tiny_db):
+        self.check(tiny_db, "max(month(date)) as m")
+
+    def test_rule_e_min(self, tiny_db):
+        self.check(tiny_db, "min(price) as m")
+
+    def test_rule_f_count_distinct_grouping_column(self, tiny_db):
+        self.check(tiny_db, "count(distinct month(date)) as m")
+
+    def test_rule_f_count_distinct_non_grouping_rejected(self, tiny_db):
+        self.check(tiny_db, "count(distinct price) as m", expect=False)
+
+    def test_rule_g_sum_distinct_grouping_column(self, tiny_db):
+        self.check(tiny_db, "sum(distinct month(date)) as m")
+
+    def test_avg_via_sum_and_count(self, tiny_db):
+        result = self.check(tiny_db, "avg(qty) as a")
+        chain = result.applied[0].match.chain
+        # avg needs a combining SELECT above the regrouping GROUP-BY.
+        gb_index = next(
+            i for i, box in enumerate(chain) if isinstance(box, GroupByBox)
+        )
+        assert len(chain) > gb_index + 1
+
+    def test_avg_without_count_rejected(self, tiny_db):
+        assert_no_rewrite(
+            tiny_db,
+            "select faid, avg(price) as a from Trans group by faid",
+            "select faid, year(date) as y, sum(qty) as s from Trans "
+            "group by faid, year(date)",
+        )
+
+    def test_underivable_sum_rejected(self, tiny_db):
+        self.check(tiny_db, "sum(price) as s", expect=False)
+
+
+class TestPattern421:
+    """GROUP-BY with SELECT-only child compensation."""
+
+    def test_predicate_pullup_through_grouping(self, tiny_db):
+        # Figure 7's shape: the month predicate survives because month is
+        # an AST grouping column.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select year(date) % 100 as y2, sum(qty) as s from Trans "
+            "where month(date) >= 6 group by year(date) % 100",
+            "select year(date) as year, month(date) as month, sum(qty) as s "
+            "from Trans group by year(date), month(date)",
+        )
+
+    def test_pullup_fails_for_non_grouping_predicate(self, tiny_db):
+        # price is not a grouping column of the AST: pull-up impossible.
+        assert_no_rewrite(
+            tiny_db,
+            "select year(date) as y, count(*) as c from Trans "
+            "where price > 100 group by year(date)",
+            "select year(date) as year, count(*) as cnt from Trans "
+            "group by year(date)",
+        )
+
+    def test_rejoin_one_to_n_avoids_regrouping(self):
+        match = match_roots(
+            "select lid, year(date) as year, count(*) as cnt "
+            "from Trans, Loc where flid = lid and country = 'USA' "
+            "group by lid, year(date)",
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans group by flid, year(date)",
+        )
+        assert match is not None
+        assert not chain_has_grouping(match.chain)
+
+    def test_rejoin_on_non_key_requires_regrouping(self, tiny_db):
+        # Joining Loc on state (not a key) can duplicate rows: the match
+        # must regroup to stay correct.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select state, year(date) as year, count(*) as cnt "
+            "from Trans, Loc where flid = lid "
+            "group by state, year(date)",
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans group by flid, year(date)",
+        )
+        match = result.applied[0].match
+        assert chain_has_grouping(match.chain)
+
+    def test_aggregation_over_rejoin_column_rejected(self, tiny_db):
+        assert_no_rewrite(
+            tiny_db,
+            "select year(date) as year, count(lid) as cnt "
+            "from Trans, Loc where flid = lid group by year(date)",
+            "select flid, year(date) as year, count(*) as cnt "
+            "from Trans group by flid, year(date)",
+        )
+
+
+class TestPattern422:
+    """GROUP-BY child compensation (the histogram query, Figure 10)."""
+
+    AST8 = """
+    select year, tcnt, count(*) as mcnt
+    from (select year(date) as year, month(date) as month, count(*) as tcnt
+          from Trans group by year(date), month(date))
+    group by year, tcnt
+    """
+    Q8 = """
+    select tcnt, count(*) as ycnt
+    from (select year(date) as year, count(*) as tcnt
+          from Trans group by year(date))
+    group by tcnt
+    """
+
+    def test_histogram_match(self, tiny_db):
+        result = assert_rewrite_equivalent(tiny_db, self.Q8, self.AST8)
+        match = result.applied[0].match
+        assert match.pattern in ("4.2.2", "4.2.4")
+        # The chain must regroup twice: months->years, then the histogram.
+        groupbys = [b for b in match.chain if isinstance(b, GroupByBox)]
+        assert len(groupbys) == 2
+
+    def test_inner_blocks_also_match(self, tiny_db):
+        # A query needing only the inner aggregation can still use AST8?
+        # No: AST8's root histogram has lost the per-year counts as rows.
+        assert_no_rewrite(
+            tiny_db,
+            "select year(date) as year, count(*) as c from Trans "
+            "group by year(date)",
+            self.AST8,
+        )
+
+
+class TestGroupingColumnDerivation:
+    def test_grouping_expression_of_grouping_column(self, tiny_db):
+        # year % 100 derives from the AST's year grouping column.
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select year(date) % 100 as y2, count(*) as c from Trans "
+            "group by year(date) % 100",
+            "select year(date) as year, count(*) as cnt from Trans "
+            "group by year(date)",
+        )
+
+    def test_underivable_grouping_column_rejected(self, tiny_db):
+        # Grouping by month cannot be derived from yearly grouping.
+        assert_no_rewrite(
+            tiny_db,
+            "select month(date) as m, count(*) as c from Trans "
+            "group by month(date)",
+            "select year(date) as year, count(*) as cnt from Trans "
+            "group by year(date)",
+        )
+
+    def test_scalar_aggregate_query_over_grouped_ast(self, tiny_db):
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select count(*) as n, sum(qty) as s from Trans",
+            "select faid, count(*) as cnt, sum(qty) as sq from Trans group by faid",
+        )

@@ -1,0 +1,82 @@
+"""Navigator and match-function dispatch."""
+
+from repro.catalog import credit_card_catalog
+from repro.matching import MatchContext, match_boxes, match_graphs, root_matches
+from repro.qgm import build_graph
+
+CATALOG = credit_card_catalog()
+
+
+def graphs(query_sql, ast_sql):
+    return (
+        build_graph(query_sql, CATALOG, "Q"),
+        build_graph(ast_sql, CATALOG, "A"),
+    )
+
+
+class TestBaseTableMatching:
+    def test_same_table_matches_exactly(self):
+        query, ast = graphs("select tid from Trans", "select tid from Trans")
+        q_leaf = query.root.children()[0]
+        a_leaf = ast.root.children()[0]
+        match = match_boxes(q_leaf, a_leaf, MatchContext(CATALOG))
+        assert match is not None and match.exact
+        assert match.column_map["tid"] == "tid"
+
+    def test_different_tables_do_not_match(self):
+        query, ast = graphs("select tid from Trans", "select lid from Loc")
+        match = match_boxes(
+            query.root.children()[0], ast.root.children()[0], MatchContext(CATALOG)
+        )
+        assert match is None
+
+    def test_cross_type_boxes_do_not_match(self):
+        # Condition 2: a SELECT never matches a GROUP-BY.
+        query, ast = graphs(
+            "select tid from Trans",
+            "select faid, count(*) as c from Trans group by faid",
+        )
+        groupby = ast.root.children()[0]
+        match = match_boxes(query.root, groupby, MatchContext(CATALOG))
+        assert match is None
+
+
+class TestNavigation:
+    def test_bottom_up_matches_recorded(self):
+        query, ast = graphs(
+            "select faid, count(*) as c from Trans group by faid",
+            "select faid, count(*) as c from Trans group by faid",
+        )
+        ctx = match_graphs(query, ast)
+        # base tables + lower selects + group-bys + top selects all match
+        assert len(ctx.results) >= 4
+
+    def test_no_common_leaf_no_matches(self):
+        query, ast = graphs(
+            "select lid from Loc",
+            "select pgid, count(*) as c from PGroup group by pgid",
+        )
+        ctx = match_graphs(query, ast)
+        assert not ctx.results
+
+    def test_root_matches_prefers_higher_boxes(self):
+        query, ast = graphs(
+            "select faid, count(*) as c from Trans group by faid "
+            "having count(*) > 1",
+            "select faid, count(*) as c from Trans group by faid",
+        )
+        ctx = match_graphs(query, ast)
+        ordered = root_matches(query, ast, ctx)
+        assert ordered
+        assert ordered[0].subsumee is query.root
+
+    def test_match_context_fresh_names_unique(self):
+        ctx = MatchContext(CATALOG)
+        names = {ctx.fresh_name("Sel") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_describe_mentions_pattern(self):
+        query, ast = graphs("select tid from Trans", "select tid from Trans")
+        ctx = match_graphs(query, ast)
+        described = [m.describe() for m in ctx.results.values()]
+        assert any("base-table" in text for text in described)

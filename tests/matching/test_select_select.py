@@ -1,0 +1,243 @@
+"""SELECT/SELECT patterns: 4.1.1 and 4.2.3 conditions one by one."""
+
+from repro.expr import ColumnRef
+from repro.matching.framework import MAIN
+
+from tests.matching.helpers import (
+    assert_no_rewrite,
+    assert_rewrite_equivalent,
+    match_roots,
+)
+
+AST2 = """
+select tid, faid, fpgid, status, country, price, qty, disc, qty * price as value
+from Trans, Loc, Acct
+where lid = flid and faid = aid and disc > 0.1
+"""
+
+Q2 = """
+select aid, status, qty * price * (1 - disc) as amt
+from Trans, PGroup, Acct
+where pgid = fpgid and faid = aid and price > 100 and disc > 0.1
+      and pgname = 'TV'
+"""
+
+
+class TestFigure5:
+    def test_q2_matches_ast2(self):
+        match = match_roots(Q2, AST2)
+        assert match is not None and match.pattern == "4.1.1"
+
+    def test_rejoin_child_present(self, tiny_db):
+        result = assert_rewrite_equivalent(tiny_db, Q2, AST2)
+        comp = result.applied[0].match.chain[0]
+        rejoins = [q.name for q in comp.quantifiers() if q.name != MAIN]
+        assert rejoins == ["PGroup"]
+
+    def test_compensation_predicates_are_the_unmatched_ones(self, tiny_db):
+        result = assert_rewrite_equivalent(tiny_db, Q2, AST2)
+        comp = result.applied[0].match.chain[0]
+        rendered = {repr(p) for p in comp.predicates}
+        # matched predicates (faid=aid, disc>0.1) are NOT re-applied
+        assert len(comp.predicates) == 3
+        assert any("price" in text for text in rendered)
+        assert any("pgname" in text for text in rendered)
+        assert any("pgid" in text for text in rendered)
+
+    def test_column_equivalence_derives_aid_from_faid(self, tiny_db):
+        result = assert_rewrite_equivalent(tiny_db, Q2, AST2)
+        comp = result.applied[0].match.chain[0]
+        assert comp.output("aid").expr == ColumnRef(MAIN, "faid")
+
+    def test_minimum_qcl_derivation_uses_value(self, tiny_db):
+        result = assert_rewrite_equivalent(tiny_db, Q2, AST2)
+        comp = result.applied[0].match.chain[0]
+        amt_refs = {ref.name for ref in comp.output("amt").expr.column_refs()}
+        assert amt_refs == {"value", "disc"}
+
+
+class TestExtraChildren:
+    def test_lossless_extra_child_accepted(self):
+        # Loc is an extra child of the AST; RI makes the join lossless.
+        assert match_roots(
+            "select tid from Trans where disc > 0.1",
+            "select tid, country from Trans, Loc where lid = flid and disc > 0.1",
+        ) is not None
+
+    def test_filtered_extra_child_rejected(self):
+        # The AST filters the extra child -> join is lossy -> no match.
+        assert match_roots(
+            "select tid from Trans where disc > 0.1",
+            "select tid, country from Trans, Loc "
+            "where lid = flid and disc > 0.1 and country = 'USA'",
+        ) is None
+
+    def test_extra_child_without_ri_rejected(self):
+        # Joining on a non-key column has no RI proof.
+        assert match_roots(
+            "select tid from Trans",
+            "select tid, state from Trans, Loc where state = 'CA'",
+        ) is None
+
+    def test_snowflake_extra_chain_accepted(self):
+        # Acct -> Cust: two lossless hops.
+        assert match_roots(
+            "select tid from Trans",
+            "select tid, cname from Trans, Acct, Cust "
+            "where faid = aid and acid = cid",
+        ) is not None
+
+
+class TestPredicateConditions:
+    def test_subsumer_extra_filter_rejected(self):
+        # AST restricts qty; the query needs all rows.
+        assert match_roots(
+            "select tid from Trans",
+            "select tid from Trans where qty > 1",
+        ) is None
+
+    def test_predicate_subsumption_footnote_4(self):
+        # AST keeps price > 10; query wants price > 20: stricter, so the
+        # query predicate is re-applied in compensation.
+        match = match_roots(
+            "select tid from Trans where price > 20",
+            "select tid, price from Trans where price > 10",
+        )
+        assert match is not None
+        comp = match.chain[0]
+        assert len(comp.predicates) == 1
+
+    def test_subsumed_direction_rejected(self):
+        # AST keeps price > 20 only; query wants price > 10: lossy.
+        assert match_roots(
+            "select tid from Trans where price > 10",
+            "select tid, price from Trans where price > 20",
+        ) is None
+
+    def test_underivable_predicate_rejected(self):
+        # Query filters on qty, which the AST does not expose.
+        assert match_roots(
+            "select tid from Trans where qty > 2",
+            "select tid, price from Trans",
+        ) is None
+
+    def test_underivable_output_rejected(self):
+        assert match_roots(
+            "select tid, qty from Trans",
+            "select tid, price from Trans",
+        ) is None
+
+    def test_exact_match_with_renamed_columns(self):
+        match = match_roots(
+            "select tid as t, price as p from Trans where disc > 0.1",
+            "select tid, price from Trans where disc > 0.1",
+        )
+        assert match is not None and match.exact
+        assert match.column_map == {"t": "tid", "p": "price"}
+
+
+class TestDistinctHandling:
+    def test_distinct_ast_plain_query_rejected(self):
+        assert match_roots(
+            "select faid from Trans",
+            "select distinct faid from Trans",
+        ) is None
+
+    def test_distinct_query_plain_ast_compensated(self, tiny_db):
+        # DISTINCT binds as a GROUP BY; the plain AST answers the inner
+        # select and the dedup happens in the surviving GROUP-BY.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select distinct faid from Trans",
+            "select faid, qty from Trans",
+        )
+
+    def test_distinct_both_exact(self):
+        match = match_roots(
+            "select distinct faid from Trans",
+            "select distinct faid from Trans",
+        )
+        assert match is not None and match.exact
+
+    def test_distinct_query_against_grouped_ast(self, tiny_db):
+        """Footnote 2's cross-type case: SELECT DISTINCT answered from a
+        GROUP-BY summary table."""
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select distinct faid from Trans",
+            "select faid, flid, count(*) as cnt from Trans group by faid, flid",
+        )
+        from repro.qgm.boxes import BaseTableBox
+
+        scans = {
+            box.table_name
+            for box in result.graph.boxes()
+            if isinstance(box, BaseTableBox)
+        }
+        assert scans == {"TestAst"}
+
+
+class TestChildCompensationPullup:
+    """Pattern 4.2.3: the children match with SELECT-only compensation."""
+
+    Q = """
+    select y, n from
+      (select year(date) as y, tid as n from Trans where qty > 2) as d
+    where n < 100
+    """
+    AST = """
+    select y, n, qty from
+      (select year(date) as y, tid as n, qty from Trans) as d
+    """
+
+    def test_child_predicates_pulled_up(self, tiny_db):
+        result = assert_rewrite_equivalent(tiny_db, self.Q, self.AST)
+        assert result.applied[0].match.pattern == "4.2.3"
+
+    def test_no_match_when_pullup_impossible(self):
+        # The inner predicate references a column the AST's inner block
+        # projects away.
+        assert match_roots(
+            "select y from (select year(date) as y from Trans where qty > 2) as d",
+            "select y from (select year(date) as y from Trans) as d",
+        ) is None
+
+
+class TestSelfJoinBacktracking:
+    """Footnote 3: self-joins make the child pairing ambiguous; the
+    matcher backtracks over injective assignments."""
+
+    AST = """
+    select a.tid as atid, b.tid as btid, a.price as aprice,
+           b.price as bprice, a.qty as aqty, b.qty as bqty
+    from Trans a, Trans b
+    where a.tid = b.tid and a.price > 100
+    """
+
+    def test_greedy_assignment_would_fail(self, tiny_db):
+        # Only the (x -> b, y -> a) assignment satisfies condition 2:
+        # the AST filters child `a`, and the query filters its *second*
+        # quantifier.
+        result = assert_rewrite_equivalent(
+            tiny_db,
+            "select x.qty as q from Trans x, Trans y "
+            "where x.tid = y.tid and y.price > 100",
+            self.AST,
+        )
+        assert result.applied[0].match.pattern == "4.1.1"
+
+    def test_straight_assignment_still_works(self, tiny_db):
+        assert_rewrite_equivalent(
+            tiny_db,
+            "select x.qty as q from Trans x, Trans y "
+            "where x.tid = y.tid and x.price > 100",
+            self.AST,
+        )
+
+    def test_unsatisfiable_self_join_rejected(self, tiny_db):
+        assert_no_rewrite(
+            tiny_db,
+            "select x.qty as q from Trans x, Trans y "
+            "where x.tid = y.tid and x.disc > 0.5",
+            self.AST,
+        )

@@ -1,0 +1,60 @@
+"""QGM rendering (the paper's Figure 3)."""
+
+from repro.catalog import credit_card_catalog
+from repro.qgm import build_graph
+from repro.qgm.display import render_graph
+
+Q1 = """
+select faid, state, year(date) as year, count(*) as cnt
+from Trans, Loc
+where flid = lid and country = 'USA'
+group by faid, state, year(date)
+having count(*) > 100
+"""
+
+
+def test_figure_3_structure():
+    """The rendered graph shows the paper's Figure 3: a top SELECT with
+    the HAVING predicate, a GROUP-BY over (faid, state, year), and a
+    bottom SELECT joining Trans and Loc."""
+    graph = build_graph(Q1, credit_card_catalog())
+    text = render_graph(graph)
+    lines = text.splitlines()
+    assert lines[0].startswith("SELECT ")  # top box first
+    assert any("cnt > 100" in line for line in lines)  # HAVING predicate
+    assert any("group by: faid, state, year" in line for line in lines)
+    assert any("Trans.flid = Loc.lid" in line for line in lines)
+    assert any("country = 'USA'" in line for line in lines)
+    assert any("[Trans]" in line for line in lines)
+    assert any("[Loc]" in line for line in lines)
+    # Indentation increases from root to leaves.
+    trans_line = next(line for line in lines if "[Trans]" in line)
+    assert trans_line.startswith("      ")
+
+
+def test_grouping_sets_shown():
+    graph = build_graph(
+        "select flid, faid, count(*) as cnt from Trans "
+        "group by grouping sets ((flid, faid), (flid))",
+        credit_card_catalog(),
+    )
+    text = render_graph(graph)
+    assert "grouping sets: (flid, faid), (flid)" in text
+
+
+def test_shared_boxes_shown_once():
+    graph = build_graph("select faid from Trans", credit_card_catalog())
+    # Point two quantifiers at the same leaf to simulate a DAG.
+    leaf = graph.root.children()[0]
+    graph.root.add_quantifier("again", leaf)
+    text = render_graph(graph)
+    assert text.count("shared, shown above") == 1
+
+
+def test_render_subsumer_ref():
+    from repro.matching.framework import SubsumerRef
+
+    graph = build_graph("select faid from Trans", credit_card_catalog())
+    placeholder = SubsumerRef(graph.root)
+    text = render_graph(placeholder)
+    assert "SUBSUMER" in text and "faid" in text

@@ -1,0 +1,158 @@
+"""QGM → SQL rendering and round-trips."""
+
+import pytest
+
+from repro.catalog import credit_card_catalog
+from repro.engine.table import tables_equal
+from repro.qgm import build_graph
+from repro.qgm.unparse import render_expr, to_sql
+from repro.sql import parse_expression
+
+
+CATALOG = credit_card_catalog()
+
+ROUND_TRIP_QUERIES = [
+    "select faid, qty from Trans where qty > 1",
+    "select distinct faid from Trans",
+    "select faid, state, year(date) as year, count(*) as cnt "
+    "from Trans, Loc where flid = lid and country = 'USA' "
+    "group by faid, state, year(date) having count(*) > 1",
+    "select year(date) % 100 as y2, sum(qty * price) as v "
+    "from Trans where month(date) >= 6 group by year(date) % 100",
+    "select flid, year(date) as year, count(*) as cnt from Trans "
+    "group by grouping sets ((flid, year(date)), (year(date)), ())",
+    "select tcnt, count(*) as ycnt from "
+    "(select year(date) as y, count(*) as tcnt from Trans group by year(date))"
+    " group by tcnt",
+    "select lid, (select count(*) from Trans) as n from Loc",
+    "select count(*) as n from Trans",
+    "select flid, count(*) as cnt, (select count(*) from Trans) as tot "
+    "from Trans group by flid having count(*) > 1",
+    "select faid, qty from Trans order by qty desc, faid",
+    "select aid, qty * price * (1 - disc) as amt from Trans, Acct "
+    "where faid = aid and not (qty > 3 or disc in (0.0, 0.1))",
+]
+
+
+class TestExpressionRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - b - c",
+            "a - (b - c)",
+            "a / b / c",
+            "-a + b",
+            "not (a > 1 and b < 2)",
+            "a in (1, 2, 3)",
+            "a not in (1)",
+            "a is not null",
+            "case when a > 0 then 'p' else 'n' end",
+            "year(d) % 100",
+            "count(distinct x)",
+            "sum(a * (1 - b))",
+            "'it''s'",
+            "date '1991-06-15'",
+            "a >= 1 and (b <= 2 or c <> 3)",
+        ],
+    )
+    def test_expression_round_trip(self, text):
+        expr = parse_expression(text)
+        rendered = render_expr(expr)
+        assert parse_expression(rendered) == expr
+
+    def test_precedence_parentheses_minimal(self):
+        expr = parse_expression("a + b * c")
+        assert "(" not in render_expr(expr)
+
+    def test_subtraction_right_operand_parenthesized(self):
+        expr = parse_expression("a - (b - c)")
+        assert render_expr(expr) == "a - (b - c)"
+
+
+def _tiny_rows(db):
+    import datetime
+
+    d = datetime.date
+    db.load("Loc", [(1, "SJ", "CA", "USA"), (2, "P", "X", "France")])
+    db.load("PGroup", [(1, "TV")])
+    db.load("Cust", [(1, "A", "CA")])
+    db.load("Acct", [(10, 1, "gold")])
+    db.load(
+        "Trans",
+        [
+            (1, 1, 1, 10, d(1990, 1, 5), 2, 10.0, 0.1),
+            (2, 1, 2, 10, d(1990, 7, 5), 1, 20.0, 0.0),
+            (3, 1, 1, 10, d(1991, 3, 5), 3, 30.0, 0.2),
+        ],
+    )
+
+
+class TestStatementRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_sql_round_trips_semantically(self, sql):
+        from repro.engine import Database
+
+        db = Database(credit_card_catalog())
+        _tiny_rows(db)
+        graph = build_graph(sql, db.catalog)
+        rendered = to_sql(graph)
+        original = db.execute(sql, use_summary_tables=False)
+        reparsed = db.execute(rendered, use_summary_tables=False)
+        assert tables_equal(original, reparsed), rendered
+
+    def test_order_by_rendered(self):
+        graph = build_graph("select faid, qty from Trans order by qty desc", CATALOG)
+        assert to_sql(graph).endswith("ORDER BY qty DESC")
+
+    def test_sandwich_collapses_to_single_block(self):
+        graph = build_graph(
+            "select faid, count(*) as cnt from Trans group by faid", CATALOG
+        )
+        rendered = to_sql(graph)
+        assert rendered.count("SELECT") == 1
+        assert "GROUP BY" in rendered
+
+
+class TestPrettyFormatting:
+    def test_breaks_at_clause_keywords(self):
+        graph = build_graph(
+            "select faid, count(*) as cnt from Trans "
+            "where qty > 1 group by faid having count(*) > 2 "
+            "order by cnt desc limit 5",
+            CATALOG,
+        )
+        pretty = to_sql(graph, pretty=True)
+        lines = pretty.splitlines()
+        assert lines[0].startswith("SELECT")
+        starts = [line.split()[0] for line in lines[1:]]
+        assert starts == ["FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT"]
+
+    def test_pretty_still_parses(self):
+        from repro.sql import parse
+
+        graph = build_graph(
+            "select y, n from (select year(date) as y, count(*) as n "
+            "from Trans group by year(date)) as d where n > 1",
+            CATALOG,
+        )
+        parse(to_sql(graph, pretty=True))
+
+    def test_nested_from_not_broken(self):
+        graph = build_graph(
+            "select y from (select year(date) as y from Trans where qty > 1) as d",
+            CATALOG,
+        )
+        pretty = to_sql(graph, pretty=True)
+        # The inner WHERE stays inside its parentheses (depth > 0).
+        first_line = pretty.splitlines()[0]
+        assert first_line.startswith("SELECT")
+        assert "FROM" not in first_line
+
+    def test_string_with_keyword_untouched(self):
+        from repro.qgm.unparse import format_sql
+
+        sql = "SELECT 'WHERE ORDER BY' AS s FROM T"
+        formatted = format_sql(sql)
+        assert "'WHERE ORDER BY'" in formatted.splitlines()[0]

@@ -1,0 +1,58 @@
+"""Cost-based accept/reject (related problem (b))."""
+
+from repro.rewrite.planner import CostEstimate, CostPlanner
+from repro.rewrite.rewriter import rewrite_query
+
+
+AST = "select faid, flid, count(*) as cnt from Trans group by faid, flid"
+QUERY = "select faid, count(*) as n from Trans group by faid"
+
+
+class TestCostEstimate:
+    def test_speedup(self):
+        assert CostEstimate(100, 10).speedup == 10.0
+        assert CostEstimate(100, 0).speedup == float("inf")
+
+
+class TestPlanner:
+    def test_accepts_profitable_rewrite(self, tiny_db):
+        tiny_db.create_summary_table("S1", AST)
+        planner = CostPlanner(tiny_db, min_speedup=1.0)
+        graph = tiny_db.bind(QUERY)
+        result = rewrite_query(
+            graph, tiny_db.enabled_summary_tables(), accept=planner.accept
+        )
+        assert result is not None
+        assert planner.decisions and planner.decisions[0][2] is True
+
+    def test_rejects_when_threshold_too_high(self, tiny_db):
+        tiny_db.create_summary_table("S1", AST)
+        planner = CostPlanner(tiny_db, min_speedup=1e9)
+        graph = tiny_db.bind(QUERY)
+        result = rewrite_query(
+            graph, tiny_db.enabled_summary_tables(), accept=planner.accept
+        )
+        assert result is None
+        assert planner.decisions[0][2] is False
+
+    def test_estimate_counts_rejoin_rows(self, tiny_db):
+        tiny_db.create_summary_table(
+            "S1",
+            "select faid, flid, year(date) as year, count(*) as cnt "
+            "from Trans group by faid, flid, year(date)",
+        )
+        planner = CostPlanner(tiny_db)
+        graph = tiny_db.bind(
+            "select faid, state, count(*) as n from Trans, Loc "
+            "where flid = lid group by faid, state"
+        )
+        result = rewrite_query(
+            graph, tiny_db.enabled_summary_tables(), accept=planner.accept
+        )
+        assert result is not None
+        _, estimate, _ = planner.decisions[0]
+        # replaced side includes Trans (6) + Loc (3); rewritten side
+        # includes the AST rows + the rejoined Loc rows.
+        assert estimate.replaced_rows == 9
+        summary = tiny_db.summary_tables["s1"]
+        assert estimate.rewritten_rows == summary.row_count + 3

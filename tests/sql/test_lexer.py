@@ -1,0 +1,71 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import tokenize
+from repro.sql.lexer import parse_date_literal
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SeLeCt FROM") == [("keyword", "select"), ("keyword", "from")]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Trans") == [("ident", "Trans")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 0.1 1e3 2E-2") == [
+            ("number", 1),
+            ("number", 2.5),
+            ("number", 0.1),
+            ("number", 1000.0),
+            ("number", 0.02),
+        ]
+
+    def test_leading_dot_number(self):
+        assert kinds(".5") == [("number", 0.5)]
+
+    def test_strings_with_escapes(self):
+        assert kinds("'USA' 'it''s'") == [("string", "USA"), ("string", "it's")]
+
+    def test_punctuation(self):
+        values = [v for _, v in kinds("<= >= <> != = ( ) , . ;")]
+        assert values == ["<=", ">=", "<>", "<>", "=", "(", ")", ",", ".", ";"]
+
+    def test_comments_skipped(self):
+        assert kinds("select -- comment here\n 1") == [
+            ("keyword", "select"),
+            ("number", 1),
+        ]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("select\n  faid")
+        ident = [t for t in tokens if t.kind == "ident"][0]
+        assert (ident.line, ident.column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select #")
+
+    def test_bad_date_literal(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_date_literal("1990-13-40")
+
+    def test_good_date_literal(self):
+        assert parse_date_literal("1990-07-04").year == 1990

@@ -1,0 +1,259 @@
+"""Parser tests over the supported SQL subset."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.expr import (
+    AggCall,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    NaryOp,
+    UnaryOp,
+)
+from repro.sql import (
+    Cube,
+    DerivedTableRef,
+    GroupingSets,
+    Rollup,
+    SimpleGrouping,
+    SubqueryExpr,
+    TableRef,
+    parse,
+    parse_expression,
+)
+
+
+class TestSelectCore:
+    def test_simple_select(self):
+        stmt = parse("select faid, qty from Trans")
+        assert [i.alias for i in stmt.items] == [None, None]
+        assert stmt.from_items == (TableRef("Trans", None),)
+
+    def test_aliases(self):
+        stmt = parse("select faid as f, qty q from Trans t")
+        assert stmt.items[0].alias == "f"
+        assert stmt.items[1].alias == "q"
+        assert stmt.from_items[0].alias == "t"
+
+    def test_select_star(self):
+        stmt = parse("select * from Trans")
+        assert stmt.select_star and not stmt.items
+
+    def test_distinct(self):
+        assert parse("select distinct faid from Trans").distinct
+
+    def test_where_group_having_order(self):
+        stmt = parse(
+            "select faid, count(*) as cnt from Trans where qty > 1 "
+            "group by faid having count(*) > 2 order by cnt desc, faid"
+        )
+        assert stmt.where is not None
+        assert stmt.having is not None
+        assert len(stmt.group_by) == 1
+        assert [o.ascending for o in stmt.order_by] == [False, True]
+
+    def test_trailing_semicolon(self):
+        parse("select faid from Trans;")
+
+    def test_comma_join_and_explicit_join(self):
+        by_comma = parse("select faid from Trans, Loc where flid = lid")
+        by_join = parse("select faid from Trans join Loc on flid = lid")
+        assert by_comma.from_items == by_join.from_items
+        assert by_comma.where == by_join.where
+
+    def test_inner_join_keyword(self):
+        stmt = parse("select faid from Trans inner join Loc on flid = lid")
+        assert len(stmt.from_items) == 2
+
+    def test_cross_join(self):
+        stmt = parse("select faid from Trans cross join Loc")
+        assert len(stmt.from_items) == 2
+        assert stmt.where is None
+
+    def test_derived_table_with_and_without_alias(self):
+        with_alias = parse("select x from (select faid as x from Trans) as d")
+        assert isinstance(with_alias.from_items[0], DerivedTableRef)
+        assert with_alias.from_items[0].alias == "d"
+        without = parse("select x from (select faid as x from Trans)")
+        assert without.from_items[0].alias is None
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == NaryOp(
+            "+", (Literal(1), NaryOp("*", (Literal(2), Literal(3))))
+        )
+
+    def test_left_assoc_subtraction(self):
+        expr = parse_expression("10 - 3 - 2")
+        assert expr == BinaryOp("-", BinaryOp("-", Literal(10), Literal(3)), Literal(2))
+
+    def test_nary_flattening_in_parser(self):
+        expr = parse_expression("a + b + c")
+        assert isinstance(expr, NaryOp) and len(expr.operands) == 3
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, NaryOp) and expr.op == "*"
+
+    def test_comparison_chain_and_logic(self):
+        expr = parse_expression("a > 1 and b < 2 or not c = 3")
+        assert isinstance(expr, NaryOp) and expr.op == "or"
+
+    def test_between_desugars(self):
+        expr = parse_expression("x between 1 and 5")
+        assert expr == NaryOp(
+            "and",
+            (
+                BinaryOp(">=", ColumnRef(None, "x"), Literal(1)),
+                BinaryOp("<=", ColumnRef(None, "x"), Literal(5)),
+            ),
+        )
+
+    def test_not_between(self):
+        expr = parse_expression("x not between 1 and 5")
+        assert isinstance(expr, UnaryOp) and expr.op == "not"
+
+    def test_in_list(self):
+        expr = parse_expression("x in (1, 2, 3)")
+        assert isinstance(expr, InList) and not expr.negated
+
+    def test_not_in(self):
+        expr = parse_expression("x not in (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_is_null_variants(self):
+        assert parse_expression("x is null") == IsNull(ColumnRef(None, "x"))
+        assert parse_expression("x is not null") == IsNull(
+            ColumnRef(None, "x"), negated=True
+        )
+
+    def test_qualified_columns(self):
+        assert parse_expression("Trans.faid") == ColumnRef("Trans", "faid")
+        assert parse_expression("t.date") == ColumnRef("t", "date")
+
+    def test_date_keyword_as_column_and_literal(self):
+        assert parse_expression("year(date)") == FuncCall(
+            "year", (ColumnRef(None, "date"),)
+        )
+        assert parse_expression("date '1990-01-02'") == Literal(
+            datetime.date(1990, 1, 2)
+        )
+
+    def test_unary_minus_and_plus(self):
+        assert parse_expression("-x") == UnaryOp("-", ColumnRef(None, "x"))
+        assert parse_expression("+x") == ColumnRef(None, "x")
+
+    def test_case_when(self):
+        expr = parse_expression("case when x > 0 then 'p' else 'n' end")
+        assert expr.pairs()[0][1] == Literal("p")
+
+    def test_string_escaping(self):
+        assert parse_expression("'it''s'") == Literal("it's")
+
+    def test_booleans_and_null(self):
+        assert parse_expression("true") == Literal(True)
+        assert parse_expression("null") == Literal(None)
+
+
+class TestAggregates:
+    def test_count_star(self):
+        assert parse_expression("count(*)") == AggCall("count")
+
+    def test_count_distinct(self):
+        expr = parse_expression("count(distinct faid)")
+        assert expr == AggCall("count", ColumnRef(None, "faid"), distinct=True)
+
+    def test_sum_of_expression(self):
+        expr = parse_expression("sum(qty * price)")
+        assert expr.func == "sum"
+        assert isinstance(expr.arg, NaryOp)
+
+    def test_all_aggregate_names(self):
+        for func in ("count", "sum", "avg", "min", "max"):
+            expr = parse_expression(f"{func}(x)")
+            assert isinstance(expr, AggCall) and expr.func == func
+
+
+class TestSupergroups:
+    def test_plain_group_by(self):
+        stmt = parse("select faid, count(*) from Trans group by faid")
+        assert isinstance(stmt.group_by[0], SimpleGrouping)
+
+    def test_rollup(self):
+        stmt = parse("select a, b, count(*) from T group by rollup(a, b)")
+        assert stmt.group_by[0] == Rollup(
+            (ColumnRef(None, "a"), ColumnRef(None, "b"))
+        )
+
+    def test_cube(self):
+        stmt = parse("select a, b, count(*) from T group by cube(a, b)")
+        assert isinstance(stmt.group_by[0], Cube)
+
+    def test_grouping_sets_with_empty(self):
+        stmt = parse(
+            "select a, b, count(*) from T "
+            "group by grouping sets ((a, b), (a), ())"
+        )
+        element = stmt.group_by[0]
+        assert isinstance(element, GroupingSets)
+        assert element.sets[2] == ()
+
+    def test_grouping_sets_bare_member(self):
+        stmt = parse("select a, count(*) from T group by grouping sets (a, (a))")
+        assert stmt.group_by[0].sets == (
+            (ColumnRef(None, "a"),),
+            (ColumnRef(None, "a"),),
+        )
+
+    def test_mixed_elements(self):
+        stmt = parse("select a, b, count(*) from T group by a, rollup(b)")
+        assert isinstance(stmt.group_by[0], SimpleGrouping)
+        assert isinstance(stmt.group_by[1], Rollup)
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self):
+        stmt = parse("select (select count(*) from Trans) as n from Loc")
+        assert isinstance(stmt.items[0].expr, SubqueryExpr)
+
+    def test_subquery_in_where(self):
+        stmt = parse("select lid from Loc where lid > (select count(*) from Trans)")
+        comparisons = [n for n in stmt.where.walk() if isinstance(n, SubqueryExpr)]
+        assert len(comparisons) == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "select",
+            "select from Trans",
+            "select x from",
+            "select x from Trans where",
+            "select x from Trans group by",
+            "select x from Trans trailing junk (",
+            "select count(* from Trans",
+            "select x from (select y from T",
+            "select case when 1 end from T",
+            "select x from T order by x ascending nonsense",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)
+
+    def test_error_carries_position(self):
+        try:
+            parse("select x\nfrom")
+        except SqlSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a syntax error")

@@ -1,0 +1,61 @@
+"""Synthetic data generator properties."""
+
+from repro.catalog import credit_card_catalog
+from repro.engine import Database
+from repro.workloads import GeneratorConfig, populate_credit_db, small_config
+
+
+def test_deterministic():
+    a = Database(credit_card_catalog())
+    b = Database(credit_card_catalog())
+    populate_credit_db(a, small_config())
+    populate_credit_db(b, small_config())
+    assert a.table("Trans").rows == b.table("Trans").rows
+
+
+def test_row_counts_reported(small_db):
+    config = small_config()
+    expected_trans = (
+        config.customers
+        * config.accounts_per_customer
+        * len(config.years)
+        * config.transactions_per_account_year
+    )
+    assert len(small_db.table("Trans")) == expected_trans
+
+
+def test_referential_integrity(small_db):
+    loc_ids = set(small_db.table("Loc").column_values("lid"))
+    acct_ids = set(small_db.table("Acct").column_values("aid"))
+    pg_ids = set(small_db.table("PGroup").column_values("pgid"))
+    for row in small_db.table("Trans").rows:
+        _, fpgid, flid, faid, *_ = row
+        assert fpgid in pg_ids and flid in loc_ids and faid in acct_ids
+
+
+def test_home_city_affinity(small_db):
+    """Most transactions of an account happen in one city — the property
+    that makes AST1 ~100x smaller than Trans."""
+    result = small_db.execute(
+        "select faid, count(distinct flid) as cities, count(*) as cnt "
+        "from Trans group by faid",
+        use_summary_tables=False,
+    )
+    for _, cities, cnt in result.rows:
+        assert cities <= cnt / 2  # strong locality
+
+
+def test_ast1_compression(small_db):
+    ast1 = small_db.execute(
+        "select faid, flid, year(date) as year, count(*) as cnt "
+        "from Trans group by faid, flid, year(date)",
+        use_summary_tables=False,
+    )
+    compression = len(small_db.table("Trans")) / len(ast1)
+    assert compression > 3  # at benchmark scale this is much higher
+
+
+def test_scaled_config():
+    config = GeneratorConfig().scaled(0.5)
+    assert config.customers == GeneratorConfig().customers // 2
+    assert config.seed == GeneratorConfig().seed

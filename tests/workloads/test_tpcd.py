@@ -1,0 +1,55 @@
+"""Mini TPC-D workload: every query must rewrite and stay correct."""
+
+import pytest
+
+from repro.engine.table import tables_equal
+from repro.workloads import QUERIES, build_tpcd_db, install_asts
+
+
+@pytest.fixture(scope="module")
+def tpcd_db():
+    db = build_tpcd_db(orders=300)
+    install_asts(db)
+    return db
+
+
+def test_schema_ri(tpcd_db):
+    catalog = tpcd_db.catalog
+    assert catalog.find_foreign_key("Orders", "Customer") is not None
+    assert catalog.find_foreign_key("Lineitem", "Orders") is not None
+
+
+def test_deterministic():
+    a = build_tpcd_db(orders=50)
+    b = build_tpcd_db(orders=50)
+    assert a.table("Lineitem").rows == b.table("Lineitem").rows
+
+
+def test_asts_materialized(tpcd_db):
+    assert tpcd_db.summary_tables["pricingast"].row_count > 0
+    assert tpcd_db.summary_tables["nationast"].row_count > 0
+    assert tpcd_db.summary_tables["pricingast"].row_count < len(
+        tpcd_db.table("Lineitem")
+    )
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_query_rewrites_and_matches(tpcd_db, name):
+    query = QUERIES[name]
+    plain = tpcd_db.execute(query, use_summary_tables=False)
+    result = tpcd_db.rewrite(query)
+    assert result is not None, f"{name} found no rewrite"
+    rewritten = tpcd_db.execute_graph(result.graph)
+    assert tables_equal(plain, rewritten), name
+
+
+def test_rewrites_scan_less_data(tpcd_db):
+    from repro.qgm.boxes import BaseTableBox
+
+    result = tpcd_db.rewrite(QUERIES["q1_pricing"])
+    scanned = [
+        box.table_name
+        for box in result.graph.boxes()
+        if isinstance(box, BaseTableBox)
+    ]
+    assert scanned == ["PricingAst"]

@@ -1,0 +1,69 @@
+"""Web-analytics customer workload: every query rewrites correctly."""
+
+import pytest
+
+from repro.engine.table import tables_equal
+from repro.workloads.webmetrics import (
+    QUERIES,
+    build_web_db,
+    install_web_asts,
+)
+
+
+@pytest.fixture(scope="module")
+def web_db():
+    db = build_web_db(views=4000)
+    install_web_asts(db)
+    return db
+
+
+def test_deterministic():
+    a = build_web_db(views=500)
+    b = build_web_db(views=500)
+    assert a.table("PageView").rows == b.table("PageView").rows
+
+
+def test_referential_integrity(web_db):
+    page_ids = set(web_db.table("Page").column_values("pid"))
+    visitor_ids = set(web_db.table("Visitor").column_values("vid"))
+    for row in web_db.table("PageView").rows:
+        assert row[1] in page_ids and row[2] in visitor_ids
+
+
+def test_asts_compress(web_db):
+    fact = len(web_db.table("PageView"))
+    assert web_db.summary_tables["sectionast"].row_count < fact / 10
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_query_rewrites_and_matches(web_db, name):
+    query = QUERIES[name]
+    plain = web_db.execute(query, use_summary_tables=False)
+    result = web_db.rewrite(query)
+    assert result is not None, f"{name} found no rewrite"
+    rewritten = web_db.execute_graph(result.graph)
+    assert tables_equal(plain, rewritten), name
+
+
+def test_avg_query_uses_sum_count_rules(web_db):
+    result = web_db.rewrite(QUERIES["section_engagement"])
+    # AVG forces a combining SELECT above the regrouping GROUP-BY.
+    chain = result.applied[0].match.chain
+    from repro.qgm.boxes import GroupByBox
+
+    gb_index = next(i for i, b in enumerate(chain) if isinstance(b, GroupByBox))
+    assert len(chain) > gb_index + 1
+
+
+def test_count_distinct_blocks_coarser_reuse(web_db):
+    # uniques = COUNT(DISTINCT fvid) cannot be re-aggregated to country
+    # level from the (country, browser, ...) AST — the matcher must not
+    # pretend it can.
+    query = (
+        "select country, count(distinct fvid) as uniques "
+        "from PageView, Visitor where fvid = vid group by country"
+    )
+    result = web_db.rewrite(query)
+    if result is not None:
+        plain = web_db.execute(query, use_summary_tables=False)
+        assert tables_equal(plain, web_db.execute_graph(result.graph))
