@@ -47,7 +47,10 @@ from repro.errors import (
 from repro.matching.navigator import match_graphs, root_matches
 from repro.qgm.build import build_graph
 from repro.qgm.display import render_graph
+from repro.qgm.fingerprint import GraphFingerprint, fingerprint
 from repro.qgm.unparse import to_sql
+from repro.rewrite.cache import RewriteCache, RewriteStats
+from repro.rewrite.index import SummaryIndex, SummarySignature, graph_signature
 from repro.rewrite.planner import CostPlanner
 from repro.rewrite.rewriter import RewriteResult, rewrite_query
 from repro.sql.parser import parse, parse_expression
@@ -66,11 +69,16 @@ __all__ = [
     "Database",
     "ExecutionError",
     "ForeignKeyConstraint",
+    "GraphFingerprint",
     "MaintenanceReport",
     "ReproError",
     "ReferenceExecutor",
+    "RewriteCache",
     "RewriteError",
     "RewriteResult",
+    "RewriteStats",
+    "SummaryIndex",
+    "SummarySignature",
     "TableStats",
     "SqlSyntaxError",
     "SummaryTable",
@@ -82,6 +90,8 @@ __all__ = [
     "collect_stats",
     "credit_card_catalog",
     "estimate_group_count",
+    "fingerprint",
+    "graph_signature",
     "load_database",
     "maintain_delete",
     "maintain_insert",

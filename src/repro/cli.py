@@ -10,6 +10,8 @@ shell understands:
 * ``\\d`` — list tables and summary tables
 * ``\\timing`` — toggle per-query timing
 * ``\\noast`` — toggle summary-table rewriting off/on
+* ``\\stats`` — matching fast-path counters (index pruning, decision
+  cache hits/misses, navigations run); ``\\stats reset`` zeroes them
 * ``\\q`` — quit
 
 ``EXPLAIN SELECT ...`` prints the QGM graph, the match, and the
@@ -69,14 +71,31 @@ class Shell:
             state = "disabled" if not self.use_summary_tables else "enabled"
             self.write(f"summary-table rewriting {state}")
             return True
+        if name == "\\stats":
+            return self._handle_stats(parts)
         if name == "\\save":
             return self._handle_save(parts)
         if name == "\\open":
             return self._handle_open(parts)
         self.write(
             f"unknown command {name} "
-            "(try \\d, \\timing, \\noast, \\save DIR, \\open DIR, \\q)"
+            "(try \\d, \\timing, \\noast, \\stats, \\save DIR, \\open DIR, \\q)"
         )
+        return True
+
+    def _handle_stats(self, parts: list[str]) -> bool:
+        if len(parts) == 2 and parts[1] == "reset":
+            self.database.reset_rewrite_stats()
+            self.write("rewrite stats reset")
+            return True
+        if len(parts) != 1:
+            self.write("usage: \\stats [reset]")
+            return True
+        stats = self.database.rewrite_stats()
+        width = max(len(name) for name in stats)
+        self.write("matching fast path:")
+        for name, value in stats.items():
+            self.write(f"  {name.replace('_', ' '):<{width}} {value}")
         return True
 
     def _handle_save(self, parts: list[str]) -> bool:

@@ -8,6 +8,14 @@ management, and (lazily, to keep layering clean) the matcher/rewriter::
     db.create_summary_table("AST1", "SELECT faid, flid, ... GROUP BY ...")
     result = db.execute(my_query)                 # rewritten automatically
     raw = db.execute(my_query, use_summary_tables=False)
+
+Rewriting runs through a three-layer *matching fast path* (see
+docs/ALGORITHM.md, "The matching fast path"): an AST signature index
+prunes implausible candidates before any navigation, a bounded LRU of
+rewrite decisions keyed by the query graph's structural fingerprint
+replays known outcomes without matching at all, and expression
+normalization/hashing is memoized. ``rewrite_stats()`` exposes the
+counters; ``configure_fast_path()`` disables layers for ablation.
 """
 
 from __future__ import annotations
@@ -21,17 +29,33 @@ from repro.engine.table import Row, Table
 from repro.errors import CatalogError, ReproError
 from repro.qgm.boxes import QueryGraph
 from repro.qgm.build import build_graph
+from repro.qgm.fingerprint import fingerprint
 
 
 class Database:
-    """An in-memory database with automatic summary tables."""
+    """An in-memory database with automatic summary tables.
 
-    def __init__(self, catalog: Catalog | None = None):
+    ``rewrite_cache_size`` bounds the rewrite decision cache (LRU
+    entries); 0 disables decision caching entirely.
+    """
+
+    def __init__(self, catalog: Catalog | None = None, rewrite_cache_size: int = 256):
         self.catalog = catalog or Catalog()
         self.tables: dict[str, Table] = {}
         self.summary_tables: dict[str, "SummaryTable"] = {}
+        # Lazily imported (like the matcher/rewriter) to avoid an import
+        # cycle through repro.rewrite → repro.asts → repro.engine.
+        from repro.rewrite.cache import RewriteCache, RewriteStats
+        from repro.rewrite.index import SummaryIndex
+
         for schema in self.catalog.tables.values():
             self.tables[schema.name.lower()] = Table.from_schema(schema)
+        self._summary_index = SummaryIndex()
+        self._rewrite_cache = RewriteCache(rewrite_cache_size)
+        self._rewrite_stats = RewriteStats()
+        self._rewrite_epoch = 0
+        self._fast_path_index = True
+        self._fast_path_cache = True
 
     # ------------------------------------------------------------------
     # Data definition / loading
@@ -171,11 +195,16 @@ class Database:
         return self._explain(sql)
 
     def _explain(self, sql: str):
-        """EXPLAIN output: the QGM graph and the rewrite decision."""
+        """EXPLAIN output: the QGM graph, the rewrite decision, and the
+        matching fast-path counters for this statement. The SQL is bound
+        exactly once: the graph is rendered first, then the same graph is
+        handed to the rewriter (which mutates it in place on success)."""
         from repro.qgm.display import render_graph
 
-        lines = ["-- query graph --", render_graph(self.bind(sql))]
-        result = self.rewrite(sql)
+        graph = self.bind(sql)
+        lines = ["-- query graph --", render_graph(graph)]
+        before = self._rewrite_stats.snapshot()
+        result = self.rewrite(graph)
         if result is None:
             lines.append("-- no summary-table rewrite applies --")
         else:
@@ -185,26 +214,146 @@ class Database:
             lines.append(result.sql)
             lines.append("-- rewritten graph --")
             lines.append(render_graph(result.graph))
+        lines.append("-- matching fast path --")
+        lines.append(_describe_fast_path(self._rewrite_stats.delta(before)))
         return "\n".join(lines)
 
-    def rewrite(self, sql: str, options: dict | None = None):
+    def rewrite(self, sql: str | QueryGraph, options: dict | None = None):
         """Attempt a summary-table rewrite; returns a
         :class:`repro.rewrite.rewriter.RewriteResult` or None.
 
-        ``options`` tunes the matcher (see
+        Accepts either SQL text or an already-bound :class:`QueryGraph`
+        (which is then rewritten *in place* on success — bind a fresh
+        graph per call). ``options`` tunes the matcher (see
         :data:`repro.matching.framework.DEFAULT_OPTIONS`).
         """
-        from repro.rewrite.rewriter import rewrite_query
-
-        graph = self.bind(sql)
-        return rewrite_query(graph, self.enabled_summary_tables(), options=options)
+        graph = self.bind(sql) if isinstance(sql, str) else sql
+        return self._rewrite_bound(graph, options=options)
 
     def rewrite_graph(self, graph: QueryGraph) -> QueryGraph | None:
         """The rewritten graph for ``graph``, or None when nothing matches."""
+        result = self._rewrite_bound(graph)
+        return result.graph if result is not None else None
+
+    def _rewrite_bound(self, graph: QueryGraph, options: dict | None = None):
+        """The matching fast path: index pruning + decision cache around
+        :func:`repro.rewrite.rewriter.rewrite_query`."""
+        from repro.rewrite.cache import CachedStep, CacheEntry, options_key
         from repro.rewrite.rewriter import rewrite_query
 
-        result = rewrite_query(graph, self.enabled_summary_tables())
-        return result.graph if result is not None else None
+        stats = self._rewrite_stats
+        stats.queries += 1
+        summaries = self.enabled_summary_tables()
+        enabled = frozenset(s.name.lower() for s in summaries)
+        use_cache = self._fast_path_cache and self._rewrite_cache.maxsize > 0
+        key = None
+        if use_cache:
+            key = (fingerprint(graph), options_key(options))
+            entry = self._rewrite_cache.lookup(
+                key, self._rewrite_epoch, enabled, stats=stats
+            )
+            if entry is not None:
+                if entry.steps is None:
+                    stats.cache_negative_hits += 1
+                    return None
+                replayed = self._replay_rewrite(graph, entry)
+                if replayed is not None:
+                    stats.cache_hits += 1
+                    return replayed
+                stats.cache_replay_failures += 1
+            stats.cache_misses += 1
+        result = rewrite_query(
+            graph,
+            summaries,
+            options=options,
+            stats=stats,
+            prune=self._fast_path_index,
+        )
+        if use_cache:
+            steps = None
+            if result is not None:
+                steps = tuple(
+                    CachedStep(
+                        summary_name=step.summary.name.lower(),
+                        subsumee_index=step.subsumee_index,
+                        chain=tuple(step.match.chain),
+                        column_map=tuple(sorted(step.match.column_map.items())),
+                        pattern=step.match.pattern,
+                    )
+                    for step in result.applied
+                )
+            self._rewrite_cache.store(
+                key, CacheEntry(self._rewrite_epoch, enabled, steps)
+            )
+            stats.cache_stores += 1
+        return result
+
+    def _replay_rewrite(self, graph: QueryGraph, entry: CacheEntry):
+        """Re-apply a cached positive decision to a freshly bound graph.
+
+        The fingerprint match guarantees ``graph`` enumerates its boxes
+        exactly as the cold-path graph did, so each step's recorded box
+        index addresses the same (structurally identical) subsumee; the
+        cached compensation chains are templates that ``apply_match``
+        clones, never mutates. Any inconsistency falls back to the cold
+        path by returning None.
+        """
+        from repro.matching.framework import MatchResult
+        from repro.rewrite.rewriter import (
+            AppliedRewrite,
+            RewriteResult,
+            apply_match,
+        )
+
+        applied = []
+        try:
+            for step in entry.steps:
+                summary = self.summary_tables.get(step.summary_name)
+                if summary is None or not summary.enabled:
+                    return None
+                boxes = graph.boxes()
+                if not 0 <= step.subsumee_index < len(boxes):
+                    return None
+                match = MatchResult(
+                    subsumee=boxes[step.subsumee_index],
+                    subsumer=summary.graph.root,
+                    chain=list(step.chain),
+                    column_map=dict(step.column_map),
+                    pattern=step.pattern,
+                )
+                apply_match(graph, match, summary)
+                applied.append(AppliedRewrite(summary, match, step.subsumee_index))
+            graph.validate()
+        except ReproError:
+            return None
+        return RewriteResult(graph, applied)
+
+    # ------------------------------------------------------------------
+    # Fast-path introspection and control
+    # ------------------------------------------------------------------
+    def rewrite_stats(self) -> dict[str, int]:
+        """Cumulative matching fast-path counters (see
+        :class:`repro.rewrite.cache.RewriteStats`)."""
+        return self._rewrite_stats.as_dict()
+
+    def reset_rewrite_stats(self) -> None:
+        self._rewrite_stats.reset()
+
+    def configure_fast_path(
+        self, index: bool | None = None, cache: bool | None = None
+    ) -> None:
+        """Enable/disable fast-path layers (for benchmarks and ablation).
+
+        ``index`` toggles AST signature pruning (falling back to the bare
+        base-table-overlap check); ``cache`` toggles the rewrite decision
+        cache (the cache is cleared when disabled).
+        """
+        if index is not None:
+            self._fast_path_index = index
+        if cache is not None:
+            self._fast_path_cache = cache
+            if not cache:
+                self._rewrite_cache.clear()
 
     # ------------------------------------------------------------------
     # Summary tables
@@ -241,8 +390,16 @@ class Database:
         )
         self.catalog.add_table(schema)
         self.tables[name.lower()] = summary.table
-        self.summary_tables[name.lower()] = summary
+        self._register_summary(summary)
         return summary
+
+    def _register_summary(self, summary: "SummaryTable") -> None:
+        """Register a materialized summary for matching: store it, index
+        its signature, and invalidate cached rewrite decisions. Used by
+        :meth:`create_summary_table` and by persistence reload."""
+        self.summary_tables[summary.name.lower()] = summary
+        self._summary_index.register(summary)
+        self._bump_rewrite_epoch()
 
     def drop_summary_table(self, name: str) -> None:
         key = name.lower()
@@ -251,6 +408,8 @@ class Database:
         del self.summary_tables[key]
         del self.tables[key]
         self.catalog.drop_table(name)
+        self._summary_index.unregister(name)
+        self._bump_rewrite_epoch()
 
     def refresh_summary_tables(self) -> None:
         """Recompute every summary table from the base data."""
@@ -258,9 +417,43 @@ class Database:
             data = self.execute_graph(summary.graph)
             summary.table.rows[:] = data.rows
             summary.stats["rows"] = float(len(data))
+        self._bump_rewrite_epoch()
+
+    def set_summary_table_enabled(self, name: str, enabled: bool = True) -> None:
+        """Toggle a summary table's availability for matching.
+
+        (Assigning ``summary.enabled`` directly also works — the decision
+        cache validates the enabled set per query — but this entry point
+        additionally bumps the epoch, keeping the invalidation explicit.)
+        """
+        key = name.lower()
+        if key not in self.summary_tables:
+            raise CatalogError(f"no summary table named {name!r}")
+        self.summary_tables[key].enabled = enabled
+        self._bump_rewrite_epoch()
+
+    def _bump_rewrite_epoch(self) -> None:
+        self._rewrite_epoch += 1
 
     def enabled_summary_tables(self) -> list["SummaryTable"]:
         return [s for s in self.summary_tables.values() if s.enabled]
+
+
+def _describe_fast_path(delta: dict[str, int]) -> str:
+    """One-line rendering of per-statement fast-path counter deltas."""
+    considered = delta["candidates_considered"]
+    pruned = delta["candidates_pruned"]
+    parts = [f"candidates: {considered} considered, {pruned} pruned by index"]
+    if delta["cache_hits"]:
+        parts.append("decision cache: hit (rewrite replayed)")
+    elif delta["cache_negative_hits"]:
+        parts.append("decision cache: hit (no-rewrite)")
+    elif delta["cache_misses"]:
+        parts.append("decision cache: miss")
+    else:
+        parts.append("decision cache: off")
+    parts.append(f"matches attempted: {delta['matches_attempted']}")
+    return "; ".join(parts)
 
 
 def _maintenance_status(prefix: str, report) -> str:

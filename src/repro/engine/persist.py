@@ -110,7 +110,7 @@ def load_database(path: str | Path) -> Database:
             table=table,
         )
         summary.stats["rows"] = float(len(table))
-        database.summary_tables[name.lower()] = summary
+        database._register_summary(summary)
     return database
 
 

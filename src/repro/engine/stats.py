@@ -31,6 +31,8 @@ class ColumnStats:
     nulls: int
     minimum: Any = None
     maximum: Any = None
+    #: False when ``distinct`` is a sampling estimate (cap exceeded)
+    exact: bool = True
 
 
 @dataclass
@@ -43,9 +45,29 @@ class TableStats:
         return stats.distinct if stats is not None else max(1, self.rows)
 
 
-def collect_stats(table: Table) -> TableStats:
-    """One-pass statistics over every column."""
+#: default per-column bound on exact distinct tracking
+DEFAULT_DISTINCT_CAP = 4096
+
+
+def collect_stats(table: Table, distinct_cap: int = DEFAULT_DISTINCT_CAP) -> TableStats:
+    """One-pass statistics over every column, with bounded memory.
+
+    Row count, null counts, and min/max are exact (O(1) extra memory per
+    column). Distinct counts are exact **only up to** ``distinct_cap``
+    values per column; a column that exceeds the cap stops accumulating
+    and its NDV is re-estimated afterwards with the same first-order
+    jackknife sampler as :func:`estimate_group_count` (O(sample) memory
+    and time), with ``exact=False`` recorded on its
+    :class:`ColumnStats`.
+
+    Accuracy contract: exact columns are exact; estimated columns carry
+    the sampler's error (typically within 2-3x, which the consumers —
+    advisor ordering, accept/reject thresholds — are designed to
+    tolerate). Peak extra memory is O(columns × distinct_cap) regardless
+    of table size.
+    """
     seen: list[set] = [set() for _ in table.columns]
+    saturated = [False] * len(table.columns)
     nulls = [0] * len(table.columns)
     minimums: list[Any] = [None] * len(table.columns)
     maximums: list[Any] = [None] * len(table.columns)
@@ -54,7 +76,11 @@ def collect_stats(table: Table) -> TableStats:
             if value is None:
                 nulls[index] += 1
                 continue
-            seen[index].add(value)
+            if not saturated[index]:
+                seen[index].add(value)
+                if len(seen[index]) > distinct_cap:
+                    saturated[index] = True
+                    seen[index].clear()  # release the memory immediately
             try:
                 if minimums[index] is None or value < minimums[index]:
                     minimums[index] = value
@@ -64,11 +90,20 @@ def collect_stats(table: Table) -> TableStats:
                 pass  # mixed types: min/max undefined, NDV still fine
     stats = TableStats(rows=len(table))
     for index, name in enumerate(table.columns):
+        if saturated[index]:
+            distinct = max(
+                distinct_cap + 1, estimate_group_count(table, [name])
+            )
+            exact = False
+        else:
+            distinct = len(seen[index])
+            exact = True
         stats.columns[name] = ColumnStats(
-            distinct=len(seen[index]),
+            distinct=distinct,
             nulls=nulls[index],
             minimum=minimums[index],
             maximum=maximums[index],
+            exact=exact,
         )
     return stats
 

@@ -15,6 +15,11 @@ Design notes:
   parse trees the qualifier is a table alias (or None before binding).
 * :class:`AggCall` covers COUNT(*), COUNT/SUM/AVG/MIN/MAX and the DISTINCT
   variants. Aggregates appear only in GROUP-BY box outputs.
+* Every node caches its structural hash on first use (see
+  :func:`_cached_hash`): the matcher and the rewrite fast path hash the
+  same subtrees over and over (normalization memos, fingerprints, set
+  membership), and the dataclass-generated hash walks the whole tree on
+  every call.
 """
 
 from __future__ import annotations
@@ -33,6 +38,29 @@ MIRRORED_COMPARISON = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=
 NEGATED_COMPARISON = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
 
 AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max")
+
+
+def _cached_hash(cls):
+    """Class decorator: memoize the dataclass-generated ``__hash__``.
+
+    Nodes are immutable, so the structural hash never changes; computing
+    it once and stashing it on the instance turns repeated hashing of a
+    deep tree from O(size) into O(1). The cache lives in the instance
+    ``__dict__`` and is invisible to the generated ``__eq__``/``__repr__``
+    (both look only at declared fields).
+    """
+    structural_hash = cls.__hash__
+
+    def __hash__(self, _structural=structural_hash):
+        try:
+            return self._hash
+        except AttributeError:
+            value = _structural(self)
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    cls.__hash__ = __hash__
+    return cls
 
 
 class Expr:
@@ -87,6 +115,7 @@ class Expr:
         return self.transform(lambda node: mapping.get(node))
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class Literal(Expr):
     """A constant. ``value is None`` means SQL NULL."""
@@ -108,6 +137,7 @@ FALSE = Literal(False)
 NULL = Literal(None)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class ColumnRef(Expr):
     """A reference to column ``name`` of the child bound to quantifier
@@ -128,6 +158,7 @@ class ColumnRef(Expr):
         return f"Col({self.qualifier}.{self.name})"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class FuncCall(Expr):
     """A scalar (non-aggregate) function call, e.g. ``year(date)``."""
@@ -145,6 +176,7 @@ class FuncCall(Expr):
         return f"{self.name}({', '.join(map(repr, self.args))})"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class NaryOp(Expr):
     """A flattened commutative/associative operator: +, *, and, or."""
@@ -166,6 +198,7 @@ class NaryOp(Expr):
         return f" {self.op} ".join(map(repr, self.operands)).join("()")
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class BinaryOp(Expr):
     """A non-commutative binary operator: - / % and the comparisons."""
@@ -188,6 +221,7 @@ class BinaryOp(Expr):
         return f"({self.left!r} {self.op} {self.right!r})"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class UnaryOp(Expr):
     """Unary minus or logical NOT."""
@@ -209,6 +243,7 @@ class UnaryOp(Expr):
         return f"({self.op} {self.operand!r})"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class IsNull(Expr):
     """``expr IS NULL`` or, when ``negated``, ``expr IS NOT NULL``."""
@@ -227,6 +262,7 @@ class IsNull(Expr):
         return f"({self.operand!r} {suffix})"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class InList(Expr):
     """``expr IN (item, ...)`` over literal or scalar items."""
@@ -246,6 +282,7 @@ class InList(Expr):
         return f"({self.operand!r} {keyword} {list(self.items)!r})"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class CaseWhen(Expr):
     """Searched CASE: ``CASE WHEN c1 THEN v1 ... ELSE e END``.
@@ -278,6 +315,7 @@ class CaseWhen(Expr):
         return f"(CASE {whens} ELSE {self.default!r} END)"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class AggCall(Expr):
     """An aggregate function application.

@@ -15,6 +15,15 @@ equal. Normalization performs:
   and De Morgan over AND/OR.
 
 The result is deterministic and idempotent (property-tested).
+
+Normalization is memoized two ways (the matching fast path leans on
+both): :func:`normalize` results are interned in an LRU keyed by the
+(hash-consed) input node, so structurally equal inputs return the *same*
+normal-form object; and every returned normal form is tagged as such, so
+re-normalizing it — the common case inside ``matchfn``/``derivation``,
+which normalize both sides before every equivalence check — returns
+immediately without even a cache probe. Equality checks on normal forms
+then short-circuit on the cached structural hash before any tree walk.
 """
 
 from __future__ import annotations
@@ -47,6 +56,15 @@ SortKey = tuple
 
 def sort_key(expr: Expr) -> SortKey:
     """A deterministic total order over expression trees."""
+    try:
+        return expr._sort_key
+    except AttributeError:
+        key = _sort_key(expr)
+        object.__setattr__(expr, "_sort_key", key)
+        return key
+
+
+def _sort_key(expr: Expr) -> SortKey:
     if isinstance(expr, Literal):
         return (0, _value_key(expr.value))
     if isinstance(expr, ColumnRef):
@@ -83,7 +101,11 @@ def _value_key(value: Any) -> SortKey:
 
 def normalize(expr: Expr) -> Expr:
     """The canonical form of ``expr`` (idempotent)."""
-    return _normalize_cached(expr)
+    if getattr(expr, "_is_normal", False):
+        return expr
+    result = _normalize_cached(expr)
+    object.__setattr__(result, "_is_normal", True)
+    return result
 
 
 @lru_cache(maxsize=65536)
@@ -221,5 +243,17 @@ def _normalize_unary(expr: UnaryOp) -> Expr:
 
 
 def normal_equal(left: Expr, right: Expr) -> bool:
-    """Syntactic equivalence: equality of normal forms."""
-    return normalize(left) == normalize(right)
+    """Syntactic equivalence: equality of normal forms.
+
+    Compares hash-first: normal forms are interned, so equal trees are
+    usually the same object, and unequal trees almost always differ in
+    their (cached) structural hash — the full tree comparison runs only
+    on a hash collision.
+    """
+    left_normal = normalize(left)
+    right_normal = normalize(right)
+    if left_normal is right_normal:
+        return True
+    if hash(left_normal) != hash(right_normal):
+        return False
+    return left_normal == right_normal

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.matching.framework import MatchContext, MatchResult
 from repro.matching.matchfn import match_boxes
-from repro.qgm.boxes import QueryGraph
+from repro.qgm.boxes import QueryGraph, box_heights
 
 
 def match_graphs(
@@ -37,10 +37,7 @@ def root_matches(
     """Matches whose subsumer is the AST's root box — the ones a rewrite
     can use — ordered so the most profitable (highest query box, i.e. the
     one replacing the most work) comes first."""
-    heights: dict[int, int] = {}
-    for box in query.boxes():  # children first => heights ready
-        child_heights = [heights[id(child)] for child in box.children()]
-        heights[id(box)] = 1 + max(child_heights, default=0)
+    heights = box_heights(query)
     found = [
         result
         for (subsumee_id, subsumer_id), result in ctx.results.items()

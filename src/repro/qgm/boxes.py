@@ -346,6 +346,20 @@ def cross_combine(
     return tuple(combined)
 
 
+def box_heights(graph: "QueryGraph") -> dict[int, int]:
+    """Height of every box in ``graph`` keyed by ``id(box)`` (leaves are 1).
+
+    Shared by the navigator (to order root matches by how much query work
+    they replace) and the rewriter (to pick the candidate replacing the
+    highest box).
+    """
+    heights: dict[int, int] = {}
+    for box in graph.boxes():  # children before parents
+        child_heights = [heights[id(child)] for child in box.children()]
+        heights[id(box)] = 1 + max(child_heights, default=0)
+    return heights
+
+
 def expr_nullable(expr: Expr, column_nullable) -> bool:
     """Conservative nullability of ``expr``; ``column_nullable`` maps a
     ColumnRef to the nullability of the referenced column."""

@@ -1,0 +1,97 @@
+"""Structural fingerprints of bound QGM graphs.
+
+The rewrite decision cache (see :mod:`repro.rewrite.cache`) needs a key
+that is stable across repeated bindings of the same query: two
+independently parsed+bound graphs of equivalent SQL must produce equal
+fingerprints, and any difference that could change the matcher's outcome
+must produce different ones.
+
+A fingerprint is a nested tuple built from the graph in topological
+(children-first) order: per box its kind, scanned table (for leaves),
+output columns with *normalized* defining expressions, normalized and
+canonically ordered predicates, DISTINCT flag, grouping items/sets, and
+the quantifier wiring as (name, child index) pairs — plus the graph's
+presentation-level ORDER BY/LIMIT. Expressions are normalized with
+:func:`repro.expr.normalize.normalize`, so syntactic noise the matcher
+ignores (operand order, ``x+0``…) does not fragment the cache.
+
+Keys compare by full structural equality (no truncated digests), so a
+hash collision can never alias two different queries to one cache slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.expr.normalize import normalize, sort_key
+from repro.qgm.boxes import (
+    BaseTableBox,
+    GroupByBox,
+    QGMBox,
+    QueryGraph,
+    SelectBox,
+    UnionAllBox,
+)
+
+
+@dataclass(frozen=True)
+class GraphFingerprint:
+    """A hashable structural key for one bound :class:`QueryGraph`."""
+
+    key: tuple
+
+    def hexdigest(self) -> str:
+        """A short stable digest for display (EXPLAIN, logs)."""
+        return hashlib.sha1(repr(self.key).encode()).hexdigest()[:12]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphFingerprint({self.hexdigest()})"
+
+
+def fingerprint(graph: QueryGraph) -> GraphFingerprint:
+    """The structural fingerprint of ``graph``."""
+    boxes = graph.boxes()
+    index = {id(box): position for position, box in enumerate(boxes)}
+    key = (
+        tuple(_box_key(box, index) for box in boxes),
+        index[id(graph.root)],
+        tuple(graph.order_by),
+        graph.limit,
+    )
+    return GraphFingerprint(key)
+
+
+def _box_key(box: QGMBox, index: dict[int, int]) -> tuple:
+    outputs = tuple(
+        (
+            qcl.name,
+            None if qcl.expr is None else normalize(qcl.expr),
+            qcl.nullable,
+        )
+        for qcl in box.outputs
+    )
+    quantifiers = tuple(
+        (quantifier.name, index[id(quantifier.box)])
+        for quantifier in box.quantifiers()
+    )
+    if isinstance(box, BaseTableBox):
+        return ("base", box.table_name.lower(), outputs)
+    if isinstance(box, SelectBox):
+        predicates = tuple(
+            sorted((normalize(p) for p in box.predicates), key=sort_key)
+        )
+        return ("select", quantifiers, outputs, predicates, box.distinct)
+    if isinstance(box, GroupByBox):
+        return (
+            "groupby",
+            quantifiers,
+            outputs,
+            box.grouping_items,
+            box.grouping_sets,
+        )
+    if isinstance(box, UnionAllBox):
+        return ("union", quantifiers, outputs)
+    # Unknown box kinds still fingerprint deterministically; they simply
+    # distinguish by kind, wiring, and outputs.
+    return (box.kind, quantifiers, outputs)

@@ -1,0 +1,149 @@
+"""The rewrite decision cache and fast-path instrumentation.
+
+Serving the same dashboard queries over and over re-runs the whole
+navigator per query even though the decision never changes between DDL
+events. :class:`RewriteCache` is a bounded LRU keyed by the structural
+fingerprint of the bound query graph (:mod:`repro.qgm.fingerprint`) that
+remembers, per query shape:
+
+* **positive** outcomes — the ordered list of :class:`CachedStep`
+  replay records (which summary matched which box, with the proven
+  compensation chain as a template), so a hit re-applies the rewrite
+  directly on the freshly bound graph via
+  :func:`repro.rewrite.rewriter.apply_match` without any matching; and
+* **negative** outcomes — "no rewrite applies", so the navigator is
+  skipped entirely.
+
+Entries are validated against an *epoch* counter that
+:class:`repro.engine.database.Database` bumps on every
+``create_summary_table`` / ``drop_summary_table`` /
+``refresh_summary_tables`` / enable-disable, plus the exact set of
+enabled summary names (which also catches ``summary.enabled`` being
+toggled directly on the dataclass). Stale entries are dropped on lookup.
+
+:class:`RewriteStats` collects the whole fast path's counters; they are
+exposed via ``Database.rewrite_stats()`` and rendered by ``EXPLAIN`` and
+the CLI's ``\\stats`` command.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+
+from repro.qgm.boxes import QGMBox
+from repro.qgm.fingerprint import GraphFingerprint
+
+
+@dataclass
+class RewriteStats:
+    """Counters for the matching fast path (cumulative per database)."""
+
+    queries: int = 0  # rewrite attempts routed through the fast path
+    candidates_considered: int = 0  # summaries seen by the index
+    candidates_pruned: int = 0  # ... of which pruned without navigation
+    matches_attempted: int = 0  # full match_graphs navigations run
+    rewrites_applied: int = 0  # accepted (summary, match) applications
+    cache_hits: int = 0  # positive decision-cache hits (replays)
+    cache_negative_hits: int = 0  # cached "no rewrite applies" hits
+    cache_misses: int = 0  # fingerprint not cached (or stale)
+    cache_stores: int = 0  # decisions written to the cache
+    cache_invalidations: int = 0  # entries dropped as stale on lookup
+    cache_replay_failures: int = 0  # replays that fell back to cold path
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "RewriteStats":
+        return RewriteStats(**self.as_dict())
+
+    def delta(self, since: "RewriteStats") -> dict[str, int]:
+        """Counter increments since a :meth:`snapshot`."""
+        before = since.as_dict()
+        return {name: value - before[name] for name, value in self.as_dict().items()}
+
+
+@dataclass(frozen=True)
+class CachedStep:
+    """One applied (summary, match) pair, in replayable form.
+
+    ``subsumee_index`` locates the matched query box by its position in
+    ``graph.boxes()`` *at the time the step ran* — fingerprint equality
+    guarantees a freshly bound graph enumerates identically, and the
+    rewrite itself is deterministic, so later steps' indices stay valid
+    on the intermediate graphs too. ``chain`` is the proven compensation
+    template; ``apply_match`` clones it onto the new summary scan, so the
+    cached boxes are never mutated.
+    """
+
+    summary_name: str
+    subsumee_index: int
+    chain: tuple[QGMBox, ...]
+    column_map: tuple[tuple[str, str], ...]
+    pattern: str
+
+
+@dataclass
+class CacheEntry:
+    """One cached decision plus its validity stamp."""
+
+    epoch: int
+    enabled: frozenset[str]
+    steps: tuple[CachedStep, ...] | None  # None ⇒ negative (no rewrite)
+
+
+#: cache key: the graph fingerprint plus the matcher options in effect
+CacheKey = tuple[GraphFingerprint, tuple]
+
+
+def options_key(options: dict | None) -> tuple:
+    """A hashable canonical form of the matcher options."""
+    if not options:
+        return ()
+    return tuple(sorted(options.items()))
+
+
+class RewriteCache:
+    """A bounded LRU of rewrite decisions."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self,
+        key: CacheKey,
+        epoch: int,
+        enabled: frozenset[str],
+        stats: RewriteStats | None = None,
+    ) -> CacheEntry | None:
+        """The valid entry for ``key``, refreshed as most recent; stale
+        entries are evicted and counted as invalidations."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.epoch != epoch or entry.enabled != enabled:
+            del self._entries[key]
+            if stats is not None:
+                stats.cache_invalidations += 1
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def store(self, key: CacheKey, entry: CacheEntry) -> None:
+        if self.maxsize <= 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,177 @@
+"""AST candidate index: cheap pruning before any navigation.
+
+``rewrite_query`` historically ran the full navigator
+(:func:`repro.matching.navigator.match_graphs`) against *every*
+registered summary table — O(summaries × boxes²) per query. With many
+ASTs registered, rewrite latency is dominated by candidates that could
+never match. This module extracts a small :class:`SummarySignature` from
+each AST at registration time and, at query time, keeps only *plausible*
+candidates via set-containment checks that are **conservative**: a
+summary is pruned only when the matching patterns provably cannot
+produce a root match.
+
+The checks, and why each is safe:
+
+* **Base-table overlap** — a root match needs at least one subsumee
+  child matching a subsumer child, which bottoms out at base-table boxes
+  that match only when they scan the same stored table. No shared base
+  table ⇒ no match.
+* **Peelable extras** — every subsumer box is either matched against a
+  same-kind query box or peeled as an *extra* child, and extras must be
+  base tables joined through a declared foreign key whose parent side is
+  the extra (``Catalog.ri_join_is_lossless``). So an AST base table
+  absent from the query must at least be the parent of *some* declared
+  foreign key; otherwise no peel — and no match — is possible.
+* **Box-kind containment** — by the same either-matched-or-peeled
+  induction, every non-base AST box must match a query box of the same
+  kind (GROUP-BY compensation chains only ever contain GROUP-BY boxes
+  that originated from query-side grouping). An AST with a GROUP-BY (or
+  UNION ALL) box therefore cannot match a query without one.
+
+The signature also records the AST's grouping columns and root output
+columns. These are *not* used for pruning — output and grouping columns
+are matched semantically (derivation through compensations and column
+equivalences), so name-level containment would wrongly prune e.g. a
+``year``/``year(date)`` pair — but they are cheap to keep and feed
+diagnostics and the advisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asts.definition import SummaryTable
+from repro.catalog.schema import Catalog
+from repro.qgm.boxes import BaseTableBox, GroupByBox, QueryGraph
+
+#: box kinds whose presence in the AST requires presence in the query
+_STRUCTURAL_KINDS = ("groupby", "union")
+
+
+@dataclass(frozen=True)
+class SummarySignature:
+    """The matching-relevant shape of one QGM graph."""
+
+    base_tables: frozenset[str]
+    box_kinds: frozenset[str]
+    grouping_columns: frozenset[str]
+    output_columns: frozenset[str]
+
+    @property
+    def has_grouping(self) -> bool:
+        return "groupby" in self.box_kinds
+
+
+def graph_signature(graph: QueryGraph) -> SummarySignature:
+    """Extract the signature of a bound graph (query or AST side)."""
+    base_tables = set()
+    box_kinds = set()
+    grouping: set[str] = set()
+    for box in graph.boxes():
+        box_kinds.add(box.kind)
+        if isinstance(box, BaseTableBox):
+            base_tables.add(box.table_name.lower())
+        elif isinstance(box, GroupByBox):
+            grouping.update(name.lower() for name in box.grouping_items)
+    outputs = frozenset(qcl.name.lower() for qcl in graph.root.outputs)
+    return SummarySignature(
+        base_tables=frozenset(base_tables),
+        box_kinds=frozenset(box_kinds),
+        grouping_columns=frozenset(grouping),
+        output_columns=outputs,
+    )
+
+
+def summary_signature(summary: SummaryTable) -> SummarySignature:
+    """The (lazily computed, cached) signature of a summary table."""
+    cached = getattr(summary, "_signature", None)
+    if cached is None:
+        cached = graph_signature(summary.graph)
+        summary._signature = cached
+    return cached
+
+
+def _fk_parent_tables(catalog: Catalog) -> frozenset[str]:
+    return frozenset(
+        fk.parent_table.lower() for fk in catalog.foreign_keys
+    )
+
+
+def plausible(
+    query: SummarySignature,
+    ast: SummarySignature,
+    fk_parents: frozenset[str],
+) -> bool:
+    """Could an AST with signature ``ast`` possibly root-match a query
+    with signature ``query``? False only when a match is impossible."""
+    if not ast.base_tables & query.base_tables:
+        return False
+    if not (ast.base_tables - query.base_tables) <= fk_parents:
+        return False
+    for kind in _STRUCTURAL_KINDS:
+        if kind in ast.box_kinds and kind not in query.box_kinds:
+            return False
+    return True
+
+
+def prune_candidates(
+    graph: QueryGraph,
+    summaries: list[SummaryTable],
+    stats=None,
+) -> list[SummaryTable]:
+    """The plausible subset of ``summaries`` for ``graph``, in order.
+
+    ``stats`` is an optional :class:`repro.rewrite.cache.RewriteStats`;
+    when given, considered/pruned counters are updated.
+    """
+    if not summaries:
+        return []
+    query_sig = graph_signature(graph)
+    fk_parents = _fk_parent_tables(graph.catalog)
+    kept = [
+        summary
+        for summary in summaries
+        if plausible(query_sig, summary_signature(summary), fk_parents)
+    ]
+    if stats is not None:
+        stats.candidates_considered += len(summaries)
+        stats.candidates_pruned += len(summaries) - len(kept)
+    return kept
+
+
+class SummaryIndex:
+    """Registration-time signature store for a database's summary tables.
+
+    Signatures are extracted eagerly on :meth:`register` so the first
+    query after a ``CREATE SUMMARY TABLE`` pays no extraction cost, and
+    dropped summaries are forgotten. Pruning itself delegates to
+    :func:`prune_candidates`, which reads the signature cached on each
+    summary object — so the index stays correct even for summaries
+    registered behind its back (library users calling ``rewrite_query``
+    directly).
+    """
+
+    def __init__(self) -> None:
+        self._signatures: dict[str, SummarySignature] = {}
+
+    def register(self, summary: SummaryTable) -> SummarySignature:
+        signature = summary_signature(summary)
+        self._signatures[summary.name.lower()] = signature
+        return signature
+
+    def unregister(self, name: str) -> None:
+        self._signatures.pop(name.lower(), None)
+
+    def signature(self, name: str) -> SummarySignature | None:
+        return self._signatures.get(name.lower())
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def candidates(
+        self,
+        graph: QueryGraph,
+        summaries: list[SummaryTable],
+        stats=None,
+    ) -> list[SummaryTable]:
+        return prune_candidates(graph, summaries, stats=stats)

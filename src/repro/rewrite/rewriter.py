@@ -16,15 +16,23 @@ from repro.asts.definition import SummaryTable
 from repro.expr.nodes import ColumnRef
 from repro.matching.framework import MAIN, MatchResult, rebase_chain
 from repro.matching.navigator import match_graphs, root_matches
-from repro.qgm.boxes import BaseTableBox, QCL, QGMBox, QueryGraph, SelectBox
+from repro.qgm.boxes import BaseTableBox, QCL, QGMBox, QueryGraph, SelectBox, box_heights
+from repro.rewrite.index import prune_candidates
 
 
 @dataclass
 class AppliedRewrite:
-    """One accepted match, for explain output."""
+    """One accepted match, for explain output and decision-cache replay.
+
+    ``subsumee_index`` is the matched box's position in ``graph.boxes()``
+    immediately before this match was applied — enough, together with the
+    match's compensation chain, to replay the application on a freshly
+    bound structurally identical graph.
+    """
 
     summary: SummaryTable
     match: MatchResult
+    subsumee_index: int = -1
 
     def describe(self) -> str:
         return f"{self.summary.name}: {self.match.describe()}"
@@ -58,24 +66,43 @@ def rewrite_query(
     summaries: list[SummaryTable],
     accept=None,
     options: dict | None = None,
+    stats=None,
+    prune: bool = True,
 ) -> RewriteResult | None:
     """Reroute ``graph`` over the given summary tables.
 
     ``accept`` is an optional callback ``(summary, match) -> bool`` — the
     related problem (b) hook; :mod:`repro.rewrite.planner` provides a
     cost-based implementation. ``options`` are matcher knobs (see
-    :data:`repro.matching.framework.DEFAULT_OPTIONS`). Returns None when
-    nothing matched.
+    :data:`repro.matching.framework.DEFAULT_OPTIONS`). ``stats`` is an
+    optional :class:`repro.rewrite.cache.RewriteStats` counter sink.
+    ``prune`` routes candidates through the AST signature index
+    (:func:`repro.rewrite.index.prune_candidates`) before any navigation;
+    disabling it (the pre-index behaviour, kept for the ablation
+    benchmarks) falls back to the bare base-table-overlap check. Returns
+    None when nothing matched.
     """
     applied: list[AppliedRewrite] = []
     remaining = list(summaries)
     while remaining:
+        # Cheap signature pruning first — re-run per iteration because an
+        # applied rewrite changes the graph's base tables.
+        if prune:
+            pool = prune_candidates(graph, remaining, stats=stats)
+        else:
+            query_tables = graph.base_tables()
+            pool = [s for s in remaining if s.base_tables() & query_tables]
+            if stats is not None:
+                stats.candidates_considered += len(remaining)
+                stats.candidates_pruned += len(remaining) - len(pool)
         # Gather every candidate (summary, match) and take the best one:
         # the highest query box saved, then the smallest summary table
         # (a lightweight instance of related problem (b)).
-        heights = _box_heights(graph)
+        heights = box_heights(graph)
         candidates = []
-        for summary in remaining:
+        for summary in pool:
+            if stats is not None:
+                stats.matches_attempted += 1
             match = _best_match(graph, summary, options)
             if match is None:
                 continue
@@ -92,8 +119,11 @@ def rewrite_query(
         if chosen is None:
             break
         summary, match = chosen
+        subsumee_index = _box_position(graph, match.subsumee)
         apply_match(graph, match, summary)
-        applied.append(AppliedRewrite(summary, match))
+        applied.append(AppliedRewrite(summary, match, subsumee_index))
+        if stats is not None:
+            stats.rewrites_applied += 1
         remaining.remove(summary)
     if not applied:
         return None
@@ -101,21 +131,16 @@ def rewrite_query(
     return RewriteResult(graph, applied)
 
 
-def _box_heights(graph: QueryGraph) -> dict[int, int]:
-    heights: dict[int, int] = {}
-    for box in graph.boxes():
-        child_heights = [heights[id(child)] for child in box.children()]
-        heights[id(box)] = 1 + max(child_heights, default=0)
-    return heights
+def _box_position(graph: QueryGraph, target: QGMBox) -> int:
+    for position, box in enumerate(graph.boxes()):
+        if box is target:
+            return position
+    return -1
 
 
 def _best_match(
     graph: QueryGraph, summary: SummaryTable, options: dict | None = None
 ) -> MatchResult | None:
-    if not summary.base_tables() & graph.base_tables():
-        # Quick pruning only when the AST shares no table with the query;
-        # a superset is fine (extra children join losslessly).
-        return None
     ctx = match_graphs(graph, summary.graph, options=options)
     candidates = root_matches(graph, summary.graph, ctx)
     return candidates[0] if candidates else None

@@ -33,6 +33,44 @@ class TestCollectStats:
         assert stats.columns["a"].distinct == 2
 
 
+class TestDistinctCap:
+    def test_under_cap_stays_exact(self):
+        rows = [(i % 8, "x", 0.0) for i in range(100)]
+        stats = collect_stats(make_table(rows), distinct_cap=10)
+        assert stats.columns["a"].distinct == 8
+        assert stats.columns["a"].exact
+
+    def test_over_cap_estimates_and_flags(self):
+        rows = [(i, i % 3, None if i % 2 else 1.0) for i in range(100)]
+        stats = collect_stats(make_table(rows), distinct_cap=10)
+        column = stats.columns["a"]
+        assert not column.exact
+        # table fits in the sampler's window, so the estimate is exact
+        assert column.distinct == 100
+        # the other columns are untouched by a's saturation
+        assert stats.columns["b"].exact
+        assert stats.columns["b"].distinct == 3
+
+    def test_saturation_keeps_bounds_and_nulls(self):
+        rows = [(i, "x", None) for i in range(50)]
+        stats = collect_stats(make_table(rows), distinct_cap=5)
+        column = stats.columns["a"]
+        assert (column.minimum, column.maximum) == (0, 49)
+        assert stats.columns["c"].nulls == 50
+
+    def test_estimate_never_below_cap(self):
+        # even if the sampler lowballed, a saturated column reports > cap
+        rows = [(i, "x", 0.0) for i in range(30)]
+        stats = collect_stats(make_table(rows), distinct_cap=3)
+        assert stats.columns["a"].distinct >= 4
+
+    def test_default_cap_leaves_small_tables_exact(self):
+        rows = [(i, "x", 0.0) for i in range(500)]
+        stats = collect_stats(make_table(rows))
+        assert stats.columns["a"].exact
+        assert stats.columns["a"].distinct == 500
+
+
 class TestEstimateGroupCount:
     def test_empty_and_trivial(self):
         table = make_table([])

@@ -1,0 +1,77 @@
+"""Hash caching and normal-form memoization on expression nodes.
+
+The fast path hashes and normalizes the same expressions thousands of
+times (signatures, fingerprints, predicate matching); these tests pin
+the caching behaviour it relies on.
+"""
+
+from repro.expr import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    NaryOp,
+    normal_equal,
+    normalize,
+)
+from repro.expr.normalize import sort_key
+
+X = ColumnRef("t", "x")
+Y = ColumnRef("t", "y")
+
+
+def deep(depth=60):
+    expr = Literal(1)
+    for level in range(depth):
+        expr = NaryOp("+", (ColumnRef("t", f"c{level}"), expr))
+    return expr
+
+
+class TestHashCaching:
+    def test_hash_is_cached_on_instance(self):
+        expr = BinaryOp(">", X, Literal(1))
+        value = hash(expr)
+        assert expr._hash == value
+        assert hash(expr) == value  # second call served from the cache
+
+    def test_equal_nodes_equal_hashes(self):
+        a = NaryOp("+", (X, Y, Literal(2)))
+        b = NaryOp("+", (X, Y, Literal(2)))
+        assert a is not b and a == b
+        assert hash(a) == hash(b)
+
+    def test_cached_hash_survives_reuse_as_dict_key(self):
+        table = {deep(): "v"}
+        assert table[deep()] == "v"
+
+
+class TestNormalizeMemoization:
+    def test_idempotent_and_interned(self):
+        expr = NaryOp("+", (Y, X, Literal(0)))
+        once = normalize(expr)
+        assert normalize(once) is once  # _is_normal fast path
+        # equal input expressions intern to the same normal form object
+        again = normalize(NaryOp("+", (Y, X, Literal(0))))
+        assert again is once
+
+    def test_memoized_result_still_correct(self):
+        expr = BinaryOp("-", Literal(5), Literal(2))
+        assert normalize(expr) == Literal(3)
+        assert normalize(expr) == Literal(3)
+
+    def test_normal_equal_hash_fast_path(self):
+        assert normal_equal(NaryOp("*", (X, Y)), NaryOp("*", (Y, X)))
+        assert not normal_equal(
+            BinaryOp(">", X, Literal(1)), BinaryOp(">", X, Literal(2))
+        )
+
+    def test_sort_key_stable_and_memoized(self):
+        expr = FuncCall("year", (X,))
+        first = sort_key(expr)
+        assert sort_key(expr) == first
+        assert expr._sort_key == first
+
+    def test_deep_expression_normalizes(self):
+        expr = deep(200)
+        result = normalize(expr)
+        assert normalize(expr) is result

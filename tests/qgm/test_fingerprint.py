@@ -1,0 +1,73 @@
+"""Structural fingerprints: the rewrite decision cache's key."""
+
+from repro.qgm.fingerprint import GraphFingerprint, fingerprint
+
+
+def fp(db, sql):
+    return fingerprint(db.bind(sql))
+
+
+class TestStability:
+    def test_equal_across_fresh_binds(self, tiny_db):
+        sql = (
+            "select faid, year(date) as year, count(*) as cnt "
+            "from Trans where qty > 1 group by faid, year(date)"
+        )
+        first = fp(tiny_db, sql)
+        second = fp(tiny_db, sql)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first.hexdigest() == second.hexdigest()
+
+    def test_whitespace_and_case_noise_ignored(self, tiny_db):
+        a = fp(tiny_db, "select tid from Trans where qty > 1")
+        b = fp(tiny_db, "SELECT tid\nFROM trans\nWHERE qty > 1")
+        assert a == b
+
+    def test_commutative_predicate_order_ignored(self, tiny_db):
+        a = fp(tiny_db, "select tid from Trans where qty > 1 and price > 2")
+        b = fp(tiny_db, "select tid from Trans where price > 2 and qty > 1")
+        assert a == b
+
+    def test_is_hashable_dict_key(self, tiny_db):
+        key = fp(tiny_db, "select tid from Trans")
+        assert isinstance(key, GraphFingerprint)
+        assert {key: 1}[fp(tiny_db, "select tid from Trans")] == 1
+
+
+class TestDiscrimination:
+    def test_literal_change_differs(self, tiny_db):
+        a = fp(tiny_db, "select tid from Trans where qty > 1")
+        b = fp(tiny_db, "select tid from Trans where qty > 2")
+        assert a != b
+
+    def test_table_change_differs(self, tiny_db):
+        a = fp(tiny_db, "select lid from Loc")
+        b = fp(tiny_db, "select aid from Acct")
+        assert a != b
+
+    def test_grouping_differs_from_plain_select(self, tiny_db):
+        a = fp(tiny_db, "select faid, count(*) as cnt from Trans group by faid")
+        b = fp(tiny_db, "select faid, qty as cnt from Trans")
+        assert a != b
+
+    def test_grouping_columns_matter(self, tiny_db):
+        a = fp(tiny_db, "select faid, count(*) as cnt from Trans group by faid")
+        b = fp(tiny_db, "select flid, count(*) as cnt from Trans group by flid")
+        assert a != b
+
+    def test_distinct_matters(self, tiny_db):
+        a = fp(tiny_db, "select faid from Trans")
+        b = fp(tiny_db, "select distinct faid from Trans")
+        assert a != b
+
+    def test_order_by_and_limit_matter(self, tiny_db):
+        plain = fp(tiny_db, "select tid from Trans")
+        ordered = fp(tiny_db, "select tid from Trans order by tid")
+        limited = fp(tiny_db, "select tid from Trans limit 3")
+        assert len({plain, ordered, limited}) == 3
+
+    def test_predicate_presence_matters(self, tiny_db):
+        a = fp(tiny_db, "select tid from Trans")
+        b = fp(tiny_db, "select tid from Trans where qty > 1")
+        assert a != b
