@@ -1,0 +1,182 @@
+"""Ingest latency: REFRESH IMMEDIATE vs REFRESH DEFERRED.
+
+With immediate maintenance every ``insert_rows`` call pays a
+summary-delta computation per affected AST before it returns. With
+deferred maintenance the same call just appends to the base table and
+stages a delta batch; the background scheduler applies the coalesced
+batches later. This benchmark registers 9 maintainable count/sum ASTs
+over Trans (varied group-bys), streams the same insert workload into an
+immediate-mode and a deferred-mode database, and compares:
+
+* **ingest latency** — total wall-clock of the ``insert_rows`` calls
+  (what a loading client waits for). Full mode enforces deferred ingest
+  at least 5x faster than immediate at 8+ ASTs.
+* **correctness** — after ``drain_refresh()`` every deferred AST must be
+  bit-identical to its immediate-mode twin, and strict-freshness
+  (REFRESH AGE 0) query answers must agree between the two databases.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_deferred_refresh.py``)
+or with ``--fast`` for a seconds-long CI smoke run (thresholds off:
+timing is too noisy on shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.catalog.sample import credit_card_catalog
+from repro.engine.database import Database
+from repro.refresh.policy import RefreshAge
+from repro.workloads.datagen import populate_credit_db, small_config
+
+#: insert-maintainable (COUNT/SUM only) summary tables over Trans. The
+#: summed column (qty) is an integer: bit-identity between per-batch and
+#: coalesced merging is then exact, with no float-association caveats.
+AST_SQLS = [
+    "select faid, count(*) as cnt, sum(qty) as sq from Trans group by faid",
+    "select flid, count(*) as cnt, sum(qty) as sq from Trans group by flid",
+    "select fpgid, count(*) as cnt, sum(qty) as sq from Trans group by fpgid",
+    "select year(date) as year, count(*) as cnt from Trans group by year(date)",
+    "select month(date) as month, count(*) as cnt, sum(qty) as sq "
+    "from Trans group by month(date)",
+    "select faid, flid, count(*) as cnt from Trans group by faid, flid",
+    "select faid, year(date) as year, count(*) as cnt, sum(qty) as sq "
+    "from Trans group by faid, year(date)",
+    "select fpgid, month(date) as month, count(*) as cnt "
+    "from Trans group by fpgid, month(date)",
+    "select flid, year(date) as year, count(*) as cnt, sum(qty) as sq "
+    "from Trans group by flid, year(date)",
+]
+
+#: queries answered from the ASTs for the post-drain equivalence check
+CHECK_QUERIES = [
+    "select faid, count(*) as cnt from Trans group by faid",
+    "select year(date) as year, count(*) as cnt from Trans group by year(date)",
+    "select faid, flid, count(*) as cnt from Trans group by faid, flid",
+]
+
+
+def build_database(refresh_mode: str, base: Database) -> Database:
+    """A twin of ``base`` (same rows, loaded without maintenance) with
+    every AST registered in ``refresh_mode``."""
+    database = Database(credit_card_catalog())
+    for key, schema in base.catalog.tables.items():
+        if key in base.summary_tables:
+            continue
+        database.load(schema.name, base.tables[key].rows)
+    for index, sql in enumerate(AST_SQLS):
+        database.create_summary_table(
+            f"AST_{index}", sql, refresh_mode=refresh_mode
+        )
+    return database
+
+
+def make_workload(base: Database, batches: int, rows_per_batch: int):
+    """Deterministic insert batches: existing Trans rows cloned with
+    fresh primary keys (so every foreign key stays valid)."""
+    template = base.table("Trans").rows
+    next_tid = max(row[0] for row in template) + 1
+    workload = []
+    cursor = 0
+    for _ in range(batches):
+        rows = []
+        for _ in range(rows_per_batch):
+            clone = template[cursor % len(template)]
+            rows.append((next_tid,) + tuple(clone[1:]))
+            next_tid += 1
+            cursor += 1
+        workload.append(rows)
+    return workload
+
+
+def time_ingest(database: Database, workload) -> float:
+    start = time.perf_counter()
+    for rows in workload:
+        database.insert_rows("Trans", rows)
+    return time.perf_counter() - start
+
+
+def check_equivalence(immediate: Database, deferred: Database) -> None:
+    for key, summary in deferred.summary_tables.items():
+        twin = immediate.summary_tables[key]
+        if sorted(summary.table.rows) != sorted(twin.table.rows):
+            raise SystemExit(
+                f"CORRECTNESS FAILURE: {summary.name} differs from its "
+                "immediate-mode twin after drain"
+            )
+    for sql in CHECK_QUERIES:
+        strict = RefreshAge.CURRENT
+        left = deferred.execute(sql, tolerance=strict)
+        right = immediate.execute(sql, tolerance=strict)
+        if sorted(left.rows) != sorted(right.rows):
+            raise SystemExit(f"CORRECTNESS FAILURE: answers differ for {sql!r}")
+        # strict freshness must actually be served from a summary table
+        if deferred.rewrite(sql, tolerance=strict) is None:
+            raise SystemExit(
+                f"benchmark error: {sql!r} not served from an AST after drain"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI smoke mode: smaller workload, no speedup threshold",
+    )
+    parser.add_argument("--batches", type=int, default=None)
+    parser.add_argument("--rows-per-batch", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    batches = args.batches or (10 if args.fast else 150)
+    rows_per_batch = args.rows_per_batch or 3
+
+    base = Database(credit_card_catalog())
+    populate_credit_db(base, small_config())
+    workload = make_workload(base, batches, rows_per_batch)
+    total_rows = batches * rows_per_batch
+
+    immediate = build_database("immediate", base)
+    deferred = build_database("deferred", base)
+
+    print(
+        f"deferred vs immediate ingest: {len(AST_SQLS)} ASTs over Trans, "
+        f"{batches} batches x {rows_per_batch} rows"
+    )
+    immediate_s = time_ingest(immediate, workload)
+    deferred_s = time_ingest(deferred, workload)
+
+    drain_start = time.perf_counter()
+    deferred.drain_refresh()
+    drain_s = time.perf_counter() - drain_start
+    scheduler = deferred.refresh_scheduler
+
+    check_equivalence(immediate, deferred)
+    deferred.close()
+
+    speedup = immediate_s / deferred_s if deferred_s else float("inf")
+    print(f"  immediate ingest  {immediate_s * 1e3:>9.1f} ms "
+          f"({immediate_s / total_rows * 1e6:.0f} us/row)")
+    print(f"  deferred ingest   {deferred_s * 1e3:>9.1f} ms "
+          f"({deferred_s / total_rows * 1e6:.0f} us/row)")
+    print(f"  deferred drain    {drain_s * 1e3:>9.1f} ms "
+          f"({scheduler.refreshes_applied} refreshes, "
+          f"{scheduler.batches_applied} batches merged, "
+          f"{scheduler.fallback_recomputes} fallbacks)")
+    print(f"  ingest speedup    {speedup:>8.1f}x")
+    print()
+    print("post-drain summaries bit-identical to immediate mode; "
+          "strict-freshness answers agree")
+
+    if not args.fast and speedup < 5.0:
+        print(f"FAIL: deferred ingest speedup {speedup:.1f}x < 5x "
+              f"at {len(AST_SQLS)} ASTs")
+        return 1
+    print("smoke OK" if args.fast
+          else f"PASS: deferred ingest >= 5x at {len(AST_SQLS)} ASTs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.catalog.schema import TableSchema
 from repro.engine.table import Table
 from repro.qgm.boxes import QueryGraph
+from repro.refresh.policy import RefreshState
 
 
 @dataclass
@@ -23,6 +24,10 @@ class SummaryTable:
     ``graph`` is the defining query's QGM graph (the subsumer side of
     matching); ``table`` holds the materialized rows; ``schema`` exposes
     the AST as an ordinary table so rewritten queries can scan it.
+    ``refresh`` records the refresh mode (immediate | deferred) and, for
+    deferred summaries, how far behind the delta log the rows are — the
+    rewriter only offers the summary to queries whose freshness
+    tolerance admits that staleness.
     """
 
     name: str
@@ -33,6 +38,8 @@ class SummaryTable:
     enabled: bool = True
     #: populated at materialization time; used by the cost model
     stats: dict[str, float] = field(default_factory=dict)
+    #: refresh mode plus staleness record (see repro.refresh.policy)
+    refresh: RefreshState = field(default_factory=RefreshState)
 
     @property
     def row_count(self) -> int:

@@ -37,27 +37,48 @@ class MaintenanceReport:
     incremental: list[str] = field(default_factory=list)
     recomputed: dict[str, str] = field(default_factory=dict)  # name -> reason
     unaffected: list[str] = field(default_factory=list)
+    #: affected deferred summaries whose refresh was staged, not applied
+    deferred: list[str] = field(default_factory=list)
 
     def was_incremental(self, name: str) -> bool:
         return name in self.incremental
 
 
-def maintain_insert(database, table_name: str, rows: Iterable[Row]) -> MaintenanceReport:
-    """Load ``rows`` into ``table_name`` and bring every summary table up
-    to date, incrementally where possible."""
+def maintain_insert(
+    database,
+    table_name: str,
+    rows: Iterable[Row],
+    summaries: Iterable[SummaryTable] | None = None,
+) -> MaintenanceReport:
+    """Load ``rows`` into ``table_name`` and bring summary tables up to
+    date, incrementally where possible.
+
+    ``summaries`` restricts maintenance to a subset (the deferred-refresh
+    path maintains only REFRESH IMMEDIATE summaries inline and stages the
+    rest in the delta log); ``None`` maintains every summary table.
+    """
     rows = [tuple(row) for row in rows]
+    targets = _targets(database, summaries)
     report = MaintenanceReport()
-    delta = _delta_results(database, table_name, rows, report, deleting=False)
+    delta = _delta_results(database, table_name, rows, report, False, targets)
     database.load(table_name, rows)
-    _apply(database, report, delta, sign=+1)
+    _apply(database, report, delta, +1, targets)
     return report
 
 
-def maintain_delete(database, table_name: str, rows: Iterable[Row]) -> MaintenanceReport:
-    """Remove exact ``rows`` from ``table_name`` and maintain summaries."""
+def maintain_delete(
+    database,
+    table_name: str,
+    rows: Iterable[Row],
+    summaries: Iterable[SummaryTable] | None = None,
+) -> MaintenanceReport:
+    """Remove exact ``rows`` from ``table_name`` and maintain summaries
+    (``summaries`` restricts the maintained subset as in
+    :func:`maintain_insert`)."""
     rows = [tuple(row) for row in rows]
+    targets = _targets(database, summaries)
     report = MaintenanceReport()
-    delta = _delta_results(database, table_name, rows, report, deleting=True)
+    delta = _delta_results(database, table_name, rows, report, True, targets)
     table = database.table(table_name)
     for row in rows:
         try:
@@ -66,13 +87,70 @@ def maintain_delete(database, table_name: str, rows: Iterable[Row]) -> Maintenan
             raise MaintenanceError(
                 f"row {row!r} not present in {table_name!r}"
             ) from None
-    _apply(database, report, delta, sign=-1)
+    _apply(database, report, delta, -1, targets)
     return report
+
+
+def apply_pending(database, summary: SummaryTable, batches) -> str | None:
+    """Merge staged delta-log batches into one deferred summary table.
+
+    The batching trick that makes deferred refresh cheap: because the
+    changed table appears exactly once in a self-maintainable view, a
+    batch's summary-delta query never touches the changed table's stored
+    contents — so *all* staged insert rows collapse into one delta
+    evaluation and all staged delete rows into another, regardless of how
+    many INSERT/DELETE statements produced them. Inserts merge first so a
+    delete can never hit a group a staged insert was about to create
+    (COUNT/SUM merging is commutative, and deletes against MIN/MAX
+    already force recomputation via :func:`_analyze`).
+
+    Returns ``None`` when the merge was applied, else the reason the
+    summary is not self-maintainable for this pending set — the caller
+    (the refresh scheduler) falls back to full recomputation. Requires
+    every *other* base table of the summary to be unchanged since the
+    summary's last refresh, which holds exactly when the pending batches
+    name a single table: any change to a dependency is staged for this
+    summary too.
+    """
+    tables = {batch.table for batch in batches}
+    if not tables:
+        return None
+    if len(tables) > 1:
+        return "pending deltas touch more than one base table"
+    (table_name,) = tables
+    deleting = any(batch.sign < 0 for batch in batches)
+    shape = _analyze(summary, table_name, deleting)
+    if shape is None:
+        return None  # log over-approximated: the summary is unaffected
+    if isinstance(shape, str):
+        return shape
+    schema = database.catalog.table(table_name)
+    for sign in (+1, -1):
+        rows = [row for batch in batches if batch.sign == sign for row in batch.rows]
+        if not rows:
+            continue
+        store = dict(database.tables)
+        store[schema.name.lower()] = Table(schema.column_names, rows)
+        delta = Executor(store).run(summary.graph)
+        _merge(summary, shape, delta, sign)
+    summary.stats["rows"] = float(len(summary.table))
+    return None
+
+
+def _targets(database, summaries) -> list[SummaryTable]:
+    if summaries is None:
+        return list(database.summary_tables.values())
+    return list(summaries)
 
 
 # ----------------------------------------------------------------------
 def _delta_results(
-    database, table_name: str, rows: list[Row], report: MaintenanceReport, deleting: bool
+    database,
+    table_name: str,
+    rows: list[Row],
+    report: MaintenanceReport,
+    deleting: bool,
+    summaries: list[SummaryTable],
 ) -> dict[str, tuple["_SummaryShape", Table]]:
     """Per summary: its shape plus the defining query evaluated over the
     delta (computed *before* the base table is modified, so joins against
@@ -82,7 +160,7 @@ def _delta_results(
     delta_store[schema.name.lower()] = Table(schema.column_names, rows)
 
     results: dict[str, tuple[_SummaryShape, Table]] = {}
-    for summary in database.summary_tables.values():
+    for summary in summaries:
         shape = _analyze(summary, table_name, deleting)
         if shape is None:
             report.unaffected.append(summary.name)
@@ -100,8 +178,9 @@ def _apply(
     report: MaintenanceReport,
     delta: dict[str, tuple["_SummaryShape", Table]],
     sign: int,
+    summaries: list[SummaryTable],
 ) -> None:
-    for summary in database.summary_tables.values():
+    for summary in summaries:
         if summary.name in report.unaffected:
             continue
         if summary.name in report.recomputed:

@@ -12,6 +12,9 @@ shell understands:
 * ``\\noast`` — toggle summary-table rewriting off/on
 * ``\\stats`` — matching fast-path counters (index pruning, decision
   cache hits/misses, navigations run); ``\\stats reset`` zeroes them
+* ``\\refresh`` — per-summary refresh mode and staleness;
+  ``\\refresh drain`` applies every staged delta and waits;
+  ``\\refresh NAME ...`` recomputes the named summaries now
 * ``\\q`` — quit
 
 ``EXPLAIN SELECT ...`` prints the QGM graph, the match, and the
@@ -73,13 +76,16 @@ class Shell:
             return True
         if name == "\\stats":
             return self._handle_stats(parts)
+        if name == "\\refresh":
+            return self._handle_refresh(parts)
         if name == "\\save":
             return self._handle_save(parts)
         if name == "\\open":
             return self._handle_open(parts)
         self.write(
             f"unknown command {name} "
-            "(try \\d, \\timing, \\noast, \\stats, \\save DIR, \\open DIR, \\q)"
+            "(try \\d, \\timing, \\noast, \\stats, \\refresh, \\save DIR, "
+            "\\open DIR, \\q)"
         )
         return True
 
@@ -96,6 +102,44 @@ class Shell:
         self.write("matching fast path:")
         for name, value in stats.items():
             self.write(f"  {name.replace('_', ' '):<{width}} {value}")
+        return True
+
+    def _handle_refresh(self, parts: list[str]) -> bool:
+        if len(parts) >= 2 and parts[1] == "drain":
+            self.database.drain_refresh()
+            self.write("refresh queue drained; all summary tables fresh")
+            return True
+        if len(parts) >= 2:
+            try:
+                self.database.refresh_summary_tables(parts[1:])
+            except ReproError as error:
+                self.write(f"error: {error}")
+                return True
+            self.write(f"refreshed: {', '.join(parts[1:])}")
+            return True
+        status = self.database.refresh_status()
+        if not status:
+            self.write("(no summary tables)")
+            return True
+        self.write(
+            f"session refresh age: {self.database.refresh_age.describe()}"
+        )
+        for entry in status:
+            line = (
+                f"{entry['name']}: {entry['mode']}, "
+                f"{entry['pending_deltas']} pending delta batch(es), "
+                f"last refresh at lsn {entry['last_refresh_lsn']}"
+            )
+            if "last_fallback" in entry:
+                line += f" [last fallback: {entry['last_fallback']}]"
+            self.write(line)
+        scheduler = self.database.refresh_scheduler
+        self.write(
+            f"scheduler: {scheduler.refreshes_applied} refresh(es) applied, "
+            f"{scheduler.batches_applied} delta batch(es) merged, "
+            f"{scheduler.fallback_recomputes} fallback recompute(s), "
+            f"{scheduler.queued} queued"
+        )
         return True
 
     def _handle_save(self, parts: list[str]) -> bool:

@@ -20,6 +20,7 @@ counters; ``configure_fast_path()`` disables layers for ablation.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 from repro.catalog.schema import Catalog, Column, TableSchema
@@ -45,6 +46,9 @@ class Database:
         self.summary_tables: dict[str, "SummaryTable"] = {}
         # Lazily imported (like the matcher/rewriter) to avoid an import
         # cycle through repro.rewrite → repro.asts → repro.engine.
+        from repro.refresh.log import DeltaLog
+        from repro.refresh.policy import RefreshAge
+        from repro.refresh.scheduler import RefreshScheduler
         from repro.rewrite.cache import RewriteCache, RewriteStats
         from repro.rewrite.index import SummaryIndex
 
@@ -56,6 +60,13 @@ class Database:
         self._rewrite_epoch = 0
         self._fast_path_index = True
         self._fast_path_cache = True
+        # Deferred maintenance: staged base-table deltas, the background
+        # refresh worker, and the session's freshness tolerance
+        # (SET REFRESH AGE; 0 = only fully fresh summaries match).
+        self._delta_log = DeltaLog()
+        self._scheduler = RefreshScheduler(self)
+        self._maintenance_lock = threading.RLock()
+        self.refresh_age = RefreshAge.CURRENT
 
     # ------------------------------------------------------------------
     # Data definition / loading
@@ -91,11 +102,19 @@ class Database:
         """Parse + bind SQL against this database's catalog."""
         return build_graph(sql, self.catalog, label=label)
 
-    def execute(self, sql: str, use_summary_tables: bool = True) -> Table:
-        """Run a query, rewriting it over summary tables when possible."""
+    def execute(
+        self, sql: str, use_summary_tables: bool = True, tolerance=None
+    ) -> Table:
+        """Run a query, rewriting it over summary tables when possible.
+
+        ``tolerance`` is a per-query freshness override (a
+        :class:`repro.refresh.policy.RefreshAge`); by default the
+        session's ``refresh_age`` decides how stale a REFRESH DEFERRED
+        summary may be and still serve this query.
+        """
         graph = self.bind(sql)
         if use_summary_tables and self.summary_tables:
-            graph = self.rewrite_graph(graph) or graph
+            graph = self.rewrite_graph(graph, tolerance=tolerance) or graph
         return self.execute_graph(graph)
 
     def execute_graph(self, graph: QueryGraph) -> Table:
@@ -114,6 +133,8 @@ class Database:
             DropSummaryTable,
             Explain,
             InsertValues,
+            RefreshSummaryTables,
+            SetRefreshAge,
             parse_statement,
         )
 
@@ -131,30 +152,43 @@ class Database:
             self._apply_create_table(statement)
             return f"table {statement.name} created"
         if isinstance(statement, CreateSummaryTable):
-            summary = self.create_summary_table(statement.name, statement.sql)
+            summary = self.create_summary_table(
+                statement.name, statement.sql, refresh_mode=statement.refresh_mode
+            )
+            mode_note = (
+                ", refresh deferred" if summary.refresh.is_deferred else ""
+            )
             return (
                 f"summary table {summary.name} created "
-                f"({summary.row_count} rows)"
+                f"({summary.row_count} rows{mode_note})"
             )
         if isinstance(statement, DropSummaryTable):
             self.drop_summary_table(statement.name)
             return f"summary table {statement.name} dropped"
         if isinstance(statement, InsertValues):
-            from repro.asts.maintenance import maintain_insert
-
-            report = maintain_insert(self, statement.table, statement.rows)
+            report = self.insert_rows(statement.table, statement.rows)
             return _maintenance_status(
                 f"{len(statement.rows)} row(s) inserted into {statement.table}",
                 report,
             )
         if isinstance(statement, DeleteValues):
-            from repro.asts.maintenance import maintain_delete
-
-            report = maintain_delete(self, statement.table, statement.rows)
+            report = self.delete_rows(statement.table, statement.rows)
             return _maintenance_status(
                 f"{len(statement.rows)} row(s) deleted from {statement.table}",
                 report,
             )
+        if isinstance(statement, SetRefreshAge):
+            from repro.refresh.policy import RefreshAge
+
+            self.refresh_age = RefreshAge(statement.max_pending)
+            return f"refresh age set to {self.refresh_age.describe()}"
+        if isinstance(statement, RefreshSummaryTables):
+            names = statement.names or None
+            self.refresh_summary_tables(names)
+            refreshed = statement.names or tuple(
+                summary.name for summary in self.summary_tables.values()
+            )
+            return f"refreshed: {', '.join(refreshed) or '(no summary tables)'}"
         raise ReproError(f"unsupported statement {statement!r}")
 
     def run_script(self, script: str) -> list:
@@ -218,45 +252,58 @@ class Database:
         lines.append(_describe_fast_path(self._rewrite_stats.delta(before)))
         return "\n".join(lines)
 
-    def rewrite(self, sql: str | QueryGraph, options: dict | None = None):
+    def rewrite(
+        self,
+        sql: str | QueryGraph,
+        options: dict | None = None,
+        tolerance=None,
+    ):
         """Attempt a summary-table rewrite; returns a
         :class:`repro.rewrite.rewriter.RewriteResult` or None.
 
         Accepts either SQL text or an already-bound :class:`QueryGraph`
         (which is then rewritten *in place* on success — bind a fresh
         graph per call). ``options`` tunes the matcher (see
-        :data:`repro.matching.framework.DEFAULT_OPTIONS`).
+        :data:`repro.matching.framework.DEFAULT_OPTIONS`); ``tolerance``
+        overrides the session's ``refresh_age`` for this query.
         """
         graph = self.bind(sql) if isinstance(sql, str) else sql
-        return self._rewrite_bound(graph, options=options)
+        return self._rewrite_bound(graph, options=options, tolerance=tolerance)
 
-    def rewrite_graph(self, graph: QueryGraph) -> QueryGraph | None:
+    def rewrite_graph(self, graph: QueryGraph, tolerance=None) -> QueryGraph | None:
         """The rewritten graph for ``graph``, or None when nothing matches."""
-        result = self._rewrite_bound(graph)
+        result = self._rewrite_bound(graph, tolerance=tolerance)
         return result.graph if result is not None else None
 
-    def _rewrite_bound(self, graph: QueryGraph, options: dict | None = None):
-        """The matching fast path: index pruning + decision cache around
-        :func:`repro.rewrite.rewriter.rewrite_query`."""
+    def _rewrite_bound(
+        self, graph: QueryGraph, options: dict | None = None, tolerance=None
+    ):
+        """The matching fast path: staleness gate + index pruning +
+        decision cache around :func:`repro.rewrite.rewriter.rewrite_query`."""
         from repro.rewrite.cache import CachedStep, CacheEntry, options_key
+        from repro.rewrite.index import filter_fresh
         from repro.rewrite.rewriter import rewrite_query
 
+        if tolerance is None:
+            tolerance = self.refresh_age
         stats = self._rewrite_stats
         stats.queries += 1
-        summaries = self.enabled_summary_tables()
-        enabled = frozenset(s.name.lower() for s in summaries)
+        summaries = filter_fresh(
+            self.enabled_summary_tables(), tolerance, stats=stats
+        )
+        admissible = frozenset(s.name.lower() for s in summaries)
         use_cache = self._fast_path_cache and self._rewrite_cache.maxsize > 0
         key = None
         if use_cache:
-            key = (fingerprint(graph), options_key(options))
+            key = (fingerprint(graph), options_key(options), tolerance.key)
             entry = self._rewrite_cache.lookup(
-                key, self._rewrite_epoch, enabled, stats=stats
+                key, self._rewrite_epoch, admissible, stats=stats
             )
             if entry is not None:
                 if entry.steps is None:
                     stats.cache_negative_hits += 1
                     return None
-                replayed = self._replay_rewrite(graph, entry)
+                replayed = self._replay_rewrite(graph, entry, admissible)
                 if replayed is not None:
                     stats.cache_hits += 1
                     return replayed
@@ -283,12 +330,14 @@ class Database:
                     for step in result.applied
                 )
             self._rewrite_cache.store(
-                key, CacheEntry(self._rewrite_epoch, enabled, steps)
+                key, CacheEntry(self._rewrite_epoch, admissible, steps)
             )
             stats.cache_stores += 1
         return result
 
-    def _replay_rewrite(self, graph: QueryGraph, entry: CacheEntry):
+    def _replay_rewrite(
+        self, graph: QueryGraph, entry: CacheEntry, admissible: frozenset[str]
+    ):
         """Re-apply a cached positive decision to a freshly bound graph.
 
         The fingerprint match guarantees ``graph`` enumerates its boxes
@@ -309,7 +358,11 @@ class Database:
         try:
             for step in entry.steps:
                 summary = self.summary_tables.get(step.summary_name)
-                if summary is None or not summary.enabled:
+                if (
+                    summary is None
+                    or not summary.enabled
+                    or step.summary_name not in admissible
+                ):
                     return None
                 boxes = graph.boxes()
                 if not 0 <= step.subsumee_index < len(boxes):
@@ -333,11 +386,24 @@ class Database:
     # ------------------------------------------------------------------
     def rewrite_stats(self) -> dict[str, int]:
         """Cumulative matching fast-path counters (see
-        :class:`repro.rewrite.cache.RewriteStats`)."""
-        return self._rewrite_stats.as_dict()
+        :class:`repro.rewrite.cache.RewriteStats`) merged with the
+        deferred-refresh subsystem's counters: ``pending_deltas`` (a
+        gauge — staged delta batches summed over deferred summaries),
+        ``refreshes_applied``, ``fallback_recomputes``."""
+        stats = self._rewrite_stats.as_dict()
+        stats["pending_deltas"] = sum(
+            summary.refresh.pending_deltas
+            for summary in self.summary_tables.values()
+        )
+        stats["refreshes_applied"] = self._scheduler.refreshes_applied
+        stats["fallback_recomputes"] = self._scheduler.fallback_recomputes
+        return stats
 
     def reset_rewrite_stats(self) -> None:
         self._rewrite_stats.reset()
+        self._scheduler.refreshes_applied = 0
+        self._scheduler.fallback_recomputes = 0
+        self._scheduler.batches_applied = 0
 
     def configure_fast_path(
         self, index: bool | None = None, cache: bool | None = None
@@ -359,22 +425,36 @@ class Database:
     # Summary tables
     # ------------------------------------------------------------------
     def create_summary_table(
-        self, name: str, sql: str, use_summary_tables: bool = False
+        self,
+        name: str,
+        sql: str,
+        use_summary_tables: bool = False,
+        refresh_mode: str = "immediate",
     ) -> "SummaryTable":
         """Define and materialize an AST from its defining query.
 
         With ``use_summary_tables=True`` the materialization itself is
         rewritten over existing (fresh) summary tables — building a
         coarse rollup from a fine one instead of from the fact table.
+        ``refresh_mode`` is ``"immediate"`` (maintained synchronously
+        with every base-table change) or ``"deferred"`` (changes are
+        staged in the delta log and applied by the refresh scheduler).
         """
         from repro.asts.definition import SummaryTable
+        from repro.refresh.policy import RefreshState
 
         if self.catalog.has_table(name):
             raise CatalogError(f"name {name!r} is already a table")
         graph = self.bind(sql, label="A")
         execution_graph = graph
         if use_summary_tables and self.summary_tables:
-            execution_graph = self.rewrite_graph(self.bind(sql, label="A")) or graph
+            # Rewrite the bound graph in place; only when a rewrite
+            # actually applied does the pristine definition graph need to
+            # be re-bound (the common no-match path binds exactly once).
+            rewritten = self.rewrite_graph(graph)
+            if rewritten is not None:
+                execution_graph = rewritten
+                graph = self.bind(sql, label="A")
         data = self.execute_graph(execution_graph)
         schema = _schema_from_result(name, graph, data)
         summary = SummaryTable(
@@ -383,6 +463,9 @@ class Database:
             graph=graph,
             schema=schema,
             table=Table(data.columns, data.rows),
+            refresh=RefreshState(
+                mode=refresh_mode, last_refresh_lsn=self._delta_log.lsn
+            ),
         )
         summary.stats["rows"] = float(len(data))
         summary.stats["base_rows"] = float(
@@ -409,15 +492,36 @@ class Database:
         del self.tables[key]
         self.catalog.drop_table(name)
         self._summary_index.unregister(name)
+        self._prune_delta_log()
         self._bump_rewrite_epoch()
 
-    def refresh_summary_tables(self) -> None:
-        """Recompute every summary table from the base data."""
-        for summary in self.summary_tables.values():
-            data = self.execute_graph(summary.graph)
-            summary.table.rows[:] = data.rows
-            summary.stats["rows"] = float(len(data))
-        self._bump_rewrite_epoch()
+    def refresh_summary_tables(self, names: Iterable[str] | None = None) -> None:
+        """Recompute summary tables from the base data.
+
+        ``names`` restricts the refresh to the given summary tables (so
+        one stale AST can be refreshed without recomputing them all);
+        ``None`` keeps the historical refresh-everything behavior.
+        Refreshed deferred summaries become fully fresh: their staleness
+        record is cleared and consumed delta-log batches are pruned.
+        """
+        with self._maintenance_lock:
+            if names is None:
+                targets = list(self.summary_tables.values())
+            else:
+                targets = []
+                for name in names:
+                    key = name.lower()
+                    if key not in self.summary_tables:
+                        raise CatalogError(f"no summary table named {name!r}")
+                    targets.append(self.summary_tables[key])
+            for summary in targets:
+                data = self.execute_graph(summary.graph)
+                summary.table.rows[:] = data.rows
+                summary.stats["rows"] = float(len(data))
+                summary.refresh.pending_deltas = 0
+                summary.refresh.last_refresh_lsn = self._delta_log.lsn
+            self._prune_delta_log()
+            self._bump_rewrite_epoch()
 
     def set_summary_table_enabled(self, name: str, enabled: bool = True) -> None:
         """Toggle a summary table's availability for matching.
@@ -438,6 +542,138 @@ class Database:
     def enabled_summary_tables(self) -> list["SummaryTable"]:
         return [s for s in self.summary_tables.values() if s.enabled]
 
+    def deferred_summary_tables(self) -> list["SummaryTable"]:
+        return [
+            s for s in self.summary_tables.values() if s.refresh.is_deferred
+        ]
+
+    # ------------------------------------------------------------------
+    # Ingest with deferred maintenance
+    # ------------------------------------------------------------------
+    def insert_rows(self, table_name: str, rows: Iterable[Row]):
+        """Insert rows, maintaining REFRESH IMMEDIATE summaries inline
+        and staging the change for REFRESH DEFERRED ones.
+
+        The base table is always updated synchronously — only summary
+        maintenance is deferred, which is what decouples ingest latency
+        from the number of registered summaries. Returns the
+        :class:`repro.asts.maintenance.MaintenanceReport`.
+        """
+        return self._ingest(table_name, rows, sign=+1)
+
+    def delete_rows(self, table_name: str, rows: Iterable[Row]):
+        """Exact-row delete with the same immediate/deferred split as
+        :meth:`insert_rows`."""
+        return self._ingest(table_name, rows, sign=-1)
+
+    def _ingest(self, table_name: str, rows: Iterable[Row], sign: int):
+        from repro.asts.maintenance import maintain_delete, maintain_insert
+
+        rows = [tuple(row) for row in rows]
+        maintain = maintain_insert if sign > 0 else maintain_delete
+        with self._maintenance_lock:
+            immediate = [
+                s
+                for s in self.summary_tables.values()
+                if not s.refresh.is_deferred
+            ]
+            report = maintain(self, table_name, rows, summaries=immediate)
+            stale = self._stage_deferred(table_name, rows, sign, report)
+        # Notify outside the maintenance lock: the worker needs the lock
+        # to drain a full queue, so notifying under it could deadlock.
+        if stale:
+            self._scheduler.notify(stale)
+        return report
+
+    def _stage_deferred(
+        self, table_name: str, rows: list[Row], sign: int, report
+    ) -> list[str]:
+        """Log the change for affected deferred summaries; returns their
+        names (the scheduler's refresh work list)."""
+        if not rows:
+            return []
+        key = self.catalog.table(table_name).name.lower()
+        affected = []
+        for summary in self.deferred_summary_tables():
+            if key in summary.base_tables():
+                affected.append(summary)
+                report.deferred.append(summary.name)
+            else:
+                report.unaffected.append(summary.name)
+        if not affected:
+            return []
+        self._delta_log.append(key, rows, sign)
+        for summary in affected:
+            summary.refresh.pending_deltas += 1
+        # No epoch bump: cached decisions made under a tolerance that the
+        # new staleness violates are invalidated by the admissible-set
+        # check; decisions under looser tolerances stay valid.
+        return [summary.name for summary in affected]
+
+    # ------------------------------------------------------------------
+    # Deferred-refresh introspection and control
+    # ------------------------------------------------------------------
+    @property
+    def delta_log(self):
+        """The staged-change log (see :class:`repro.refresh.log.DeltaLog`)."""
+        return self._delta_log
+
+    @property
+    def refresh_scheduler(self):
+        """The background refresh worker
+        (:class:`repro.refresh.scheduler.RefreshScheduler`)."""
+        return self._scheduler
+
+    def set_refresh_age(self, max_pending: int | None) -> None:
+        """Session-level ``SET REFRESH AGE`` (None = ANY)."""
+        from repro.refresh.policy import RefreshAge
+
+        self.refresh_age = RefreshAge(max_pending)
+
+    def drain_refresh(self) -> None:
+        """Apply every staged delta and block until all deferred
+        summaries are fully fresh (deterministic test/benchmark hook)."""
+        stale = [
+            summary.name
+            for summary in self.deferred_summary_tables()
+            if summary.refresh.is_stale
+        ]
+        if stale:
+            self._scheduler.notify(stale)
+        self._scheduler.drain()
+
+    def close(self) -> None:
+        """Stop the background refresh worker (queued work is finished
+        first)."""
+        self._scheduler.stop()
+
+    def refresh_status(self) -> list[dict]:
+        """Per-summary refresh mode and staleness, for the CLI and tests."""
+        status = []
+        for summary in self.summary_tables.values():
+            state = summary.refresh
+            entry = {
+                "name": summary.name,
+                "mode": state.mode,
+                "pending_deltas": state.pending_deltas,
+                "last_refresh_lsn": state.last_refresh_lsn,
+            }
+            reason = self._scheduler.last_fallbacks.get(summary.name)
+            if reason:
+                entry["last_fallback"] = reason
+            status.append(entry)
+        return status
+
+    def _prune_delta_log(self) -> None:
+        """Drop delta batches every deferred summary has consumed."""
+        deferred = self.deferred_summary_tables()
+        if not deferred:
+            self._delta_log.prune(self._delta_log.lsn)
+            return
+        self._delta_log.prune(
+            min(s.refresh.last_refresh_lsn for s in deferred)
+        )
+
 
 def _describe_fast_path(delta: dict[str, int]) -> str:
     """One-line rendering of per-statement fast-path counter deltas."""
@@ -453,6 +689,11 @@ def _describe_fast_path(delta: dict[str, int]) -> str:
     else:
         parts.append("decision cache: off")
     parts.append(f"matches attempted: {delta['matches_attempted']}")
+    if delta.get("stale_rejections"):
+        parts.append(
+            f"stale summaries rejected: {delta['stale_rejections']} "
+            "(raise REFRESH AGE or drain the refresh queue)"
+        )
     return "; ".join(parts)
 
 
@@ -462,6 +703,8 @@ def _maintenance_status(prefix: str, report) -> str:
         notes.append(f"incremental: {', '.join(report.incremental)}")
     if report.recomputed:
         notes.append(f"recomputed: {', '.join(report.recomputed)}")
+    if report.deferred:
+        notes.append(f"deferred: {', '.join(report.deferred)}")
     if not notes:
         return prefix
     return f"{prefix} ({'; '.join(notes)})"

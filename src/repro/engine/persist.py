@@ -6,6 +6,14 @@ table (one JSON array per row; dates as ISO strings, re-typed on load
 from the declared column types). Summary tables are saved with their
 materialized rows *and* their defining SQL, so a reload restores the
 exact snapshot without re-running the definitions.
+
+Deferred-refresh state persists too: each summary entry records its
+refresh mode and staleness (pending delta-batch count, last-refresh
+LSN), and the staged delta log itself is written to ``deltas.jsonl`` —
+so a reloaded database can finish its deferred maintenance exactly where
+the saved one left off (``drain_refresh()`` applies it). Databases saved
+by older versions load with every summary REFRESH IMMEDIATE and an empty
+log, and older loaders simply ignore the extra manifest keys and file.
 """
 
 from __future__ import annotations
@@ -50,13 +58,21 @@ def save_database(database: Database, path: str | Path) -> Path:
             for fk in database.catalog.foreign_keys
         ],
         "summary_tables": [
-            {"name": summary.name, "sql": summary.sql}
+            {
+                "name": summary.name,
+                "sql": summary.sql,
+                "refresh_mode": summary.refresh.mode,
+                "pending_deltas": summary.refresh.pending_deltas,
+                "last_refresh_lsn": summary.refresh.last_refresh_lsn,
+            }
             for summary in summaries.values()
         ],
+        "refresh_lsn": database.delta_log.lsn,
     }
     for key, schema in database.catalog.tables.items():
         manifest["tables"].append(_schema_to_json(schema))
         _write_rows(root / f"{schema.name}.jsonl", database.tables[key])
+    _write_delta_log(root / "deltas.jsonl", database.delta_log)
     (root / "catalog.json").write_text(json.dumps(manifest, indent=2))
     return root
 
@@ -96,6 +112,7 @@ def load_database(path: str | Path) -> Database:
 
     # Re-register summary tables around the already-loaded snapshots.
     from repro.asts.definition import SummaryTable
+    from repro.refresh.policy import RefreshState
 
     for entry in manifest["summary_tables"]:
         name = entry["name"]
@@ -108,9 +125,20 @@ def load_database(path: str | Path) -> Database:
             graph=graph,
             schema=schema,
             table=table,
+            refresh=RefreshState(
+                mode=entry.get("refresh_mode", "immediate"),
+                pending_deltas=entry.get("pending_deltas", 0),
+                last_refresh_lsn=entry.get("last_refresh_lsn", 0),
+            ),
         )
         summary.stats["rows"] = float(len(table))
         database._register_summary(summary)
+    _read_delta_log(
+        root / "deltas.jsonl",
+        database,
+        manifest.get("refresh_lsn", 0),
+        schemas,
+    )
     return database
 
 
@@ -136,6 +164,63 @@ def _schema_from_json(entry: dict[str, Any]) -> TableSchema:
     ]
     keys = [UniqueKey(tuple(k["columns"]), k["primary"]) for k in entry["keys"]]
     return TableSchema(entry["name"], columns, keys)
+
+
+def _write_delta_log(path: Path, log) -> None:
+    batches = log.batches()
+    if not batches:
+        if path.exists():
+            path.unlink()
+        return
+    with path.open("w") as handle:
+        for batch in batches:
+            handle.write(
+                json.dumps(
+                    {
+                        "seq": batch.seq,
+                        "table": batch.table,
+                        "sign": batch.sign,
+                        "rows": [
+                            [_encode(value) for value in row]
+                            for row in batch.rows
+                        ],
+                    }
+                )
+            )
+            handle.write("\n")
+
+
+def _read_delta_log(
+    path: Path, database: Database, lsn: int, schemas: dict[str, TableSchema]
+) -> None:
+    from repro.refresh.log import DeltaBatch
+
+    by_key = {schema.name.lower(): schema for schema in schemas.values()}
+    batches = []
+    if path.exists():
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                schema = by_key.get(entry["table"])
+                if schema is None:
+                    raise ReproError(
+                        f"delta batch references unknown table {entry['table']!r}"
+                    )
+                decoders = [_decoder(column.dtype) for column in schema.columns]
+                rows = tuple(
+                    tuple(
+                        None if value is None else decode(value)
+                        for decode, value in zip(decoders, raw)
+                    )
+                    for raw in entry["rows"]
+                )
+                batches.append(
+                    DeltaBatch(entry["seq"], entry["table"], entry["sign"], rows)
+                )
+    database.delta_log.restore(lsn, batches)
 
 
 def _write_rows(path: Path, table: Table) -> None:

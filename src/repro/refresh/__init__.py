@@ -1,0 +1,19 @@
+"""Deferred summary-table maintenance: delta log, staleness-aware
+routing policy, and the background refresh scheduler.
+
+See docs/ALGORITHM.md, "Refresh modes and staleness".
+"""
+
+from repro.refresh.log import DeltaBatch, DeltaLog
+from repro.refresh.policy import DEFERRED, IMMEDIATE, RefreshAge, RefreshState
+from repro.refresh.scheduler import RefreshScheduler
+
+__all__ = [
+    "DEFERRED",
+    "DeltaBatch",
+    "DeltaLog",
+    "IMMEDIATE",
+    "RefreshAge",
+    "RefreshScheduler",
+    "RefreshState",
+]

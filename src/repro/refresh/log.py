@@ -1,0 +1,93 @@
+"""The delta log: staged base-table changes awaiting deferred refresh.
+
+Under REFRESH IMMEDIATE, every INSERT/DELETE synchronously maintains
+every summary table, so ingest latency grows with the number of ASTs.
+The delta log breaks that coupling: a change to a base table that any
+*deferred* summary depends on is appended here as a :class:`DeltaBatch`
+— the raw rows plus a sign — and applied to those summaries later by the
+:class:`repro.refresh.scheduler.RefreshScheduler`.
+
+The log keeps one global, monotonically increasing logical timestamp
+(``lsn``). Each deferred summary remembers the LSN of its last refresh
+(:class:`repro.refresh.policy.RefreshState`); its pending work is exactly
+the batches with a later LSN that touch one of its base tables. Batches
+every dependent has consumed are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.engine.table import Row
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """One staged base-table change.
+
+    ``sign`` is +1 for inserts and -1 for deletes; ``rows`` are full
+    tuples of the changed table (the same exact-row form the maintenance
+    layer's summary-delta queries consume).
+    """
+
+    seq: int  # the LSN assigned at append time
+    table: str  # lower-cased base-table name
+    sign: int
+    rows: tuple[Row, ...]
+
+    def __post_init__(self) -> None:
+        if self.sign not in (+1, -1):
+            raise ValueError(f"delta sign must be +1 or -1, got {self.sign}")
+
+
+class DeltaLog:
+    """An append-only, prunable staging area for base-table deltas."""
+
+    def __init__(self) -> None:
+        self._batches: list[DeltaBatch] = []
+        self._lsn = 0
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    @property
+    def lsn(self) -> int:
+        """The logical timestamp of the newest staged change."""
+        return self._lsn
+
+    def append(self, table: str, rows: Iterable[Row], sign: int) -> DeltaBatch:
+        """Stage one change; assigns and returns the next LSN's batch."""
+        self._lsn += 1
+        batch = DeltaBatch(
+            self._lsn, table.lower(), sign, tuple(tuple(row) for row in rows)
+        )
+        self._batches.append(batch)
+        return batch
+
+    def pending_for(self, tables: set[str], after: int) -> list[DeltaBatch]:
+        """Batches newer than ``after`` touching any of ``tables``, in
+        LSN order (the order they must be applied in)."""
+        wanted = {name.lower() for name in tables}
+        return [
+            batch
+            for batch in self._batches
+            if batch.seq > after and batch.table in wanted
+        ]
+
+    def prune(self, keep_after: int) -> int:
+        """Drop batches with ``seq <= keep_after`` (every dependent has
+        refreshed past them); returns how many were dropped."""
+        before = len(self._batches)
+        self._batches = [b for b in self._batches if b.seq > keep_after]
+        return before - len(self._batches)
+
+    def batches(self) -> list[DeltaBatch]:
+        """A snapshot of the staged batches (for persistence/tests)."""
+        return list(self._batches)
+
+    def restore(self, lsn: int, batches: Iterable[DeltaBatch]) -> None:
+        """Reset the log to a persisted state (see repro.engine.persist)."""
+        self._batches = sorted(batches, key=lambda b: b.seq)
+        top = self._batches[-1].seq if self._batches else 0
+        self._lsn = max(lsn, top)

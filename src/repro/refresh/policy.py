@@ -1,0 +1,96 @@
+"""Refresh modes and freshness tolerance — the routing policy layer.
+
+The paper's host system distinguishes REFRESH IMMEDIATE summary tables
+(maintained synchronously with every base-table change) from REFRESH
+DEFERRED ones (brought up to date later), and gates matching on the
+``CURRENT REFRESH AGE`` special register: a query only routes through a
+deferred AST when the register says its staleness is acceptable.
+
+This module holds the two value types that policy needs — and nothing
+else, so it can be imported from any layer without cycles:
+
+* :class:`RefreshState` — carried by every
+  :class:`repro.asts.definition.SummaryTable`: the refresh mode plus the
+  staleness record (how many delta batches are staged against it, and
+  the delta-log logical timestamp of its last refresh).
+* :class:`RefreshAge` — the per-query/per-session freshness tolerance
+  set by ``SET REFRESH AGE ANY | 0 | <n>``. ``0`` (the default, matching
+  DB2's) admits only fully fresh summaries; ``ANY`` admits arbitrarily
+  stale ones; an integer ``n`` admits summaries at most ``n`` staged
+  batches behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+IMMEDIATE = "immediate"
+DEFERRED = "deferred"
+
+
+@dataclass
+class RefreshState:
+    """One summary table's refresh mode and staleness record."""
+
+    mode: str = IMMEDIATE  # IMMEDIATE | DEFERRED
+    #: delta-log batches staged against this summary and not yet applied
+    pending_deltas: int = 0
+    #: the delta log's logical timestamp as of the last refresh (or
+    #: materialization — a freshly built AST is exactly current)
+    last_refresh_lsn: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (IMMEDIATE, DEFERRED):
+            raise ValueError(f"unknown refresh mode {self.mode!r}")
+
+    @property
+    def is_deferred(self) -> bool:
+        return self.mode == DEFERRED
+
+    @property
+    def is_stale(self) -> bool:
+        return self.pending_deltas > 0
+
+    def describe(self) -> str:
+        if not self.is_deferred:
+            return IMMEDIATE
+        return (
+            f"{DEFERRED}, {self.pending_deltas} pending delta batch(es), "
+            f"refreshed at lsn {self.last_refresh_lsn}"
+        )
+
+
+@dataclass(frozen=True)
+class RefreshAge:
+    """A freshness tolerance: how stale may a summary be and still match?
+
+    ``max_pending`` counts staged delta batches; ``None`` means ANY.
+    """
+
+    max_pending: int | None = 0
+
+    ANY: ClassVar["RefreshAge"]
+    CURRENT: ClassVar["RefreshAge"]
+
+    def __post_init__(self) -> None:
+        if self.max_pending is not None and self.max_pending < 0:
+            raise ValueError("refresh age must be ANY or a non-negative count")
+
+    def admits(self, pending_deltas: int) -> bool:
+        """Is a summary with this many staged batches fresh enough?"""
+        if pending_deltas <= 0:
+            return True
+        return self.max_pending is None or pending_deltas <= self.max_pending
+
+    @property
+    def key(self) -> tuple:
+        """Hashable form for decision-cache keys."""
+        return ("refresh_age", self.max_pending)
+
+    def describe(self) -> str:
+        return "ANY" if self.max_pending is None else str(self.max_pending)
+
+
+RefreshAge.ANY = RefreshAge(None)
+RefreshAge.CURRENT = RefreshAge(0)

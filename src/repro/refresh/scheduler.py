@@ -1,0 +1,183 @@
+"""The background refresh scheduler for deferred summary tables.
+
+A single daemon worker thread drains a bounded, deduplicating queue of
+summary-table names that have staged deltas. Work is *batched* twice
+over:
+
+* the worker pops every queued name in one sweep (after a short batching
+  window that lets a burst of ingest coalesce), and
+* per summary, **all** pending delta batches are applied in one pass —
+  the staged insert rows are merged into a single summary-delta query
+  and the staged delete rows into another, so a thousand small INSERT
+  statements cost two delta evaluations instead of a thousand.
+
+Incremental application reuses the summary-delta merge from
+:mod:`repro.asts.maintenance` (:func:`~repro.asts.maintenance.apply_pending`);
+whenever the summary is not self-maintainable for the pending change
+(AVG/DISTINCT, HAVING, deletes against MIN/MAX, deltas spanning several
+base tables, ...) the worker falls back to full recomputation and counts
+it — never silently degrades.
+
+Determinism hooks: :meth:`RefreshScheduler.drain` blocks until the queue
+is empty and the worker is idle (tests and benchmarks call it before
+comparing results); :meth:`RefreshScheduler.stop` finishes queued work
+and joins the thread. All mutation of summary tables happens under the
+database's maintenance lock, serializing the worker against ingest.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ReproError
+
+
+class RefreshScheduler:
+    """Applies staged deltas to deferred summary tables off the ingest path.
+
+    ``queue_limit`` bounds the name queue — producers block (backpressure)
+    rather than growing it without bound, though deduplication keeps the
+    queue no longer than the number of deferred summaries in practice.
+    ``batch_window`` is how long the worker waits after waking before
+    sweeping the queue, so bursts of ingest coalesce into one refresh
+    pass; ``drain()`` skips the window.
+    """
+
+    def __init__(self, database, queue_limit: int = 1024, batch_window: float = 0.005):
+        self._database = database
+        self.queue_limit = queue_limit
+        self.batch_window = batch_window
+        self._queue: deque[str] = deque()
+        self._queued: set[str] = set()
+        self._condition = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._running = False
+        self._busy = False
+        self._draining = False
+        # counters (monotonic; surfaced via Database.rewrite_stats())
+        self.refreshes_applied = 0
+        self.fallback_recomputes = 0
+        self.batches_applied = 0
+        #: last fallback reason per summary name (for the \refresh command)
+        self.last_fallbacks: dict[str, str] = {}
+        #: worker-side errors that survived the per-name guard
+        self.errors: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def notify(self, names: list[str]) -> None:
+        """Enqueue summaries for refresh (deduplicating); starts the
+        worker on first use. Must not be called while holding the
+        database's maintenance lock — the worker needs that lock to make
+        room in a full queue."""
+        if not names:
+            return
+        with self._condition:
+            self._ensure_worker()
+            for name in names:
+                key = name.lower()
+                if key in self._queued:
+                    continue
+                while len(self._queue) >= self.queue_limit:
+                    self._condition.wait()
+                self._queue.append(key)
+                self._queued.add(key)
+            self._condition.notify_all()
+
+    def drain(self) -> None:
+        """Block until every queued refresh has been applied."""
+        with self._condition:
+            if self._thread is None:
+                return
+            self._draining = True
+            self._condition.notify_all()
+            while self._queue or self._busy:
+                self._condition.wait()
+            self._draining = False
+            self._condition.notify_all()
+
+    def stop(self) -> None:
+        """Finish queued work and join the worker thread."""
+        with self._condition:
+            if self._thread is None:
+                return
+            self._running = False
+            self._condition.notify_all()
+        self._thread.join()
+        self._thread = None
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name="refresh-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            with self._condition:
+                while self._running and not self._queue:
+                    self._condition.wait()
+                if not self._queue:
+                    return  # stopped with nothing left to do
+                if self.batch_window and self._running and not self._draining:
+                    # let a burst of ingest coalesce before sweeping
+                    self._condition.wait(self.batch_window)
+                names = list(self._queue)
+                self._queue.clear()
+                self._queued.clear()
+                self._busy = True
+                self._condition.notify_all()  # wake blocked producers
+            try:
+                for name in names:
+                    try:
+                        self._refresh_one(name)
+                    except Exception as error:  # keep the worker alive
+                        self.errors.append(f"{name}: {error}")
+            finally:
+                with self._condition:
+                    self._busy = False
+                    self._condition.notify_all()
+
+    def _refresh_one(self, name: str) -> None:
+        """Bring one deferred summary fully up to date with the log."""
+        from repro.asts.maintenance import apply_pending
+
+        database = self._database
+        with database._maintenance_lock:
+            summary = database.summary_tables.get(name.lower())
+            if summary is None or not summary.refresh.is_deferred:
+                return
+            log = database.delta_log
+            upto = log.lsn
+            batches = log.pending_for(
+                summary.base_tables(), summary.refresh.last_refresh_lsn
+            )
+            if batches:
+                try:
+                    reason = apply_pending(database, summary, batches)
+                except ReproError as error:
+                    reason = f"incremental apply failed: {error}"
+                if reason is not None:
+                    data = database.execute_graph(summary.graph)
+                    summary.table.rows[:] = data.rows
+                    summary.stats["rows"] = float(len(data))
+                    self.fallback_recomputes += 1
+                    self.last_fallbacks[summary.name] = reason
+                self.refreshes_applied += 1
+                self.batches_applied += len(batches)
+            summary.refresh.pending_deltas = 0
+            summary.refresh.last_refresh_lsn = upto
+            database._prune_delta_log()
+            database._bump_rewrite_epoch()

@@ -17,9 +17,14 @@ remembers, per query shape:
 Entries are validated against an *epoch* counter that
 :class:`repro.engine.database.Database` bumps on every
 ``create_summary_table`` / ``drop_summary_table`` /
-``refresh_summary_tables`` / enable-disable, plus the exact set of
-enabled summary names (which also catches ``summary.enabled`` being
-toggled directly on the dataclass). Stale entries are dropped on lookup.
+``refresh_summary_tables`` / enable-disable / applied deferred refresh,
+plus the exact set of *admissible* summary names — enabled **and** fresh
+enough for the query's refresh-age tolerance (which also catches
+``summary.enabled`` being toggled directly on the dataclass, and staged
+deltas flipping a deferred summary from fresh to stale). The freshness
+tolerance itself is part of the cache key, so a decision cached under
+``SET REFRESH AGE ANY`` is never served to a ``REFRESH AGE 0`` query or
+vice versa. Stale entries are dropped on lookup.
 
 :class:`RewriteStats` collects the whole fast path's counters; they are
 exposed via ``Database.rewrite_stats()`` and rendered by ``EXPLAIN`` and
@@ -50,6 +55,7 @@ class RewriteStats:
     cache_stores: int = 0  # decisions written to the cache
     cache_invalidations: int = 0  # entries dropped as stale on lookup
     cache_replay_failures: int = 0  # replays that fell back to cold path
+    stale_rejections: int = 0  # summaries too stale for the query's tolerance
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -89,15 +95,22 @@ class CachedStep:
 
 @dataclass
 class CacheEntry:
-    """One cached decision plus its validity stamp."""
+    """One cached decision plus its validity stamp.
+
+    ``admissible`` is the exact set of summary names that were enabled
+    *and* fresh enough for the query's tolerance when the decision was
+    made; any change to that set (DDL, enable/disable, staged deltas,
+    applied refreshes) invalidates the entry on lookup.
+    """
 
     epoch: int
-    enabled: frozenset[str]
+    admissible: frozenset[str]
     steps: tuple[CachedStep, ...] | None  # None ⇒ negative (no rewrite)
 
 
-#: cache key: the graph fingerprint plus the matcher options in effect
-CacheKey = tuple[GraphFingerprint, tuple]
+#: cache key: the graph fingerprint, the matcher options in effect, and
+#: the freshness tolerance (RefreshAge.key) the decision was made under
+CacheKey = tuple[GraphFingerprint, tuple, tuple]
 
 
 def options_key(options: dict | None) -> tuple:
@@ -121,7 +134,7 @@ class RewriteCache:
         self,
         key: CacheKey,
         epoch: int,
-        enabled: frozenset[str],
+        admissible: frozenset[str],
         stats: RewriteStats | None = None,
     ) -> CacheEntry | None:
         """The valid entry for ``key``, refreshed as most recent; stale
@@ -129,7 +142,7 @@ class RewriteCache:
         entry = self._entries.get(key)
         if entry is None:
             return None
-        if entry.epoch != epoch or entry.enabled != enabled:
+        if entry.epoch != epoch or entry.admissible != admissible:
             del self._entries[key]
             if stats is not None:
                 stats.cache_invalidations += 1

@@ -114,6 +114,40 @@ def plausible(
     return True
 
 
+def filter_fresh(
+    summaries: list[SummaryTable],
+    tolerance,
+    stats=None,
+) -> list[SummaryTable]:
+    """The subset of ``summaries`` fresh enough for ``tolerance``.
+
+    This is the staleness gate in front of the candidate index: a
+    REFRESH DEFERRED summary with staged delta batches is only *offered*
+    to the matcher when the query's freshness tolerance
+    (:class:`repro.refresh.policy.RefreshAge`) admits its lag. Fully
+    fresh summaries (no pending deltas — which includes every REFRESH
+    IMMEDIATE summary) always pass. ``tolerance=None`` disables the gate
+    (library callers driving :func:`rewrite_query` by hand).
+
+    ``stats`` is an optional :class:`repro.rewrite.cache.RewriteStats`;
+    rejected candidates are counted as ``stale_rejections``.
+    """
+    if tolerance is None:
+        return list(summaries)
+    kept = []
+    rejected = 0
+    for summary in summaries:
+        state = getattr(summary, "refresh", None)
+        pending = state.pending_deltas if state is not None else 0
+        if tolerance.admits(pending):
+            kept.append(summary)
+        else:
+            rejected += 1
+    if stats is not None and rejected:
+        stats.stale_rejections += rejected
+    return kept
+
+
 def prune_candidates(
     graph: QueryGraph,
     summaries: list[SummaryTable],

@@ -4,8 +4,13 @@ Supported statements (used by the CLI and by ``Database.run_sql``):
 
 * ``CREATE TABLE name (col TYPE [NOT NULL], ..., PRIMARY KEY (...),
   UNIQUE (...), FOREIGN KEY (...) REFERENCES parent (...))``
-* ``CREATE SUMMARY TABLE name AS select-statement``
+* ``CREATE SUMMARY TABLE name [REFRESH IMMEDIATE | REFRESH DEFERRED]
+  AS select-statement``
 * ``DROP SUMMARY TABLE name``
+* ``REFRESH SUMMARY TABLE [name [, name ...]]`` (no names ⇒ all)
+* ``SET REFRESH AGE ANY | 0 | <n>`` — the session's freshness
+  tolerance: how many staged delta batches a deferred summary may lag
+  behind and still answer queries
 * ``INSERT INTO name VALUES (...), (...), ...``
 * ``DELETE FROM name VALUES (...), ...``  (exact-row delete; feeds the
   incremental maintenance path)
@@ -74,11 +79,22 @@ class CreateSummaryTable:
     name: str
     query: SelectStatement
     sql: str  # the defining text, for SummaryTable.sql
+    refresh_mode: str = "immediate"  # "immediate" | "deferred"
 
 
 @dataclass(frozen=True)
 class DropSummaryTable:
     name: str
+
+
+@dataclass(frozen=True)
+class RefreshSummaryTables:
+    names: tuple[str, ...]  # empty ⇒ refresh every summary table
+
+
+@dataclass(frozen=True)
+class SetRefreshAge:
+    max_pending: int | None  # None ⇒ ANY
 
 
 @dataclass(frozen=True)
@@ -104,6 +120,8 @@ Statement = (
     | CreateTable
     | CreateSummaryTable
     | DropSummaryTable
+    | RefreshSummaryTables
+    | SetRefreshAge
     | InsertValues
     | DeleteValues
     | Explain
@@ -170,12 +188,19 @@ class _StatementParser(_Parser):
             return self._parse_insert()
         if word == "delete":
             return self._parse_delete()
+        if word == "refresh":
+            return self._parse_refresh()
+        if word == "set":
+            return self._parse_set()
         if word == "explain":
             self._advance()
             remainder_start = self._current
             query = self.parse_query()
             return Explain(query, self._text_from(remainder_start))
-        raise self._error("expected SELECT, CREATE, DROP, INSERT, DELETE or EXPLAIN")
+        raise self._error(
+            "expected SELECT, CREATE, DROP, REFRESH, SET, INSERT, DELETE "
+            "or EXPLAIN"
+        )
 
     # ------------------------------------------------------------------
     def _ident_or_keyword_value(self) -> str | None:
@@ -211,10 +236,15 @@ class _StatementParser(_Parser):
         if self._accept_word("summary"):
             self._expect_word("table")
             name = self.expect_ident().value
+            refresh_mode = "immediate"
+            if self._accept_word("refresh"):
+                refresh_mode = self._expect_word("immediate", "deferred")
             self.expect_keyword("as")
             start = self._current
             query = self.parse_query()
-            return CreateSummaryTable(name, query, self._text_from(start))
+            return CreateSummaryTable(
+                name, query, self._text_from(start), refresh_mode
+            )
         self._expect_word("table")
         name = self.expect_ident().value
         self.expect_punct("(")
@@ -281,6 +311,28 @@ class _StatementParser(_Parser):
         self._expect_word("summary")
         self._expect_word("table")
         return DropSummaryTable(self.expect_ident().value)
+
+    def _parse_refresh(self) -> RefreshSummaryTables:
+        self._expect_word("refresh")
+        self._expect_word("summary")
+        self._expect_word("table", "tables")
+        names: list[str] = []
+        if self._current.kind == "ident":
+            names.append(self.expect_ident().value)
+            while self.accept_punct(","):
+                names.append(self.expect_ident().value)
+        return RefreshSummaryTables(tuple(names))
+
+    def _parse_set(self) -> SetRefreshAge:
+        self._expect_word("set")
+        self._expect_word("refresh")
+        self._expect_word("age")
+        if self._accept_word("any"):
+            return SetRefreshAge(None)
+        value = self._parse_constant()
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise self._error("REFRESH AGE must be ANY or a non-negative integer")
+        return SetRefreshAge(value)
 
     def _parse_insert(self) -> InsertValues:
         self._expect_word("insert")

@@ -184,3 +184,67 @@ class TestDimensionTableChanges:
         )
         assert report.was_incremental("S1")
         assert tables_equal(summary.table, recomputed_copy(tiny_db, self.SQL))
+
+
+class TestFallbackReasonsOnDelete:
+    def test_min_max_delete_reason(self, tiny_db):
+        sql = (
+            "select faid, count(*) as cnt, max(price) as hi "
+            "from Trans group by faid"
+        )
+        summary = tiny_db.create_summary_table("S1", sql)
+        victim = tiny_db.table("Trans").rows[0]
+        report = maintain_delete(tiny_db, "Trans", [victim])
+        assert "S1" in report.recomputed
+        assert "MAX" in report.recomputed["S1"]
+        assert tables_equal(summary.table, recomputed_copy(tiny_db, sql))
+
+    def test_missing_count_delete_reason(self, tiny_db):
+        sql = "select faid, sum(qty) as s from Trans group by faid"
+        summary = tiny_db.create_summary_table("S1", sql)
+        victim = tiny_db.table("Trans").rows[0]
+        report = maintain_delete(tiny_db, "Trans", [victim])
+        assert "S1" in report.recomputed
+        assert "COUNT(*)" in report.recomputed["S1"]
+        assert tables_equal(summary.table, recomputed_copy(tiny_db, sql))
+
+
+class TestTargetedMaintenance:
+    """maintain_insert/maintain_delete accept a subset of summaries to
+    maintain, leaving the rest untouched (used by deferred refresh)."""
+
+    OTHER = "select flid, count(*) as cnt from Trans group by flid"
+
+    def test_insert_subset_only(self, tiny_db):
+        touched = tiny_db.create_summary_table("S1", AST)
+        skipped = tiny_db.create_summary_table("S2", self.OTHER)
+        before = list(skipped.table.rows)
+        report = maintain_insert(
+            tiny_db, "Trans", NEW_ROWS, summaries=[touched]
+        )
+        assert report.was_incremental("S1")
+        assert "S2" not in report.incremental
+        assert "S2" not in report.recomputed
+        assert skipped.table.rows == before
+        assert tables_equal(touched.table, recomputed_copy(tiny_db, AST))
+
+    def test_delete_subset_only(self, tiny_db):
+        # AST uses MAX (not deletable); use a COUNT-only view instead.
+        sql = "select faid, count(*) as cnt from Trans group by faid"
+        touched = tiny_db.create_summary_table("S1", sql)
+        skipped = tiny_db.create_summary_table("S2", self.OTHER)
+        before = list(skipped.table.rows)
+        victim = tiny_db.table("Trans").rows[0]
+        report = maintain_delete(
+            tiny_db, "Trans", [victim], summaries=[touched]
+        )
+        assert report.was_incremental("S1")
+        assert skipped.table.rows == before
+        assert tables_equal(touched.table, recomputed_copy(tiny_db, sql))
+
+    def test_empty_subset_is_noop(self, tiny_db):
+        summary = tiny_db.create_summary_table("S1", AST)
+        before = list(summary.table.rows)
+        report = maintain_insert(tiny_db, "Trans", NEW_ROWS, summaries=[])
+        assert not report.incremental and not report.recomputed
+        assert summary.table.rows == before

@@ -130,3 +130,80 @@ class TestShellIntegration:
         shell.handle_line("\\open")
         text = out.getvalue()
         assert "usage: \\save" in text and "usage: \\open" in text
+
+
+class TestRefreshStateRoundTrip:
+    """Deferred-maintenance state survives save/load: refresh mode,
+    staleness counters, and the staged delta log itself."""
+
+    def _stage(self, database, row):
+        from repro.asts.maintenance import MaintenanceReport
+
+        with database._maintenance_lock:
+            database.table("Trans").rows.append(row)
+            database._stage_deferred("Trans", [row], +1, MaintenanceReport())
+
+    def test_mode_and_staleness_round_trip(self, tiny_db, tmp_path):
+        import datetime
+
+        tiny_db.create_summary_table(
+            "S1",
+            "select faid, count(*) as cnt from Trans group by faid",
+            refresh_mode="deferred",
+        )
+        row = (301, 1, 1, 10, datetime.date(1994, 3, 3), 1, 9.0, 0.0)
+        self._stage(tiny_db, row)
+        save_database(tiny_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        state = loaded.summary_tables["s1"].refresh
+        assert state.mode == "deferred"
+        assert state.pending_deltas == 1
+        assert loaded.delta_log.lsn == tiny_db.delta_log.lsn
+        assert loaded.delta_log.batches() == tiny_db.delta_log.batches()
+        tiny_db.close()
+        loaded.close()
+
+    def test_loaded_database_can_drain_to_freshness(self, tiny_db, tmp_path):
+        import datetime
+
+        sql = "select faid, count(*) as cnt from Trans group by faid"
+        tiny_db.create_summary_table("S1", sql, refresh_mode="deferred")
+        row = (302, 2, 2, 20, datetime.date(1994, 4, 4), 2, 11.0, 0.1)
+        self._stage(tiny_db, row)
+        save_database(tiny_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        loaded.drain_refresh()
+        summary = loaded.summary_tables["s1"]
+        assert summary.refresh.pending_deltas == 0
+        assert tables_equal(
+            summary.table, loaded.execute(sql, use_summary_tables=False)
+        )
+        tiny_db.close()
+        loaded.close()
+
+    def test_old_format_loads_as_immediate(self, tiny_db, tmp_path):
+        import json
+
+        tiny_db.create_summary_table(
+            "S1", "select faid, count(*) as cnt from Trans group by faid"
+        )
+        target = save_database(tiny_db, tmp_path / "db")
+        # Strip the new keys, as a pre-refresh-subsystem save would be.
+        manifest = json.loads((target / "catalog.json").read_text())
+        manifest.pop("refresh_lsn")
+        for entry in manifest["summary_tables"]:
+            for key in ("refresh_mode", "pending_deltas", "last_refresh_lsn"):
+                entry.pop(key)
+        (target / "catalog.json").write_text(json.dumps(manifest))
+        loaded = load_database(target)
+        state = loaded.summary_tables["s1"].refresh
+        assert state.mode == "immediate"
+        assert state.pending_deltas == 0
+        assert loaded.delta_log.lsn == 0
+
+    def test_fresh_database_writes_no_delta_file(self, tiny_db, tmp_path):
+        tiny_db.create_summary_table(
+            "S1", "select faid, count(*) as cnt from Trans group by faid"
+        )
+        target = save_database(tiny_db, tmp_path / "db")
+        assert not (target / "deltas.jsonl").exists()

@@ -99,3 +99,49 @@ class TestCliMain:
         from repro.cli import main
 
         assert main([str(script)]) == 0
+
+
+class TestRefreshCommand:
+    SETUP = (
+        "create table T (a integer not null, b integer not null);\n"
+        "insert into T values (1, 10), (1, 20), (2, 30);\n"
+        "create summary table S refresh deferred as "
+        "select a, count(*) as cnt from T group by a;\n"
+    )
+
+    def test_status_lists_modes_and_counters(self):
+        output = run_shell(self.SETUP + "\\refresh\n")
+        assert "refresh deferred" in output  # CREATE status line
+        assert "session refresh age: 0" in output
+        assert "S: deferred" in output
+        assert "scheduler:" in output
+
+    def test_status_empty_database(self):
+        assert "(no summary tables)" in run_shell("\\refresh\n")
+
+    def test_drain_command(self):
+        output = run_shell(
+            self.SETUP
+            + "insert into T values (3, 40);\n"
+            + "\\refresh drain\n"
+            + "\\refresh\n"
+        )
+        assert "refresh queue drained" in output
+        assert "0 pending delta batch(es)" in output
+
+    def test_named_refresh(self):
+        output = run_shell(self.SETUP + "\\refresh S\n")
+        assert "refreshed: S" in output
+
+    def test_named_refresh_unknown(self):
+        output = run_shell("\\refresh nope\n")
+        assert "error:" in output
+
+    def test_set_refresh_age_statement(self):
+        output = run_shell(
+            self.SETUP
+            + "insert into T values (3, 40);\n"
+            + "set refresh age any;\n"
+            + "select a, cnt from S;\n"
+        )
+        assert "refresh age set to ANY" in output

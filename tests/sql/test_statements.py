@@ -203,3 +203,79 @@ class TestRunSql:
         )
         assert len(results) == 2
         assert results[1].rows == [(6,)]
+
+
+class TestParseRefreshStatements:
+    def test_create_summary_defaults_immediate(self):
+        statement = parse_statement(
+            "create summary table S as select faid, count(*) as c "
+            "from Trans group by faid"
+        )
+        assert statement.refresh_mode == "immediate"
+
+    def test_create_summary_refresh_deferred(self):
+        statement = parse_statement(
+            "create summary table S refresh deferred as "
+            "select faid, count(*) as c from Trans group by faid"
+        )
+        assert isinstance(statement, CreateSummaryTable)
+        assert statement.refresh_mode == "deferred"
+        assert statement.sql.lower().startswith("select")
+
+    def test_create_summary_refresh_immediate_explicit(self):
+        statement = parse_statement(
+            "create summary table S refresh immediate as "
+            "select faid, count(*) as c from Trans group by faid"
+        )
+        assert statement.refresh_mode == "immediate"
+
+    def test_create_summary_bad_refresh_mode(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(
+                "create summary table S refresh eventually as "
+                "select faid from Trans"
+            )
+
+    def test_refresh_summary_table_names(self):
+        from repro.sql.statements import RefreshSummaryTables
+
+        statement = parse_statement("refresh summary table S1, S2")
+        assert statement == RefreshSummaryTables(("S1", "S2"))
+
+    def test_refresh_summary_tables_all(self):
+        from repro.sql.statements import RefreshSummaryTables
+
+        statement = parse_statement("refresh summary tables")
+        assert statement == RefreshSummaryTables(())
+
+    def test_refresh_requires_summary_keyword(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("refresh table S1")
+
+    def test_set_refresh_age_any(self):
+        from repro.sql.statements import SetRefreshAge
+
+        statement = parse_statement("set refresh age any")
+        assert statement == SetRefreshAge(None)
+
+    def test_set_refresh_age_zero(self):
+        from repro.sql.statements import SetRefreshAge
+
+        statement = parse_statement("set refresh age 0")
+        assert statement == SetRefreshAge(0)
+
+    def test_set_refresh_age_bounded(self):
+        from repro.sql.statements import SetRefreshAge
+
+        statement = parse_statement("SET REFRESH AGE 5")
+        assert statement == SetRefreshAge(5)
+
+    def test_set_refresh_age_invalid(self):
+        for bad in (
+            "set refresh age -1",
+            "set refresh age 1.5",
+            "set refresh age soon",
+            "set refresh limit 3",
+        ):
+            with pytest.raises(SqlSyntaxError):
+                parse_statement(bad)
