@@ -31,7 +31,12 @@ from repro.catalog.schema import (
 )
 from repro.catalog.types import DataType
 from repro.engine.database import Database
-from repro.engine.persist import load_database, save_database
+from repro.engine.persist import (
+    RecoveryReport,
+    load_database,
+    save_database,
+    verify_database,
+)
 from repro.engine.reference import ReferenceExecutor
 from repro.engine.stats import TableStats, collect_stats, estimate_group_count
 from repro.engine.table import Table, tables_equal
@@ -71,6 +76,7 @@ __all__ = [
     "ForeignKeyConstraint",
     "GraphFingerprint",
     "MaintenanceReport",
+    "RecoveryReport",
     "ReproError",
     "ReferenceExecutor",
     "RewriteCache",
@@ -104,5 +110,6 @@ __all__ = [
     "root_matches",
     "tables_equal",
     "to_sql",
+    "verify_database",
     "__version__",
 ]

@@ -130,6 +130,11 @@ class Shell:
                 f"{entry['pending_deltas']} pending delta batch(es), "
                 f"last refresh at lsn {entry['last_refresh_lsn']}"
             )
+            if entry.get("quarantined"):
+                line += (
+                    f" QUARANTINED ({entry['quarantine_reason']}; "
+                    "REFRESH SUMMARY TABLE re-admits)"
+                )
             if "last_fallback" in entry:
                 line += f" [last fallback: {entry['last_fallback']}]"
             self.write(line)
@@ -138,6 +143,7 @@ class Shell:
             f"scheduler: {scheduler.refreshes_applied} refresh(es) applied, "
             f"{scheduler.batches_applied} delta batch(es) merged, "
             f"{scheduler.fallback_recomputes} fallback recompute(s), "
+            f"{scheduler.quarantines} quarantine(s), "
             f"{scheduler.queued} queued"
         )
         return True
@@ -160,7 +166,7 @@ class Shell:
         if len(parts) != 2:
             self.write("usage: \\open DIRECTORY")
             return True
-        from repro.engine.persist import load_database
+        from repro.engine.persist import load_database, verify_database
 
         try:
             self.database = load_database(parts[1])
@@ -168,6 +174,11 @@ class Shell:
             self.write(f"error: {error}")
             return True
         self.write(f"opened {parts[1]}")
+        # Startup recovery pass: repair or quarantine anything the crash
+        # left inconsistent, and tell the user what happened.
+        report = verify_database(self.database)
+        if not report.clean:
+            self.write(report.describe())
         return True
 
     def _describe(self) -> None:

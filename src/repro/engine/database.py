@@ -67,6 +67,9 @@ class Database:
         self._scheduler = RefreshScheduler(self)
         self._maintenance_lock = threading.RLock()
         self.refresh_age = RefreshAge.CURRENT
+        #: last sandboxed rewrite failure (diagnostics; see
+        #: :meth:`_rewrite_for_execution`)
+        self.last_rewrite_error: str | None = None
 
     # ------------------------------------------------------------------
     # Data definition / loading
@@ -114,7 +117,7 @@ class Database:
         """
         graph = self.bind(sql)
         if use_summary_tables and self.summary_tables:
-            graph = self.rewrite_graph(graph, tolerance=tolerance) or graph
+            graph = self._rewrite_for_execution(sql, graph, tolerance=tolerance)
         return self.execute_graph(graph)
 
     def execute_graph(self, graph: QueryGraph) -> Table:
@@ -144,7 +147,7 @@ class Database:
 
             graph = build_graph(statement, self.catalog)
             if use_summary_tables and self.summary_tables:
-                graph = self.rewrite_graph(graph) or graph
+                graph = self._rewrite_for_execution(statement, graph)
             return self.execute_graph(graph)
         if isinstance(statement, Explain):
             return self._explain(statement.sql)
@@ -238,7 +241,18 @@ class Database:
         graph = self.bind(sql)
         lines = ["-- query graph --", render_graph(graph)]
         before = self._rewrite_stats.snapshot()
-        result = self.rewrite(graph)
+        try:
+            result = self.rewrite(graph)
+        except Exception as error:
+            # Same sandbox contract as execution: a broken rewrite path
+            # downgrades to "no rewrite", it never fails the EXPLAIN.
+            self._rewrite_stats.rewrite_errors += 1
+            self.last_rewrite_error = f"{type(error).__name__}: {error}"
+            result = None
+            lines.append(
+                f"-- rewrite failed ({self.last_rewrite_error}); "
+                "query would run on base tables --"
+            )
         if result is None:
             lines.append("-- no summary-table rewrite applies --")
         else:
@@ -251,6 +265,28 @@ class Database:
         lines.append("-- matching fast path --")
         lines.append(_describe_fast_path(self._rewrite_stats.delta(before)))
         return "\n".join(lines)
+
+    def _rewrite_for_execution(self, source, graph: QueryGraph, tolerance=None):
+        """The rewrite *sandbox*: the graph to execute for ``source``.
+
+        Rewriting is an optimization — it may improve a query plan but
+        must never fail or corrupt a query answer (the paper's engine
+        has the same contract). Any exception the rewrite path raises is
+        caught here, counted as ``rewrite_errors``, and the query falls
+        back to base-table execution. Because a failed rewrite can leave
+        the in-place-mutated ``graph`` partially rewritten, the fallback
+        re-binds a pristine graph from ``source`` (SQL text or a parsed
+        statement) rather than trusting the possibly-dirty one.
+        """
+        try:
+            result = self._rewrite_bound(graph, tolerance=tolerance)
+        except Exception as error:
+            self._rewrite_stats.rewrite_errors += 1
+            self.last_rewrite_error = f"{type(error).__name__}: {error}"
+            from repro.qgm.build import build_graph
+
+            return build_graph(source, self.catalog)
+        return result.graph if result is not None else graph
 
     def rewrite(
         self,
@@ -397,6 +433,13 @@ class Database:
         )
         stats["refreshes_applied"] = self._scheduler.refreshes_applied
         stats["fallback_recomputes"] = self._scheduler.fallback_recomputes
+        stats["refresh_retries"] = self._scheduler.retries_scheduled
+        stats["refresh_quarantines"] = self._scheduler.quarantines
+        stats["quarantined_summaries"] = sum(
+            1
+            for summary in self.summary_tables.values()
+            if summary.refresh.quarantined
+        )
         return stats
 
     def reset_rewrite_stats(self) -> None:
@@ -451,7 +494,16 @@ class Database:
             # Rewrite the bound graph in place; only when a rewrite
             # actually applied does the pristine definition graph need to
             # be re-bound (the common no-match path binds exactly once).
-            rewritten = self.rewrite_graph(graph)
+            # Sandboxed like query execution: a rewrite failure falls
+            # back to materializing from the base tables.
+            try:
+                rewritten = self.rewrite_graph(graph)
+            except Exception as error:
+                self._rewrite_stats.rewrite_errors += 1
+                self.last_rewrite_error = f"{type(error).__name__}: {error}"
+                rewritten = None
+                graph = self.bind(sql, label="A")
+                execution_graph = graph
             if rewritten is not None:
                 execution_graph = rewritten
                 graph = self.bind(sql, label="A")
@@ -520,6 +572,12 @@ class Database:
                 summary.stats["rows"] = float(len(data))
                 summary.refresh.pending_deltas = 0
                 summary.refresh.last_refresh_lsn = self._delta_log.lsn
+                # A successful full refresh re-admits a quarantined
+                # summary: its contents are trustworthy again, and its
+                # failure history restarts from zero.
+                if summary.refresh.quarantined:
+                    summary.refresh.release_quarantine()
+                self._scheduler.reset_attempts(summary.name)
             self._prune_delta_log()
             self._bump_rewrite_epoch()
 
@@ -535,6 +593,32 @@ class Database:
             raise CatalogError(f"no summary table named {name!r}")
         self.summary_tables[key].enabled = enabled
         self._bump_rewrite_epoch()
+
+    def quarantine_summary(self, name: str, reason: str) -> None:
+        """Exclude a summary table from rewrite routing entirely.
+
+        Called by the refresh scheduler after its retry budget is
+        exhausted and by :func:`repro.engine.persist.verify_database`
+        when a snapshot cannot be rebuilt. The epoch bump (plus the
+        admissible-set check) invalidates any cached decision that used
+        the summary; a successful :meth:`refresh_summary_tables` on the
+        name re-admits it. Unknown names are ignored — the summary may
+        have been dropped while its failure was in flight.
+        """
+        with self._maintenance_lock:
+            summary = self.summary_tables.get(name.lower())
+            if summary is None:
+                return
+            summary.refresh.quarantine(reason)
+            # Batches staged only for this summary are now dead weight —
+            # re-admission recomputes from base tables.
+            self._prune_delta_log()
+            self._bump_rewrite_epoch()
+
+    def quarantined_summary_tables(self) -> list["SummaryTable"]:
+        return [
+            s for s in self.summary_tables.values() if s.refresh.quarantined
+        ]
 
     def _bump_rewrite_epoch(self) -> None:
         self._rewrite_epoch += 1
@@ -589,20 +673,45 @@ class Database:
         self, table_name: str, rows: list[Row], sign: int, report
     ) -> list[str]:
         """Log the change for affected deferred summaries; returns their
-        names (the scheduler's refresh work list)."""
+        names (the scheduler's refresh work list).
+
+        Quarantined summaries are skipped: re-admission always goes
+        through a full recompute, so staging deltas for them would only
+        pin the log. If the delta log itself fails to accept the change,
+        ingest degrades to recomputing the affected summaries inline —
+        slower, but never silently wrong.
+        """
         if not rows:
             return []
         key = self.catalog.table(table_name).name.lower()
         affected = []
         for summary in self.deferred_summary_tables():
-            if key in summary.base_tables():
+            if summary.refresh.quarantined:
+                report.unaffected.append(summary.name)
+            elif key in summary.base_tables():
                 affected.append(summary)
                 report.deferred.append(summary.name)
             else:
                 report.unaffected.append(summary.name)
         if not affected:
             return []
-        self._delta_log.append(key, rows, sign)
+        try:
+            self._delta_log.append(key, rows, sign)
+        except Exception as error:
+            report.deferred.clear()
+            for summary in affected:
+                data = self.execute_graph(summary.graph)
+                summary.table.rows[:] = data.rows
+                summary.stats["rows"] = float(len(data))
+                summary.refresh.pending_deltas = 0
+                summary.refresh.last_refresh_lsn = self._delta_log.lsn
+                report.recomputed[summary.name] = "delta log append failed"
+            self._scheduler.errors.append(
+                f"delta log append failed ({error}); "
+                f"recomputed {', '.join(s.name for s in affected)} inline"
+            )
+            self._bump_rewrite_epoch()
+            return []
         for summary in affected:
             summary.refresh.pending_deltas += 1
         # No epoch bump: cached decisions made under a tolerance that the
@@ -658,6 +767,9 @@ class Database:
                 "pending_deltas": state.pending_deltas,
                 "last_refresh_lsn": state.last_refresh_lsn,
             }
+            if state.quarantined:
+                entry["quarantined"] = True
+                entry["quarantine_reason"] = state.quarantine_reason
             reason = self._scheduler.last_fallbacks.get(summary.name)
             if reason:
                 entry["last_fallback"] = reason
@@ -665,8 +777,16 @@ class Database:
         return status
 
     def _prune_delta_log(self) -> None:
-        """Drop delta batches every deferred summary has consumed."""
-        deferred = self.deferred_summary_tables()
+        """Drop delta batches every deferred summary has consumed.
+
+        Quarantined summaries don't pin the log: their re-admission path
+        is a full recompute, which needs no staged batches.
+        """
+        deferred = [
+            s
+            for s in self.deferred_summary_tables()
+            if not s.refresh.quarantined
+        ]
         if not deferred:
             self._delta_log.prune(self._delta_log.lsn)
             return
@@ -693,6 +813,16 @@ def _describe_fast_path(delta: dict[str, int]) -> str:
         parts.append(
             f"stale summaries rejected: {delta['stale_rejections']} "
             "(raise REFRESH AGE or drain the refresh queue)"
+        )
+    if delta.get("quarantined_rejections"):
+        parts.append(
+            f"quarantined summaries excluded: {delta['quarantined_rejections']} "
+            "(REFRESH SUMMARY TABLE re-admits)"
+        )
+    if delta.get("rewrite_errors"):
+        parts.append(
+            f"rewrite errors sandboxed: {delta['rewrite_errors']} "
+            "(query fell back to base tables)"
         )
     return "; ".join(parts)
 

@@ -1,25 +1,53 @@
-"""Saving and loading databases.
+"""Saving and loading databases, crash-safely.
 
 A database directory contains ``catalog.json`` (schemas, keys, RI
 constraints, summary-table definitions) and one ``<table>.jsonl`` per
 table (one JSON array per row; dates as ISO strings, re-typed on load
 from the declared column types). Summary tables are saved with their
 materialized rows *and* their defining SQL, so a reload restores the
-exact snapshot without re-running the definitions.
+exact snapshot without re-running the definitions. Deferred-refresh
+state persists too: each summary entry records its refresh mode,
+staleness (pending delta-batch count, last-refresh LSN), and quarantine
+flag, and the staged delta log itself is written to ``deltas.jsonl``.
 
-Deferred-refresh state persists too: each summary entry records its
-refresh mode and staleness (pending delta-batch count, last-refresh
-LSN), and the staged delta log itself is written to ``deltas.jsonl`` —
-so a reloaded database can finish its deferred maintenance exactly where
-the saved one left off (``drain_refresh()`` applies it). Databases saved
-by older versions load with every summary REFRESH IMMEDIATE and an empty
-log, and older loaders simply ignore the extra manifest keys and file.
+Save-format compatibility rule
+------------------------------
+``FORMAT_VERSION`` is 2; :func:`load_database` loads **both** v2 and v1
+directories — v1 exactly as the original loader did (raw JSON lines, no
+checksums), so databases saved by older versions keep loading unchanged.
+New writers always produce v2. The v2 additions:
+
+* **Atomic writes** — every file is written to a ``*.tmp`` sibling,
+  fsynced, and atomically renamed into place; ``catalog.json`` is
+  written *last*, making its rename the commit point. A crash mid-save
+  leaves the previous save's manifest pointing at a consistent previous
+  generation (data files are each old-complete or new-complete; the
+  manifest's per-file checksums detect the mix, see below).
+* **Per-line CRC32 framing** — each row/delta line is prefixed with the
+  CRC32 of its payload (``crc32hex SP json``). A corrupt or partial
+  *trailing* line (a torn tail) is truncated and reported as a recovery
+  anomaly, not a fatal error; corruption *inside* the file still raises,
+  with file name and line number.
+* **Per-file checksums in the manifest** — used on load to detect a
+  data file from a different save generation than the manifest; the
+  mismatch marks the table *suspect* for :func:`verify_database`.
+
+:func:`verify_database` is the startup recovery pass: it cross-checks
+every summary's ``last_refresh_lsn``/``pending_deltas`` against the
+delta log and rebuilds (full recompute) summaries whose snapshots are
+suspect — quarantining any that cannot be rebuilt — and returns a
+:class:`RecoveryReport`. Base tables are never dropped or rewritten by
+recovery; a summary is either consistent or quarantined, never silently
+wrong.
 """
 
 from __future__ import annotations
 
 import datetime
 import json
+import os
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -34,17 +62,66 @@ from repro.catalog.types import DataType
 from repro.engine.database import Database
 from repro.engine.table import Table
 from repro.errors import ReproError
+from repro.testing import faults
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: versions this loader understands
+SUPPORTED_VERSIONS = (1, 2)
+
+
+# ----------------------------------------------------------------------
+# Atomic, checksummed writing
+# ----------------------------------------------------------------------
+def _frame(payload: str) -> str:
+    """One v2 line: the payload's CRC32 (8 hex chars), a space, the payload."""
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via temp file + fsync + atomic rename,
+    so ``path`` is always either its old complete contents or its new
+    complete contents — never a torn mix."""
+    tmp = path.with_name(path.name + ".tmp")
+    faults.fire("persist.write")
+    with tmp.open("w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    faults.fire("persist.rename")
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make the rename durable (best effort — not all platforms allow
+    opening a directory for fsync)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def save_database(database: Database, path: str | Path) -> Path:
-    """Write ``database`` to a directory; returns the directory path."""
+    """Write ``database`` to a directory; returns the directory path.
+
+    Data files are written (atomically) first, the manifest last — the
+    manifest rename is the commit point for the whole save.
+    """
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
+    for stale in root.glob("*.tmp"):  # leftovers from a crashed save
+        stale.unlink()
     summaries = {
         summary.name: summary for summary in database.summary_tables.values()
     }
+    checksums: dict[str, dict[str, int]] = {}
     manifest: dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "tables": [],
@@ -64,50 +141,123 @@ def save_database(database: Database, path: str | Path) -> Path:
                 "refresh_mode": summary.refresh.mode,
                 "pending_deltas": summary.refresh.pending_deltas,
                 "last_refresh_lsn": summary.refresh.last_refresh_lsn,
+                "quarantined": summary.refresh.quarantined,
+                "quarantine_reason": summary.refresh.quarantine_reason,
             }
             for summary in summaries.values()
         ],
         "refresh_lsn": database.delta_log.lsn,
+        "checksums": checksums,
     }
     for key, schema in database.catalog.tables.items():
         manifest["tables"].append(_schema_to_json(schema))
-        _write_rows(root / f"{schema.name}.jsonl", database.tables[key])
-    _write_delta_log(root / "deltas.jsonl", database.delta_log)
-    (root / "catalog.json").write_text(json.dumps(manifest, indent=2))
+        filename = f"{schema.name}.jsonl"
+        text = _rows_text(database.tables[key])
+        _atomic_write(root / filename, text)
+        checksums[filename] = {
+            "crc": zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF,
+            "rows": len(database.tables[key]),
+        }
+    delta_text = _delta_log_text(database.delta_log)
+    delta_path = root / "deltas.jsonl"
+    if delta_text:
+        _atomic_write(delta_path, delta_text)
+        checksums["deltas.jsonl"] = {
+            "crc": zlib.crc32(delta_text.encode("utf-8")) & 0xFFFFFFFF,
+            "rows": len(database.delta_log),
+        }
+    elif delta_path.exists():
+        delta_path.unlink()
+    _atomic_write(root / "catalog.json", json.dumps(manifest, indent=2))
     return root
 
 
+def _rows_text(table: Table) -> str:
+    lines = [
+        _frame(json.dumps([_encode(value) for value in row]))
+        for row in table.rows
+    ]
+    return "".join(line + "\n" for line in lines)
+
+
+def _delta_log_text(log) -> str:
+    lines = [
+        _frame(
+            json.dumps(
+                {
+                    "seq": batch.seq,
+                    "table": batch.table,
+                    "sign": batch.sign,
+                    "rows": [
+                        [_encode(value) for value in row] for row in batch.rows
+                    ],
+                }
+            )
+        )
+        for batch in log.batches()
+    ]
+    return "".join(line + "\n" for line in lines)
+
+
+# ----------------------------------------------------------------------
+# Loading (v1 and v2)
+# ----------------------------------------------------------------------
 def load_database(path: str | Path) -> Database:
-    """Reconstruct a database saved by :func:`save_database`."""
+    """Reconstruct a database saved by :func:`save_database`.
+
+    Loads v2 (checksummed) and v1 (legacy raw-JSON-lines) directories.
+    Torn tails and generation mismatches are recorded as anomalies on
+    the returned database (``database._load_anomalies``) for
+    :func:`verify_database` to repair; genuine corruption — a bad line
+    in the middle of a file, an unreadable manifest, a missing snapshot
+    — raises :class:`ReproError` with file name and line number context.
+    """
     root = Path(path)
     manifest_path = root / "catalog.json"
     if not manifest_path.exists():
         raise ReproError(f"{root} does not contain a saved database")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise ReproError(
-            f"unsupported save format {manifest.get('format_version')!r}"
-        )
+    manifest = _load_manifest(manifest_path)
+    version = manifest.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ReproError(f"unsupported save format {version!r}")
+    framed = version >= 2
+    checksums = manifest.get("checksums", {}) if framed else {}
+    anomalies: list[str] = []
+    suspects: set[str] = set()
 
     catalog = Catalog()
     schemas: dict[str, TableSchema] = {}
     for entry in manifest["tables"]:
-        schema = _schema_from_json(entry)
+        try:
+            schema = _schema_from_json(entry)
+        except (KeyError, ValueError) as error:
+            raise ReproError(
+                f"catalog.json: malformed table entry "
+                f"{entry.get('name', '?')!r}: {error!r}"
+            ) from error
         catalog.add_table(schema)
         schemas[schema.name] = schema
     for entry in manifest["foreign_keys"]:
         catalog.add_foreign_key(
             ForeignKeyConstraint(
-                entry["child_table"],
-                tuple(entry["child_columns"]),
-                entry["parent_table"],
-                tuple(entry["parent_columns"]),
+                _require(entry, "child_table", "catalog.json foreign key"),
+                tuple(_require(entry, "child_columns", "catalog.json foreign key")),
+                _require(entry, "parent_table", "catalog.json foreign key"),
+                tuple(_require(entry, "parent_columns", "catalog.json foreign key")),
             )
         )
 
     database = Database(catalog)
     for name, schema in schemas.items():
-        rows = _read_rows(root / f"{name}.jsonl", schema)
+        filename = f"{name}.jsonl"
+        rows = _read_rows(
+            root / filename,
+            schema,
+            framed=framed,
+            expected=checksums.get(filename),
+            anomalies=anomalies,
+            suspects=suspects,
+        )
         database.tables[name.lower()] = Table(schema.column_names, rows)
 
     # Re-register summary tables around the already-loaded snapshots.
@@ -115,13 +265,28 @@ def load_database(path: str | Path) -> Database:
     from repro.refresh.policy import RefreshState
 
     for entry in manifest["summary_tables"]:
-        name = entry["name"]
-        schema = schemas[name]
-        graph = database.bind(entry["sql"], label="A")
+        name = _require(entry, "name", "catalog.json summary entry")
+        sql = _require(entry, "sql", f"catalog.json summary {name!r}")
+        schema = schemas.get(name)
+        if schema is None:
+            raise ReproError(
+                f"catalog.json: summary table {name!r} has no schema entry"
+            )
+        if name.lower() not in database.tables:
+            raise ReproError(
+                f"{name}.jsonl: snapshot for summary table {name!r} is missing"
+            )
+        try:
+            graph = database.bind(sql, label="A")
+        except ReproError as error:
+            raise ReproError(
+                f"catalog.json: summary table {name!r} definition does not "
+                f"bind: {error}"
+            ) from error
         table = database.tables[name.lower()]
         summary = SummaryTable(
             name=name,
-            sql=entry["sql"],
+            sql=sql,
             graph=graph,
             schema=schema,
             table=table,
@@ -129,6 +294,8 @@ def load_database(path: str | Path) -> Database:
                 mode=entry.get("refresh_mode", "immediate"),
                 pending_deltas=entry.get("pending_deltas", 0),
                 last_refresh_lsn=entry.get("last_refresh_lsn", 0),
+                quarantined=entry.get("quarantined", False),
+                quarantine_reason=entry.get("quarantine_reason", ""),
             ),
         )
         summary.stats["rows"] = float(len(table))
@@ -138,10 +305,345 @@ def load_database(path: str | Path) -> Database:
         database,
         manifest.get("refresh_lsn", 0),
         schemas,
+        framed=framed,
+        expected=checksums.get("deltas.jsonl"),
+        anomalies=anomalies,
+        suspects=suspects,
     )
+    #: recovery bookkeeping consumed by verify_database()
+    database._load_anomalies = anomalies
+    database._suspect_tables = suspects
     return database
 
 
+def _load_manifest(path: Path) -> dict[str, Any]:
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"catalog.json: invalid JSON at line {error.lineno}: {error.msg}"
+        ) from error
+    for key in ("tables", "foreign_keys", "summary_tables"):
+        if key not in manifest:
+            raise ReproError(f"catalog.json: missing required key {key!r}")
+    return manifest
+
+
+def _require(entry: dict, key: str, context: str):
+    try:
+        return entry[key]
+    except KeyError as error:
+        raise ReproError(f"{context}: missing required key {key!r}") from error
+
+
+def _read_payloads(
+    path: Path,
+    framed: bool,
+    expected: dict | None,
+    anomalies: list[str],
+    suspects: set[str],
+) -> list[str]:
+    """The JSON payload of each line of ``path``.
+
+    v2 (framed): every line's CRC is verified. A bad *last* line is a
+    torn tail — truncated and reported, not fatal; a bad interior line
+    raises. The whole file's CRC is then compared against the manifest's
+    ``expected`` record; a mismatch (beyond an already-reported torn
+    tail) means the file belongs to a different save generation than the
+    manifest, so the table is marked suspect for recovery.
+    """
+    text = path.read_text()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not framed:
+        return [line for line in lines if line.strip()]
+    payloads: list[str] = []
+    torn = False
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        payload = _unframe(line)
+        if payload is None:
+            if number == len(lines):
+                torn = True
+                anomalies.append(
+                    f"{path.name}: torn tail at line {number} truncated "
+                    "(partial or corrupt trailing record)"
+                )
+                suspects.add(path.stem.lower())
+                break
+            raise ReproError(
+                f"{path.name}: checksum mismatch at line {number} "
+                "(corrupt record inside the file)"
+            )
+        payloads.append(payload)
+    if expected is not None and not torn:
+        actual = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+        if actual != expected.get("crc"):
+            anomalies.append(
+                f"{path.name}: contents do not match the manifest checksum "
+                "(file is from a different save generation)"
+            )
+            suspects.add(path.stem.lower())
+    return payloads
+
+
+def _unframe(line: str) -> str | None:
+    """The payload of one framed line, or None when the frame is bad."""
+    if len(line) < 10 or line[8] != " ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    return payload
+
+
+def _read_rows(
+    path: Path,
+    schema: TableSchema,
+    framed: bool = False,
+    expected: dict | None = None,
+    anomalies: list[str] | None = None,
+    suspects: set[str] | None = None,
+) -> list[tuple]:
+    anomalies = anomalies if anomalies is not None else []
+    suspects = suspects if suspects is not None else set()
+    if not path.exists():
+        if expected is not None:
+            raise ReproError(
+                f"{path.name}: data file referenced by catalog.json is missing"
+            )
+        return []
+    payloads = _read_payloads(path, framed, expected, anomalies, suspects)
+    decoders = [_decoder(column.dtype) for column in schema.columns]
+    rows: list[tuple] = []
+    for number, payload in enumerate(payloads, start=1):
+        try:
+            raw = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"{path.name}: invalid JSON at line {number}: {error.msg}"
+            ) from error
+        if len(raw) != len(decoders):
+            raise ReproError(
+                f"row width mismatch in {path.name} at line {number}: {raw!r}"
+            )
+        try:
+            rows.append(
+                tuple(
+                    None if value is None else decode(value)
+                    for decode, value in zip(decoders, raw)
+                )
+            )
+        except (ValueError, TypeError) as error:
+            raise ReproError(
+                f"{path.name}: cannot decode row at line {number}: {error}"
+            ) from error
+    return rows
+
+
+def _read_delta_log(
+    path: Path,
+    database: Database,
+    lsn: int,
+    schemas: dict[str, TableSchema],
+    framed: bool = False,
+    expected: dict | None = None,
+    anomalies: list[str] | None = None,
+    suspects: set[str] | None = None,
+) -> None:
+    from repro.refresh.log import DeltaBatch
+
+    anomalies = anomalies if anomalies is not None else []
+    suspects = suspects if suspects is not None else set()
+    by_key = {schema.name.lower(): schema for schema in schemas.values()}
+    batches = []
+    if path.exists():
+        payloads = _read_payloads(path, framed, expected, anomalies, suspects)
+        for number, payload in enumerate(payloads, start=1):
+            try:
+                entry = json.loads(payload)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"{path.name}: invalid JSON at line {number}: {error.msg}"
+                ) from error
+            table = _require(entry, "table", f"{path.name} line {number}")
+            schema = by_key.get(table)
+            if schema is None:
+                raise ReproError(
+                    f"{path.name} line {number}: delta batch references "
+                    f"unknown table {table!r}"
+                )
+            decoders = [_decoder(column.dtype) for column in schema.columns]
+            try:
+                rows = tuple(
+                    tuple(
+                        None if value is None else decode(value)
+                        for decode, value in zip(decoders, raw)
+                    )
+                    for raw in _require(
+                        entry, "rows", f"{path.name} line {number}"
+                    )
+                )
+                batches.append(
+                    DeltaBatch(
+                        _require(entry, "seq", f"{path.name} line {number}"),
+                        table,
+                        _require(entry, "sign", f"{path.name} line {number}"),
+                        rows,
+                    )
+                )
+            except (ValueError, TypeError) as error:
+                raise ReproError(
+                    f"{path.name}: cannot decode delta batch at line "
+                    f"{number}: {error}"
+                ) from error
+    elif expected is not None:
+        anomalies.append(
+            "deltas.jsonl: staged delta log referenced by catalog.json is "
+            "missing (staged changes lost; deferred summaries will be "
+            "verified)"
+        )
+        suspects.add("deltas")
+    database.delta_log.restore(lsn, batches)
+
+
+# ----------------------------------------------------------------------
+# Startup verification / recovery
+# ----------------------------------------------------------------------
+@dataclass
+class RecoveryReport:
+    """What :func:`verify_database` found and did."""
+
+    #: load-time anomalies (torn tails, generation mismatches) plus any
+    #: inconsistencies found during verification
+    anomalies: list[str] = field(default_factory=list)
+    #: summaries recomputed from base tables back to consistency
+    rebuilt: list[str] = field(default_factory=list)
+    #: summaries that could not be rebuilt and were quarantined
+    quarantined: list[str] = field(default_factory=list)
+    #: staleness counters corrected against the delta log
+    repaired: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.anomalies or self.rebuilt or self.quarantined or self.repaired
+        )
+
+    def describe(self) -> str:
+        if self.clean:
+            return "database verified: consistent"
+        lines = ["database verified with recovery actions:"]
+        for anomaly in self.anomalies:
+            lines.append(f"  anomaly: {anomaly}")
+        for name in self.rebuilt:
+            lines.append(f"  rebuilt: {name}")
+        for name in self.quarantined:
+            lines.append(f"  quarantined: {name}")
+        for fix in self.repaired:
+            lines.append(f"  repaired: {fix}")
+        return "\n".join(lines)
+
+
+def verify_database(database: Database, repair: bool = True) -> RecoveryReport:
+    """Cross-check summary-table state against the delta log and the
+    load-time anomaly record; returns a :class:`RecoveryReport`.
+
+    A summary is *suspect* when its snapshot (or one of its base tables,
+    or the delta log) had a load anomaly, or when its
+    ``last_refresh_lsn`` runs ahead of the delta log. With ``repair``
+    (the default), suspect summaries are rebuilt by full recomputation
+    from the loaded base tables — re-admitting them if they were
+    quarantined — and summaries whose rebuild fails are quarantined;
+    deferred summaries' ``pending_deltas`` counters are recomputed from
+    the log. With ``repair=False`` the problems are only reported.
+
+    Base tables are never modified: recovery treats them as the source
+    of truth, which is exactly the paper's contract — summary tables are
+    an optimization, so after recovery each one is either consistent
+    with the base data or quarantined out of routing.
+    """
+    report = RecoveryReport(
+        anomalies=list(getattr(database, "_load_anomalies", []))
+    )
+    suspects = set(getattr(database, "_suspect_tables", ()))
+    with database._maintenance_lock:
+        log = database.delta_log
+        changed = False
+        for summary in list(database.summary_tables.values()):
+            state = summary.refresh
+            reasons = []
+            if summary.name.lower() in suspects:
+                reasons.append("summary snapshot anomaly")
+            bad_bases = sorted(summary.base_tables() & suspects)
+            if bad_bases:
+                reasons.append(f"base table anomaly: {', '.join(bad_bases)}")
+            if state.is_deferred and "deltas" in suspects:
+                reasons.append("delta log anomaly")
+            if state.last_refresh_lsn > log.lsn:
+                reasons.append(
+                    f"last_refresh_lsn {state.last_refresh_lsn} ahead of "
+                    f"delta log lsn {log.lsn}"
+                )
+            if not reasons and state.is_deferred and not state.quarantined:
+                expected = len(
+                    log.pending_for(
+                        summary.base_tables(), state.last_refresh_lsn
+                    )
+                )
+                if state.pending_deltas != expected:
+                    if repair:
+                        state.pending_deltas = expected
+                        report.repaired.append(
+                            f"{summary.name}: pending_deltas corrected to "
+                            f"{expected}"
+                        )
+                        changed = True
+                    else:
+                        report.anomalies.append(
+                            f"{summary.name}: pending_deltas "
+                            f"{state.pending_deltas} disagrees with the "
+                            f"delta log ({expected})"
+                        )
+            if not reasons:
+                continue
+            if not repair:
+                report.anomalies.append(
+                    f"{summary.name}: inconsistent ({'; '.join(reasons)})"
+                )
+                continue
+            try:
+                data = database.execute_graph(summary.graph)
+                summary.table.rows[:] = data.rows
+                summary.stats["rows"] = float(len(data))
+                state.pending_deltas = 0
+                state.last_refresh_lsn = log.lsn
+                state.release_quarantine()
+                database._scheduler.reset_attempts(summary.name)
+                report.rebuilt.append(
+                    f"{summary.name} ({'; '.join(reasons)})"
+                )
+            except Exception as error:
+                state.quarantine(
+                    f"recovery rebuild failed: {error} "
+                    f"(after: {'; '.join(reasons)})"
+                )
+                report.quarantined.append(summary.name)
+            changed = True
+        if changed:
+            database._prune_delta_log()
+            database._bump_rewrite_epoch()
+    return report
+
+
+# ----------------------------------------------------------------------
+# Shared encoding helpers
 # ----------------------------------------------------------------------
 def _schema_to_json(schema: TableSchema) -> dict[str, Any]:
     return {
@@ -166,98 +668,10 @@ def _schema_from_json(entry: dict[str, Any]) -> TableSchema:
     return TableSchema(entry["name"], columns, keys)
 
 
-def _write_delta_log(path: Path, log) -> None:
-    batches = log.batches()
-    if not batches:
-        if path.exists():
-            path.unlink()
-        return
-    with path.open("w") as handle:
-        for batch in batches:
-            handle.write(
-                json.dumps(
-                    {
-                        "seq": batch.seq,
-                        "table": batch.table,
-                        "sign": batch.sign,
-                        "rows": [
-                            [_encode(value) for value in row]
-                            for row in batch.rows
-                        ],
-                    }
-                )
-            )
-            handle.write("\n")
-
-
-def _read_delta_log(
-    path: Path, database: Database, lsn: int, schemas: dict[str, TableSchema]
-) -> None:
-    from repro.refresh.log import DeltaBatch
-
-    by_key = {schema.name.lower(): schema for schema in schemas.values()}
-    batches = []
-    if path.exists():
-        with path.open() as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                entry = json.loads(line)
-                schema = by_key.get(entry["table"])
-                if schema is None:
-                    raise ReproError(
-                        f"delta batch references unknown table {entry['table']!r}"
-                    )
-                decoders = [_decoder(column.dtype) for column in schema.columns]
-                rows = tuple(
-                    tuple(
-                        None if value is None else decode(value)
-                        for decode, value in zip(decoders, raw)
-                    )
-                    for raw in entry["rows"]
-                )
-                batches.append(
-                    DeltaBatch(entry["seq"], entry["table"], entry["sign"], rows)
-                )
-    database.delta_log.restore(lsn, batches)
-
-
-def _write_rows(path: Path, table: Table) -> None:
-    with path.open("w") as handle:
-        for row in table.rows:
-            handle.write(json.dumps([_encode(value) for value in row]))
-            handle.write("\n")
-
-
 def _encode(value: Any) -> Any:
     if isinstance(value, datetime.date):
         return value.isoformat()
     return value
-
-
-def _read_rows(path: Path, schema: TableSchema) -> list[tuple]:
-    if not path.exists():
-        return []
-    decoders = [_decoder(column.dtype) for column in schema.columns]
-    rows: list[tuple] = []
-    with path.open() as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            raw = json.loads(line)
-            if len(raw) != len(decoders):
-                raise ReproError(
-                    f"row width mismatch in {path.name}: {raw!r}"
-                )
-            rows.append(
-                tuple(
-                    None if value is None else decode(value)
-                    for decode, value in zip(decoders, raw)
-                )
-            )
-    return rows
 
 
 def _decoder(dtype: DataType):

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.engine.table import Row
+from repro.testing import faults
 
 
 @dataclass(frozen=True)
@@ -57,7 +58,12 @@ class DeltaLog:
         return self._lsn
 
     def append(self, table: str, rows: Iterable[Row], sign: int) -> DeltaBatch:
-        """Stage one change; assigns and returns the next LSN's batch."""
+        """Stage one change; assigns and returns the next LSN's batch.
+
+        The fault hook fires before any state changes, so a failed
+        append leaves the log untouched (no LSN is consumed).
+        """
+        faults.fire("delta.append")
         self._lsn += 1
         batch = DeltaBatch(
             self._lsn, table.lower(), sign, tuple(tuple(row) for row in rows)

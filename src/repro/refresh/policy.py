@@ -39,6 +39,11 @@ class RefreshState:
     #: the delta log's logical timestamp as of the last refresh (or
     #: materialization — a freshly built AST is exactly current)
     last_refresh_lsn: int = 0
+    #: quarantined summaries are excluded from rewrite routing entirely
+    #: (their contents are untrusted) until a successful REFRESH SUMMARY
+    #: TABLE re-admits them; see docs/ROBUSTNESS.md
+    quarantined: bool = False
+    quarantine_reason: str = ""
 
     def __post_init__(self) -> None:
         if self.mode not in (IMMEDIATE, DEFERRED):
@@ -52,12 +57,21 @@ class RefreshState:
     def is_stale(self) -> bool:
         return self.pending_deltas > 0
 
+    def quarantine(self, reason: str) -> None:
+        self.quarantined = True
+        self.quarantine_reason = reason
+
+    def release_quarantine(self) -> None:
+        self.quarantined = False
+        self.quarantine_reason = ""
+
     def describe(self) -> str:
+        tag = " [QUARANTINED]" if self.quarantined else ""
         if not self.is_deferred:
-            return IMMEDIATE
+            return IMMEDIATE + tag
         return (
             f"{DEFERRED}, {self.pending_deltas} pending delta batch(es), "
-            f"refreshed at lsn {self.last_refresh_lsn}"
+            f"refreshed at lsn {self.last_refresh_lsn}{tag}"
         )
 
 

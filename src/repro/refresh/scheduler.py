@@ -18,19 +18,36 @@ whenever the summary is not self-maintainable for the pending change
 base tables, ...) the worker falls back to full recomputation and counts
 it — never silently degrades.
 
+Fault tolerance: a refresh that raises *unexpectedly* (anything beyond
+the ReproError-driven recompute fallback) is retried with exponential
+backoff (``retry_base_delay * 2**attempt``) up to ``max_attempts``
+total tries, after which the summary is **quarantined** — excluded from
+rewrite routing via :func:`repro.rewrite.index.filter_fresh` and the
+decision-cache epoch bump, surfaced in ``rewrite_stats()`` / EXPLAIN /
+``\\refresh``, and re-admitted only by a successful ``REFRESH SUMMARY
+TABLE`` (:meth:`repro.engine.database.Database.refresh_summary_tables`).
+Queries keep answering correctly from base tables throughout. Errors
+are kept in a bounded ring buffer so a persistently failing summary
+cannot grow memory without limit.
+
 Determinism hooks: :meth:`RefreshScheduler.drain` blocks until the queue
-is empty and the worker is idle (tests and benchmarks call it before
-comparing results); :meth:`RefreshScheduler.stop` finishes queued work
-and joins the thread. All mutation of summary tables happens under the
-database's maintenance lock, serializing the worker against ingest.
+is empty, the worker is idle, *and* no retries are outstanding — pending
+backoff delays are skipped while draining, so a poisoned summary reaches
+its quarantine verdict promptly (tests and benchmarks call ``drain()``
+before comparing results). :meth:`RefreshScheduler.stop` finishes queued
+work (including outstanding retries) and joins the thread. All mutation
+of summary tables happens under the database's maintenance lock,
+serializing the worker against ingest.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 
 from repro.errors import ReproError
+from repro.testing import faults
 
 
 class RefreshScheduler:
@@ -41,28 +58,53 @@ class RefreshScheduler:
     queue no longer than the number of deferred summaries in practice.
     ``batch_window`` is how long the worker waits after waking before
     sweeping the queue, so bursts of ingest coalesce into one refresh
-    pass; ``drain()`` skips the window.
+    pass; ``drain()`` skips the window. ``max_attempts`` is the total
+    number of times one summary's refresh may fail before quarantine;
+    ``retry_base_delay`` seeds the exponential backoff between tries.
+    ``error_limit`` caps the retained error ring buffer.
     """
 
-    def __init__(self, database, queue_limit: int = 1024, batch_window: float = 0.005):
+    def __init__(
+        self,
+        database,
+        queue_limit: int = 1024,
+        batch_window: float = 0.005,
+        max_attempts: int = 4,
+        retry_base_delay: float = 0.02,
+        error_limit: int = 64,
+    ):
         self._database = database
         self.queue_limit = queue_limit
         self.batch_window = batch_window
+        self.max_attempts = max_attempts
+        self.retry_base_delay = retry_base_delay
         self._queue: deque[str] = deque()
         self._queued: set[str] = set()
+        #: name -> monotonic time its backoff expires
+        self._retries: dict[str, float] = {}
+        #: name -> failures so far (cleared on success/quarantine/refresh)
+        self._attempts: dict[str, int] = {}
         self._condition = threading.Condition()
         self._thread: threading.Thread | None = None
         self._running = False
+        #: set by the worker (under the lock) the instant it commits to
+        #: exiting — ``Thread.is_alive()`` alone can't distinguish a
+        #: worker that will loop again from one in final teardown, and
+        #: that gap would let ``notify`` strand work on a dead queue
+        self._worker_exited = False
         self._busy = False
         self._draining = False
         # counters (monotonic; surfaced via Database.rewrite_stats())
         self.refreshes_applied = 0
         self.fallback_recomputes = 0
         self.batches_applied = 0
+        self.retries_scheduled = 0
+        self.quarantines = 0
         #: last fallback reason per summary name (for the \refresh command)
         self.last_fallbacks: dict[str, str] = {}
-        #: worker-side errors that survived the per-name guard
-        self.errors: list[str] = []
+        #: worker-side errors that survived the per-name guard — a ring
+        #: buffer (newest kept) so persistent failures stay bounded
+        self.errors: deque[str] = deque(maxlen=error_limit)
 
     # ------------------------------------------------------------------
     # Producer side
@@ -87,68 +129,162 @@ class RefreshScheduler:
             self._condition.notify_all()
 
     def drain(self) -> None:
-        """Block until every queued refresh has been applied."""
+        """Block until every queued refresh (and outstanding retry) has
+        been applied or quarantined."""
         with self._condition:
             if self._thread is None:
                 return
             self._draining = True
             self._condition.notify_all()
-            while self._queue or self._busy:
+            while self._queue or self._retries or self._busy:
                 self._condition.wait()
             self._draining = False
             self._condition.notify_all()
 
     def stop(self) -> None:
-        """Finish queued work and join the worker thread."""
+        """Finish queued work (including retries) and join the worker.
+
+        A concurrent ``notify`` may legitimately restart the worker the
+        moment the old one exits; joining a captured reference (rather
+        than re-reading ``self._thread``) keeps a racing restart from
+        being joined — or clobbered — by this stop.
+        """
         with self._condition:
-            if self._thread is None:
+            thread = self._thread
+            if thread is None:
                 return
             self._running = False
             self._condition.notify_all()
-        self._thread.join()
-        self._thread = None
+        thread.join()
+        with self._condition:
+            if self._thread is thread:
+                self._thread = None
+
+    def reset_attempts(self, name: str) -> None:
+        """Forget ``name``'s failure history (a manual refresh
+        succeeded, so its next failure starts a fresh backoff ladder)."""
+        with self._condition:
+            self._attempts.pop(name.lower(), None)
+            self._retries.pop(name.lower(), None)
+            self._condition.notify_all()
 
     @property
     def queued(self) -> int:
         return len(self._queue)
 
+    @property
+    def pending_retries(self) -> int:
+        return len(self._retries)
+
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
     def _ensure_worker(self) -> None:
-        if self._thread is not None and self._thread.is_alive():
+        if (
+            self._thread is not None
+            and self._thread.is_alive()
+            and not self._worker_exited
+        ):
             return
         self._running = True
+        self._worker_exited = False
         self._thread = threading.Thread(
             target=self._loop, name="refresh-scheduler", daemon=True
         )
         self._thread.start()
 
+    def _due_retries(self) -> list[str]:
+        """Retry names whose backoff has expired. While draining or
+        stopping, every retry is due — the delay only pacifies the
+        steady state, never the determinism hooks."""
+        if not self._retries:
+            return []
+        if self._draining or not self._running:
+            return list(self._retries)
+        now = time.monotonic()
+        return [name for name, due in self._retries.items() if due <= now]
+
+    def _wait_timeout(self) -> float | None:
+        """How long the worker may sleep before the next retry is due."""
+        if not self._retries:
+            return None
+        return max(0.0, min(self._retries.values()) - time.monotonic())
+
     def _loop(self) -> None:
         while True:
             with self._condition:
-                while self._running and not self._queue:
-                    self._condition.wait()
-                if not self._queue:
-                    return  # stopped with nothing left to do
-                if self.batch_window and self._running and not self._draining:
+                while True:
+                    due = self._due_retries()
+                    if self._queue or due:
+                        break
+                    if not self._running and not self._retries:
+                        # stopped with nothing left to do; flag the exit
+                        # while still holding the lock so a racing
+                        # notify() knows to start a replacement
+                        self._worker_exited = True
+                        return
+                    self._condition.wait(self._wait_timeout())
+                if (
+                    self.batch_window
+                    and self._running
+                    and not self._draining
+                    and self._queue
+                ):
                     # let a burst of ingest coalesce before sweeping
                     self._condition.wait(self.batch_window)
+                    due = self._due_retries()
                 names = list(self._queue)
                 self._queue.clear()
                 self._queued.clear()
+                for name in due:
+                    self._retries.pop(name, None)
+                    if name not in names:
+                        names.append(name)
                 self._busy = True
                 self._condition.notify_all()  # wake blocked producers
             try:
                 for name in names:
-                    try:
-                        self._refresh_one(name)
-                    except Exception as error:  # keep the worker alive
-                        self.errors.append(f"{name}: {error}")
+                    self._process(name)
             finally:
                 with self._condition:
                     self._busy = False
                     self._condition.notify_all()
+
+    def _process(self, name: str) -> None:
+        """One guarded refresh attempt: success clears the failure
+        history, unexpected failure schedules a retry or quarantines."""
+        try:
+            self._refresh_one(name)
+        except Exception as error:  # keep the worker alive
+            self._on_failure(name, error)
+        else:
+            with self._condition:
+                self._attempts.pop(name, None)
+
+    def _on_failure(self, name: str, error: Exception) -> None:
+        quarantine = False
+        with self._condition:
+            attempts = self._attempts.get(name, 0) + 1
+            self._attempts[name] = attempts
+            self.errors.append(
+                f"{name}: attempt {attempts}/{self.max_attempts}: {error}"
+            )
+            if attempts >= self.max_attempts:
+                self._attempts.pop(name, None)
+                quarantine = True
+            else:
+                delay = self.retry_base_delay * (2 ** (attempts - 1))
+                self._retries[name] = time.monotonic() + delay
+                self.retries_scheduled += 1
+            self._condition.notify_all()
+        if quarantine:
+            self.quarantines += 1
+            reason = (
+                f"refresh failed {self.max_attempts} time(s); "
+                f"last error: {error}"
+            )
+            self.last_fallbacks[name] = reason
+            self._database.quarantine_summary(name, reason)
 
     def _refresh_one(self, name: str) -> None:
         """Bring one deferred summary fully up to date with the log."""
@@ -157,7 +293,11 @@ class RefreshScheduler:
         database = self._database
         with database._maintenance_lock:
             summary = database.summary_tables.get(name.lower())
-            if summary is None or not summary.refresh.is_deferred:
+            if (
+                summary is None
+                or not summary.refresh.is_deferred
+                or summary.refresh.quarantined
+            ):
                 return
             log = database.delta_log
             upto = log.lsn
@@ -166,10 +306,12 @@ class RefreshScheduler:
             )
             if batches:
                 try:
+                    faults.fire("scheduler.apply")
                     reason = apply_pending(database, summary, batches)
                 except ReproError as error:
                     reason = f"incremental apply failed: {error}"
                 if reason is not None:
+                    faults.fire("scheduler.recompute")
                     data = database.execute_graph(summary.graph)
                     summary.table.rows[:] = data.rows
                     summary.stats["rows"] = float(len(data))

@@ -56,6 +56,8 @@ class RewriteStats:
     cache_invalidations: int = 0  # entries dropped as stale on lookup
     cache_replay_failures: int = 0  # replays that fell back to cold path
     stale_rejections: int = 0  # summaries too stale for the query's tolerance
+    quarantined_rejections: int = 0  # quarantined summaries kept out of routing
+    rewrite_errors: int = 0  # sandboxed rewrite failures (query fell back)
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}

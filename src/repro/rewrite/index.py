@@ -126,25 +126,41 @@ def filter_fresh(
     to the matcher when the query's freshness tolerance
     (:class:`repro.refresh.policy.RefreshAge`) admits its lag. Fully
     fresh summaries (no pending deltas — which includes every REFRESH
-    IMMEDIATE summary) always pass. ``tolerance=None`` disables the gate
-    (library callers driving :func:`rewrite_query` by hand).
+    IMMEDIATE summary) always pass. ``tolerance=None`` disables the
+    staleness gate (library callers driving :func:`rewrite_query` by
+    hand).
+
+    **Quarantined** summaries — ones the refresh pipeline gave up on
+    (see :mod:`repro.refresh.scheduler`) or that recovery could not
+    rebuild (:func:`repro.engine.persist.verify_database`) — are
+    excluded unconditionally, at *every* tolerance including ``None``:
+    their contents are untrusted, which is stronger than stale.
 
     ``stats`` is an optional :class:`repro.rewrite.cache.RewriteStats`;
-    rejected candidates are counted as ``stale_rejections``.
+    rejected candidates are counted as ``stale_rejections`` /
+    ``quarantined_rejections``.
     """
-    if tolerance is None:
-        return list(summaries)
     kept = []
     rejected = 0
+    quarantined = 0
     for summary in summaries:
         state = getattr(summary, "refresh", None)
+        if state is not None and state.quarantined:
+            quarantined += 1
+            continue
+        if tolerance is None:
+            kept.append(summary)
+            continue
         pending = state.pending_deltas if state is not None else 0
         if tolerance.admits(pending):
             kept.append(summary)
         else:
             rejected += 1
-    if stats is not None and rejected:
-        stats.stale_rejections += rejected
+    if stats is not None:
+        if rejected:
+            stats.stale_rejections += rejected
+        if quarantined:
+            stats.quarantined_rejections += quarantined
     return kept
 
 

@@ -18,6 +18,7 @@ from repro.matching.framework import MAIN, MatchResult, rebase_chain
 from repro.matching.navigator import match_graphs, root_matches
 from repro.qgm.boxes import BaseTableBox, QCL, QGMBox, QueryGraph, SelectBox, box_heights
 from repro.rewrite.index import prune_candidates
+from repro.testing import faults
 
 
 @dataclass
@@ -141,6 +142,7 @@ def _box_position(graph: QueryGraph, target: QGMBox) -> int:
 def _best_match(
     graph: QueryGraph, summary: SummaryTable, options: dict | None = None
 ) -> MatchResult | None:
+    faults.fire("rewrite.match")
     ctx = match_graphs(graph, summary.graph, options=options)
     candidates = root_matches(graph, summary.graph, ctx)
     return candidates[0] if candidates else None

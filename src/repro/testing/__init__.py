@@ -1,0 +1,22 @@
+"""Test/chaos support for the repro library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the robustness suite drives; production code threads its named
+injection points through the persistence, refresh, and rewrite layers.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    INJECTOR,
+    POINTS,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "INJECTOR",
+    "POINTS",
+]

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the robustness suite.
+
+The production code threads *named injection points* through its
+failure-prone paths — file writes, the delta log, the refresh worker,
+the matcher — by calling :func:`fire` with the point's name. When
+nothing is armed, :func:`fire` is a single falsy-dict check and returns
+immediately, so shipping the hooks costs nothing. A test arms a point
+through the process-global :data:`INJECTOR` (usually via the
+:meth:`FaultInjector.injected` context manager, which guarantees
+disarming) and the next traversal of that point raises.
+
+Injection points (see docs/ROBUSTNESS.md for the failure each models)::
+
+    persist.write        before a temp file's contents are written
+    persist.rename       before a temp file is atomically renamed
+    delta.append         before a batch is staged in the delta log
+    scheduler.apply      before incremental summary-delta application
+    scheduler.recompute  before a fallback full recomputation
+    rewrite.match        before a summary table is navigated for a match
+
+Three firing modes, all deterministic:
+
+* **fail-once / fail-k** (``times=k``) — raise on the next *k*
+  traversals, then disarm automatically;
+* **fail-every-N** (``every=n``) — raise on every *n*-th traversal,
+  indefinitely;
+* **seeded probability** (``probability=p, seed=s``) — raise when a
+  private ``random.Random(s)`` stream says so; the same seed always
+  yields the same trigger pattern.
+
+Injected faults raise :class:`InjectedFault`, which deliberately does
+*not* derive from :class:`repro.errors.ReproError`: it models the
+unexpected infrastructure failures (full disk, OOM, bit rot, bugs) that
+the library's own error handling never anticipates. ``error=`` arms a
+custom exception factory instead when a test needs a specific type.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: the injection points compiled into the library (arming anything else
+#: is almost certainly a typo, so ``arm`` rejects it)
+POINTS = frozenset(
+    {
+        "persist.write",
+        "persist.rename",
+        "delta.append",
+        "scheduler.apply",
+        "scheduler.recompute",
+        "rewrite.match",
+    }
+)
+
+
+class InjectedFault(Exception):
+    """Raised when an armed injection point is traversed.
+
+    Intentionally not a ``ReproError``: it stands in for the failures
+    (I/O errors, resource exhaustion, plain bugs) that no layer of the
+    library expects, so it exercises the *unexpected*-exception paths.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point}")
+        self.point = point
+
+
+@dataclass
+class FaultSpec:
+    """One armed injection point's configuration and counters.
+
+    Exactly one of ``remaining`` / ``every`` / ``probability`` is set.
+    ``hits`` counts traversals while armed; ``triggers`` counts raises.
+    """
+
+    point: str
+    remaining: int | None = None
+    every: int | None = None
+    probability: float | None = None
+    rng: random.Random | None = None
+    error: Callable[[str], BaseException] | None = None
+    hits: int = 0
+    triggers: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class FaultInjector:
+    """A registry of armed injection points, safe to drive from tests
+    while worker threads traverse the hooks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._specs: dict[str, FaultSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Arming (test side)
+    # ------------------------------------------------------------------
+    def arm(
+        self,
+        point: str,
+        *,
+        times: int | None = None,
+        every: int | None = None,
+        probability: float | None = None,
+        seed: int = 0,
+        error: Callable[[str], BaseException] | None = None,
+    ) -> FaultSpec:
+        """Arm ``point``; with no mode argument, fail exactly once.
+
+        Re-arming a point replaces its previous spec.
+        """
+        if point not in POINTS:
+            raise ValueError(
+                f"unknown injection point {point!r} "
+                f"(known: {', '.join(sorted(POINTS))})"
+            )
+        modes = sum(value is not None for value in (times, every, probability))
+        if modes > 1:
+            raise ValueError("pick one of times=, every=, probability=")
+        if modes == 0:
+            times = 1
+        if times is not None and times < 1:
+            raise ValueError("times= must be >= 1")
+        if every is not None and every < 1:
+            raise ValueError("every= must be >= 1")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError("probability= must be within [0, 1]")
+        spec = FaultSpec(
+            point=point,
+            remaining=times,
+            every=every,
+            probability=probability,
+            rng=random.Random(seed) if probability is not None else None,
+            error=error,
+        )
+        with self._lock:
+            self._specs[point] = spec
+        return spec
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm one point, or every point when ``point`` is None."""
+        with self._lock:
+            if point is None:
+                self._specs.clear()
+            else:
+                self._specs.pop(point, None)
+
+    def spec(self, point: str) -> FaultSpec | None:
+        """The armed spec for ``point`` (to read its counters), or None."""
+        with self._lock:
+            return self._specs.get(point)
+
+    @property
+    def armed(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._specs)
+
+    @contextmanager
+    def injected(self, point: str, **config) -> Iterator[FaultSpec]:
+        """``with INJECTOR.injected("persist.write"): ...`` — arm for the
+        block's duration; always disarms, even when the block raises."""
+        spec = self.arm(point, **config)
+        try:
+            yield spec
+        finally:
+            self.disarm(point)
+
+    # ------------------------------------------------------------------
+    # Firing (production side)
+    # ------------------------------------------------------------------
+    def fire(self, point: str) -> None:
+        """Raise if ``point`` is armed and its mode says this traversal
+        fails; otherwise return. Hot-path cost when nothing is armed is
+        one dict truthiness check (see the module-level :func:`fire`)."""
+        spec = self._specs.get(point)
+        if spec is None:
+            return
+        with spec._lock:
+            spec.hits += 1
+            if spec.remaining is not None:
+                spec.remaining -= 1
+                if spec.remaining <= 0:
+                    self.disarm(point)
+            elif spec.every is not None:
+                if spec.hits % spec.every != 0:
+                    return
+            elif spec.probability is not None:
+                if spec.rng.random() >= spec.probability:
+                    return
+            spec.triggers += 1
+            factory = spec.error
+        raise factory(point) if factory is not None else InjectedFault(point)
+
+
+#: the process-global injector every production hook reports to
+INJECTOR = FaultInjector()
+
+
+def fire(point: str) -> None:
+    """The hook production code calls. Zero work unless something is
+    armed anywhere in the process."""
+    if INJECTOR._specs:
+        INJECTOR.fire(point)

@@ -64,7 +64,7 @@ class TestDeferredIngest:
         assert scheduler.refreshes_applied >= 1
         assert scheduler.batches_applied == 3
         assert scheduler.fallback_recomputes == 0
-        assert scheduler.errors == []
+        assert list(scheduler.errors) == []
 
     def test_mixed_modes_split_inline_vs_staged(self, drained):
         immediate = drained.create_summary_table("IM", COUNT_SUM)

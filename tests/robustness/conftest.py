@@ -1,0 +1,16 @@
+"""Chaos-suite fixtures: every test starts and ends with the
+process-global fault injector fully disarmed, so a failing test can
+never poison its neighbours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import INJECTOR
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    INJECTOR.disarm()
+    yield INJECTOR
+    INJECTOR.disarm()

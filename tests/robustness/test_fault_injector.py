@@ -1,0 +1,112 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.testing import INJECTOR, FaultInjector, InjectedFault
+from repro.testing import faults
+
+
+class TestArming:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            INJECTOR.arm("no.such.point")
+
+    def test_conflicting_modes_rejected(self):
+        with pytest.raises(ValueError, match="pick one"):
+            INJECTOR.arm("rewrite.match", times=1, every=2)
+
+    def test_bad_mode_values_rejected(self):
+        with pytest.raises(ValueError):
+            INJECTOR.arm("rewrite.match", times=0)
+        with pytest.raises(ValueError):
+            INJECTOR.arm("rewrite.match", every=0)
+        with pytest.raises(ValueError):
+            INJECTOR.arm("rewrite.match", probability=1.5)
+
+    def test_disarm_all(self):
+        INJECTOR.arm("rewrite.match")
+        INJECTOR.arm("persist.write")
+        INJECTOR.disarm()
+        assert INJECTOR.armed == frozenset()
+
+
+class TestFiring:
+    def test_disabled_fire_is_noop(self):
+        faults.fire("rewrite.match")  # nothing armed anywhere
+
+    def test_unarmed_point_passes_while_other_armed(self):
+        INJECTOR.arm("persist.write")
+        faults.fire("rewrite.match")  # different point: no raise
+
+    def test_fail_once_disarms_itself(self):
+        INJECTOR.arm("rewrite.match")
+        with pytest.raises(InjectedFault) as excinfo:
+            faults.fire("rewrite.match")
+        assert excinfo.value.point == "rewrite.match"
+        faults.fire("rewrite.match")  # second traversal passes
+        assert "rewrite.match" not in INJECTOR.armed
+
+    def test_fail_k_times(self):
+        INJECTOR.arm("rewrite.match", times=3)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                faults.fire("rewrite.match")
+        faults.fire("rewrite.match")
+
+    def test_fail_every_n(self):
+        spec = INJECTOR.arm("rewrite.match", every=3)
+        outcomes = []
+        for _ in range(9):
+            try:
+                faults.fire("rewrite.match")
+                outcomes.append(False)
+            except InjectedFault:
+                outcomes.append(True)
+        assert outcomes == [False, False, True] * 3
+        assert spec.hits == 9 and spec.triggers == 3
+
+    def test_seeded_probability_is_deterministic(self):
+        def pattern(seed):
+            INJECTOR.disarm()
+            INJECTOR.arm("rewrite.match", probability=0.5, seed=seed)
+            result = []
+            for _ in range(32):
+                try:
+                    faults.fire("rewrite.match")
+                    result.append(False)
+                except InjectedFault:
+                    result.append(True)
+            return result
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+        assert any(pattern(7)) and not all(pattern(7))
+
+    def test_custom_error_factory(self):
+        INJECTOR.arm("persist.write", error=lambda point: OSError(point))
+        with pytest.raises(OSError):
+            faults.fire("persist.write")
+
+
+class TestContextManager:
+    def test_injected_disarms_on_exit(self):
+        with INJECTOR.injected("rewrite.match", every=2) as spec:
+            assert "rewrite.match" in INJECTOR.armed
+            faults.fire("rewrite.match")
+            assert spec.hits == 1
+        assert "rewrite.match" not in INJECTOR.armed
+
+    def test_injected_disarms_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with INJECTOR.injected("rewrite.match"):
+                raise RuntimeError("boom")
+        assert "rewrite.match" not in INJECTOR.armed
+
+
+class TestIsolation:
+    def test_private_injector_does_not_touch_global(self):
+        private = FaultInjector()
+        private.arm("rewrite.match")
+        assert "rewrite.match" not in INJECTOR.armed
+        with pytest.raises(InjectedFault):
+            private.fire("rewrite.match")

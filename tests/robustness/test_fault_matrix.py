@@ -1,0 +1,104 @@
+"""Seeded fault-matrix smoke: fire every injection point at least once
+against a live database and assert the system survives — answers stay
+correct, state stays consistent, and recovery paths engage.
+
+This file is the CI chaos job's quick gate; the deeper per-subsystem
+behavior lives in the sibling test modules.
+"""
+
+import datetime
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.persist import load_database, save_database, verify_database
+from repro.engine.table import tables_equal
+from repro.catalog import credit_card_catalog
+from repro.testing import INJECTOR, POINTS, InjectedFault
+
+D = datetime.date
+SUMMARY_SQL = (
+    "select faid, count(*) as cnt, sum(qty) as sqty from Trans group by faid"
+)
+QUERY = "select faid, count(*) as n from Trans group by faid"
+NEW_ROW = (900, 1, 1, 10, D(1992, 4, 4), 2, 25.0, 0.1)
+
+
+def checked_answer(db):
+    got = db.execute(QUERY)
+    want = db.execute(QUERY, use_summary_tables=False)
+    assert tables_equal(got, want)
+
+
+def exercise(db, tmp_path):
+    """Touch every injection point's code path once."""
+    db.create_summary_table("M1", SUMMARY_SQL, refresh_mode="deferred")
+    db.insert_rows("Trans", [NEW_ROW])  # delta.append
+    db.drain_refresh()  # scheduler.apply / scheduler.recompute
+    checked_answer(db)  # rewrite.match
+    try:
+        save_database(db, tmp_path / "db")  # persist.write / persist.rename
+    except InjectedFault:
+        pass  # a crashed save must still leave a loadable directory
+    else:
+        loaded = load_database(tmp_path / "db")
+        try:
+            verify_database(loaded)
+            assert tables_equal(
+                loaded.execute(QUERY),
+                loaded.execute(QUERY, use_summary_tables=False),
+            )
+        finally:
+            loaded.close()
+
+
+@pytest.mark.parametrize("point", sorted(POINTS))
+def test_single_fault_at_each_point_survives(tiny_db, tmp_path, point):
+    with INJECTOR.injected(point):
+        exercise(tiny_db, tmp_path)
+    # Whatever failed, the live database still answers correctly ...
+    checked_answer(tiny_db)
+    tiny_db.drain_refresh()
+    summary = tiny_db.summary_tables["m1"]
+    if not summary.refresh.quarantined:
+        assert tables_equal(
+            summary.table, tiny_db.execute(SUMMARY_SQL, use_summary_tables=False)
+        )
+    # ... and a post-fault save/load round-trip is clean.
+    save_database(tiny_db, tmp_path / "after")
+    loaded = load_database(tmp_path / "after")
+    try:
+        assert verify_database(loaded).clean
+        assert tables_equal(
+            loaded.execute(QUERY), tiny_db.execute(QUERY, use_summary_tables=False)
+        )
+    finally:
+        loaded.close()
+    tiny_db.close()
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_fault_storm_survives(tmp_path, seed):
+    """Probabilistic faults at every point simultaneously: no matter
+    which subset fires, the system never returns a wrong answer."""
+    db = Database(credit_card_catalog())
+    db.load("Acct", [(10, 1, "gold"), (20, 2, "silver")])
+    db.load(
+        "Trans",
+        [
+            (1, 1, 1, 10, D(1990, 1, 15), 2, 110.0, 0.2),
+            (2, 2, 2, 20, D(1991, 3, 15), 3, 30.0, 0.15),
+        ],
+    )
+    db._scheduler.retry_base_delay = 0.001
+    for index, point in enumerate(sorted(POINTS)):
+        INJECTOR.arm(point, probability=0.3, seed=seed * 100 + index)
+    try:
+        exercise(db, tmp_path)
+        checked_answer(db)
+    finally:
+        INJECTOR.disarm()
+    # With the storm over, the system settles back to a correct state.
+    db.drain_refresh()
+    checked_answer(db)
+    db.close()

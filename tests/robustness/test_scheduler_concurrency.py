@@ -1,0 +1,175 @@
+"""Concurrency stress for the refresh scheduler: ingest, notify, drain
+and stop interleaved from many threads must neither deadlock nor lose a
+refresh, and the post-drain summaries must be bit-identical to a full
+recompute."""
+
+import datetime
+import threading
+
+import pytest
+
+from repro.engine.table import tables_equal
+
+D = datetime.date
+SUMMARY_SQLS = {
+    "C1": "select faid, count(*) as cnt, sum(qty) as sqty from Trans group by faid",
+    "C2": "select flid, count(*) as cnt, sum(price) as sp from Trans group by flid",
+    "C3": "select fpgid, count(*) as cnt from Trans group by fpgid",
+}
+JOIN_TIMEOUT = 30.0  # generous; a deadlock would hang far longer
+
+
+def make_row(index):
+    return (
+        1000 + index,
+        1 + index % 2,
+        1 + index % 3,
+        10 * (1 + index % 2),
+        D(1990 + index % 4, 1 + index % 12, 1 + index % 28),
+        1 + index % 5,
+        float(10 + index),
+        0.1,
+    )
+
+
+@pytest.fixture
+def stress_db(tiny_db):
+    for name, sql in SUMMARY_SQLS.items():
+        tiny_db.create_summary_table(name, sql, refresh_mode="deferred")
+    yield tiny_db
+    tiny_db.close()
+
+
+def join_all(threads):
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT)
+    stuck = [t.name for t in threads if t.is_alive()]
+    assert not stuck, f"deadlocked threads: {stuck}"
+
+
+def assert_summaries_consistent(db):
+    for name, sql in SUMMARY_SQLS.items():
+        summary = db.summary_tables[name.lower()]
+        assert summary.refresh.pending_deltas == 0, name
+        assert not summary.refresh.quarantined, name
+        expected = db.execute(sql, use_summary_tables=False)
+        assert tables_equal(summary.table, expected), name
+
+
+class TestConcurrentIngest:
+    def test_parallel_writers_with_drains(self, stress_db):
+        errors = []
+        start = threading.Barrier(6)
+
+        def writer(worker):
+            try:
+                start.wait()
+                for i in range(25):
+                    stress_db.insert_rows(
+                        "Trans", [make_row(worker * 1000 + i)]
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def drainer():
+            try:
+                start.wait()
+                for _ in range(10):
+                    stress_db.drain_refresh()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,), name=f"writer-{w}")
+            for w in range(4)
+        ] + [
+            threading.Thread(target=drainer, name=f"drainer-{d}")
+            for d in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        join_all(threads)
+        assert errors == []
+        stress_db.drain_refresh()
+        assert len(stress_db.tables["trans"]) == 6 + 4 * 25
+        assert_summaries_consistent(stress_db)
+
+    def test_notify_storm_does_not_lose_refreshes(self, stress_db):
+        stress_db.insert_rows("Trans", [make_row(0)])
+        scheduler = stress_db.refresh_scheduler
+        names = list(SUMMARY_SQLS)
+        start = threading.Barrier(8)
+
+        def notifier(worker):
+            start.wait()
+            for _ in range(50):
+                scheduler.notify(names)
+
+        threads = [
+            threading.Thread(target=notifier, args=(w,), name=f"notify-{w}")
+            for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        join_all(threads)
+        stress_db.drain_refresh()
+        assert_summaries_consistent(stress_db)
+
+
+class TestStopAndRestart:
+    def test_stop_races_with_ingest(self, stress_db):
+        errors = []
+        start = threading.Barrier(3)
+
+        def writer():
+            try:
+                start.wait()
+                for i in range(30):
+                    stress_db.insert_rows("Trans", [make_row(i)])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def stopper():
+            try:
+                start.wait()
+                stress_db.refresh_scheduler.stop()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, name="writer"),
+            threading.Thread(target=writer, name="writer-2"),
+            threading.Thread(target=stopper, name="stopper"),
+        ]
+        for thread in threads:
+            thread.start()
+        join_all(threads)
+        assert errors == []
+        # notify() restarts the worker on demand, so draining after a
+        # racing stop still converges.
+        stress_db.drain_refresh()
+        assert_summaries_consistent(stress_db)
+
+    def test_concurrent_drain_stop_drain(self, stress_db):
+        stress_db.insert_rows("Trans", [make_row(i) for i in range(10)])
+        start = threading.Barrier(4)
+
+        def action(fn, name):
+            def run():
+                start.wait()
+                fn()
+
+            return threading.Thread(target=run, name=name)
+
+        scheduler = stress_db.refresh_scheduler
+        threads = [
+            action(stress_db.drain_refresh, "drain-1"),
+            action(stress_db.drain_refresh, "drain-2"),
+            action(scheduler.stop, "stop"),
+            action(lambda: scheduler.notify(list(SUMMARY_SQLS)), "notify"),
+        ]
+        for thread in threads:
+            thread.start()
+        join_all(threads)
+        stress_db.drain_refresh()
+        assert_summaries_consistent(stress_db)
