@@ -6,10 +6,19 @@ timings. This is the script that produced the numbers recorded in
 EXPERIMENTS.md.
 
 Run:  python benchmarks/report.py
+
+With ``--json PATH`` it instead emits a machine-readable rewrite
+snapshot (``BENCH_rewrite.json`` in CI): per-query cold and warm
+rewrite latency over the TPC-D workload, match counts from the unified
+metrics registry, and the full metrics dump. ``--fast`` shrinks the
+dataset for a seconds-long CI smoke run.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import statistics
 import time
 
 from repro.bench.figures import FIGURES, NEGATIVE_FIGURES, make_bench_experiment, make_database
@@ -83,7 +92,76 @@ def web_rows() -> None:
         )
 
 
-def main() -> None:
+def rewrite_snapshot(fast: bool = False, warm_repeats: int = 20) -> dict:
+    """Cold/warm rewrite latency and match counts over the TPC-D
+    workload, as a JSON-ready dict (the ``BENCH_rewrite.json`` CI
+    artifact)."""
+    orders = 200 if fast else 2000
+    db = build_tpcd_db(orders=orders)
+    install_asts(db)
+    queries: dict[str, dict] = {}
+    for name, query in QUERIES.items():
+        before = db.rewrite_stats()
+        start = time.perf_counter()
+        result = db.rewrite(query)  # cache miss: full navigation
+        cold_ms = (time.perf_counter() - start) * 1e3
+        warm: list[float] = []
+        for _ in range(warm_repeats):
+            start = time.perf_counter()
+            db.rewrite(query)  # decision-cache replay
+            warm.append((time.perf_counter() - start) * 1e3)
+        after = db.rewrite_stats()
+        queries[name] = {
+            "cold_ms": round(cold_ms, 3),
+            "warm_ms": round(statistics.median(warm), 3),
+            "rewritten": result is not None,
+            "summaries": sorted(
+                {step.summary.name for step in result.applied}
+            ) if result is not None else [],
+            "matches_attempted": (
+                after["matches_attempted"] - before["matches_attempted"]
+            ),
+            "cache_hits": after["cache_hits"] - before["cache_hits"],
+        }
+    db.refresh_scheduler.stop()
+    return {
+        "scale": bench_scale(),
+        "orders": orders,
+        "warm_repeats": warm_repeats,
+        "queries": queries,
+        "match_counts": db.rewrite_stats(),
+        "metrics": db.metrics.to_dict(),
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the rewrite snapshot (cold/warm latency, match "
+        "counts) to PATH instead of printing the markdown tables",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink the dataset for a CI smoke run (with --json)",
+    )
+    args = parser.parse_args(argv)
+    if args.json:
+        snapshot = rewrite_snapshot(fast=args.fast)
+        with open(args.json, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        slowest = max(
+            snapshot["queries"].items(), key=lambda kv: kv[1]["cold_ms"]
+        )
+        print(
+            f"wrote {args.json}: {len(snapshot['queries'])} queries, "
+            f"slowest cold rewrite {slowest[0]} at "
+            f"{slowest[1]['cold_ms']:.1f} ms"
+        )
+        return
     print(f"REPRO_SCALE = {bench_scale()}\n")
     figure_rows()
     negative_rows()

@@ -50,6 +50,15 @@ from repro.errors import (
     UnsupportedSqlError,
 )
 from repro.matching.navigator import match_graphs, root_matches
+from repro.obs import (
+    REASONS,
+    Counter,
+    Gauge,
+    Histogram,
+    MatchTrace,
+    MetricsRegistry,
+    TraceBuffer,
+)
 from repro.qgm.build import build_graph
 from repro.qgm.display import render_graph
 from repro.qgm.fingerprint import GraphFingerprint, fingerprint
@@ -70,12 +79,18 @@ __all__ = [
     "CatalogError",
     "Column",
     "CostPlanner",
+    "Counter",
     "DataType",
     "Database",
     "ExecutionError",
     "ForeignKeyConstraint",
+    "Gauge",
     "GraphFingerprint",
+    "Histogram",
     "MaintenanceReport",
+    "MatchTrace",
+    "MetricsRegistry",
+    "REASONS",
     "RecoveryReport",
     "ReproError",
     "ReferenceExecutor",
@@ -90,6 +105,7 @@ __all__ = [
     "SummaryTable",
     "Table",
     "TableSchema",
+    "TraceBuffer",
     "UniqueKey",
     "UnsupportedSqlError",
     "build_graph",

@@ -15,10 +15,18 @@ shell understands:
 * ``\\refresh`` — per-summary refresh mode and staleness;
   ``\\refresh drain`` applies every staged delta and waits;
   ``\\refresh NAME ...`` recomputes the named summaries now
+* ``\\trace on|off`` — toggle match tracing for subsequent queries;
+  ``\\trace last`` replays the most recent trace (verdicts + timings)
+* ``\\metrics`` — the unified metrics registry (rewrite, scheduler,
+  executor, phase timers); ``\\metrics json`` / ``\\metrics prom`` dump
+  machine-readable forms, ``\\metrics reset`` zeroes everything
+* ``\\slowlog`` — recent queries over the slow-query threshold
+  (``SET SLOW QUERY <ms> | OFF`` adjusts it)
 * ``\\q`` — quit
 
 ``EXPLAIN SELECT ...`` prints the QGM graph, the match, and the
-rewritten SQL.
+rewritten SQL; ``EXPLAIN ANALYZE SELECT ...`` also executes the query
+and reports phase timings plus the per-AST match verdict table.
 """
 
 from __future__ import annotations
@@ -78,14 +86,20 @@ class Shell:
             return self._handle_stats(parts)
         if name == "\\refresh":
             return self._handle_refresh(parts)
+        if name == "\\trace":
+            return self._handle_trace(parts)
+        if name == "\\metrics":
+            return self._handle_metrics(parts)
+        if name == "\\slowlog":
+            return self._handle_slowlog(parts)
         if name == "\\save":
             return self._handle_save(parts)
         if name == "\\open":
             return self._handle_open(parts)
         self.write(
             f"unknown command {name} "
-            "(try \\d, \\timing, \\noast, \\stats, \\refresh, \\save DIR, "
-            "\\open DIR, \\q)"
+            "(try \\d, \\timing, \\noast, \\stats, \\refresh, \\trace, "
+            "\\metrics, \\slowlog, \\save DIR, \\open DIR, \\q)"
         )
         return True
 
@@ -146,6 +160,71 @@ class Shell:
             f"{scheduler.quarantines} quarantine(s), "
             f"{scheduler.queued} queued"
         )
+        return True
+
+    def _handle_trace(self, parts: list[str]) -> bool:
+        if len(parts) == 2 and parts[1] in ("on", "off"):
+            self.database.set_tracing(parts[1] == "on")
+            self.write(f"match tracing is {parts[1]}")
+            return True
+        if len(parts) == 2 and parts[1] == "last":
+            trace = self.database.last_trace
+            if trace is None:
+                self.write("(no traces recorded; try \\trace on first)")
+                return True
+            self.write(trace.render(verbose=True))
+            return True
+        self.write("usage: \\trace on|off|last")
+        return True
+
+    def _handle_metrics(self, parts: list[str]) -> bool:
+        metrics = self.database.metrics
+        if len(parts) == 2 and parts[1] == "reset":
+            metrics.reset()
+            self.write("metrics reset")
+            return True
+        if len(parts) == 2 and parts[1] == "json":
+            self.write(metrics.to_json())
+            return True
+        if len(parts) == 2 and parts[1] in ("prom", "prometheus"):
+            self.write(metrics.to_prometheus().rstrip("\n"))
+            return True
+        if len(parts) != 1:
+            self.write("usage: \\metrics [json|prom|reset]")
+            return True
+        dump = metrics.to_dict()
+        if not dump:
+            self.write("(no metrics recorded)")
+            return True
+        width = max(len(name) for name in dump)
+        for name in sorted(dump):
+            entry = dump[name]
+            if entry["type"] == "histogram":
+                count = entry["count"]
+                mean = entry["sum"] / count if count else 0.0
+                value = f"count={count} mean={mean:.3f}"
+            else:
+                value = f"{entry['value']:g}"
+            self.write(f"  {name:<{width}} {value}")
+        return True
+
+    def _handle_slowlog(self, parts: list[str]) -> bool:
+        if len(parts) != 1:
+            self.write("usage: \\slowlog")
+            return True
+        threshold = self.database.slow_query_ms
+        if threshold is None:
+            self.write("slow-query log is off (SET SLOW QUERY <ms> enables it)")
+        else:
+            self.write(f"slow-query threshold: {threshold:g} ms")
+        if not self.database.slow_queries:
+            self.write("(no slow queries recorded)")
+            return True
+        for entry in self.database.slow_queries:
+            sql = " ".join(entry["sql"].split())
+            if len(sql) > 60:
+                sql = sql[:57] + "..."
+            self.write(f"  {entry['ms']:>10.3f} ms  {sql}")
         return True
 
     def _handle_save(self, parts: list[str]) -> bool:

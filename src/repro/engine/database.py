@@ -21,6 +21,8 @@ counters; ``configure_fast_path()`` disables layers for ablation.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from typing import Iterable
 
 from repro.catalog.schema import Catalog, Column, TableSchema
@@ -28,9 +30,16 @@ from repro.catalog.types import DataType, infer_literal_type
 from repro.engine.executor import Executor
 from repro.engine.table import Row, Table
 from repro.errors import CatalogError, ReproError
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBuffer
 from repro.qgm.boxes import QueryGraph
 from repro.qgm.build import build_graph
 from repro.qgm.fingerprint import fingerprint
+
+#: default slow-query log threshold, milliseconds (see docs/OBSERVABILITY.md;
+#: override per session with ``SET SLOW QUERY <ms>`` or ``SET SLOW QUERY OFF``)
+DEFAULT_SLOW_QUERY_MS = 100.0
 
 
 class Database:
@@ -54,9 +63,13 @@ class Database:
 
         for schema in self.catalog.tables.values():
             self.tables[schema.name.lower()] = Table.from_schema(schema)
+        #: the unified metrics registry — fast-path counters (via
+        #: RewriteStats), scheduler counters, phase timers, slow-query
+        #: counts all land here; dump with \metrics / to_prometheus()
+        self.metrics = MetricsRegistry()
         self._summary_index = SummaryIndex()
         self._rewrite_cache = RewriteCache(rewrite_cache_size)
-        self._rewrite_stats = RewriteStats()
+        self._rewrite_stats = RewriteStats(registry=self.metrics)
         self._rewrite_epoch = 0
         self._fast_path_index = True
         self._fast_path_cache = True
@@ -64,12 +77,18 @@ class Database:
         # refresh worker, and the session's freshness tolerance
         # (SET REFRESH AGE; 0 = only fully fresh summaries match).
         self._delta_log = DeltaLog()
-        self._scheduler = RefreshScheduler(self)
+        self._scheduler = RefreshScheduler(self, registry=self.metrics)
         self._maintenance_lock = threading.RLock()
         self.refresh_age = RefreshAge.CURRENT
         #: last sandboxed rewrite failure (diagnostics; see
         #: :meth:`_rewrite_for_execution`)
         self.last_rewrite_error: str | None = None
+        # Observability: per-query match tracing (\trace on|off|last) and
+        # the slow-query log (SET SLOW QUERY <ms>|OFF).
+        self._tracing = False
+        self._trace_buffer = TraceBuffer()
+        self.slow_query_ms: float | None = DEFAULT_SLOW_QUERY_MS
+        self.slow_queries: deque[dict] = deque(maxlen=64)
 
     # ------------------------------------------------------------------
     # Data definition / loading
@@ -115,13 +134,70 @@ class Database:
         session's ``refresh_age`` decides how stale a REFRESH DEFERRED
         summary may be and still serve this query.
         """
-        graph = self.bind(sql)
-        if use_summary_tables and self.summary_tables:
-            graph = self._rewrite_for_execution(sql, graph, tolerance=tolerance)
-        return self.execute_graph(graph)
+        return self._execute_select(
+            sql, sql, use_summary_tables, tolerance=tolerance
+        )
+
+    def _execute_select(
+        self, source, sql_text: str | None, use_summary_tables: bool,
+        tolerance=None,
+    ) -> Table:
+        """Bind → rewrite → run, with phase timers (bind/match/execute,
+        milliseconds) in the metrics registry, optional match tracing
+        (``set_tracing``), and the slow-query log. ``source`` is SQL text
+        or an already-parsed statement; ``sql_text`` is the original text
+        for the trace/slow log."""
+        metrics = self.metrics
+        total_start = time.perf_counter()
+        trace = _trace.start(sql_text) if self._tracing else None
+        try:
+            started = time.perf_counter()
+            graph = build_graph(source, self.catalog)
+            bind_ms = metrics.observe_ms("phase_bind_ms", started)
+            match_ms = None
+            if use_summary_tables and self.summary_tables:
+                started = time.perf_counter()
+                graph = self._rewrite_for_execution(
+                    source, graph, tolerance=tolerance
+                )
+                match_ms = metrics.observe_ms("phase_match_ms", started)
+            started = time.perf_counter()
+            result = self.execute_graph(graph)
+            execute_ms = metrics.observe_ms("phase_execute_ms", started)
+        finally:
+            if trace is not None:
+                _trace.finish()
+        total_ms = metrics.observe_ms("query_total_ms", total_start)
+        if trace is not None:
+            trace.set_phase("bind", bind_ms)
+            if match_ms is not None:
+                # apply_match recorded "compensate" inside the match window
+                trace.set_phase(
+                    "match", match_ms - trace.phases.get("compensate", 0.0)
+                )
+            trace.set_phase("execute", execute_ms)
+            self._trace_buffer.append(trace)
+        self._note_slow_query(sql_text, total_ms)
+        return result
+
+    def _note_slow_query(self, sql_text: str | None, total_ms: float) -> None:
+        threshold = self.slow_query_ms
+        if threshold is None or total_ms < threshold:
+            return
+        self.metrics.counter(
+            "slow_queries_total", "queries over the SET SLOW QUERY threshold"
+        ).inc()
+        self.slow_queries.append(
+            {
+                "sql": sql_text if sql_text is not None else "(bound graph)",
+                "ms": round(total_ms, 3),
+                "threshold_ms": threshold,
+                "at": time.time(),
+            }
+        )
 
     def execute_graph(self, graph: QueryGraph) -> Table:
-        return Executor(self.tables).run(graph)
+        return Executor(self.tables, metrics=self.metrics).run(graph)
 
     def run_sql(self, sql: str, use_summary_tables: bool = True):
         """Execute one statement of any supported kind (SELECT, CREATE
@@ -138,18 +214,18 @@ class Database:
             InsertValues,
             RefreshSummaryTables,
             SetRefreshAge,
+            SetSlowQuery,
             parse_statement,
         )
 
+        started = time.perf_counter()
         statement = parse_statement(sql)
+        self.metrics.observe_ms("phase_parse_ms", started)
         if isinstance(statement, (SelectStatement, UnionAll)):
-            from repro.qgm.build import build_graph
-
-            graph = build_graph(statement, self.catalog)
-            if use_summary_tables and self.summary_tables:
-                graph = self._rewrite_for_execution(statement, graph)
-            return self.execute_graph(graph)
+            return self._execute_select(statement, sql, use_summary_tables)
         if isinstance(statement, Explain):
+            if statement.analyze:
+                return self._explain_analyze(statement.sql)
             return self._explain(statement.sql)
         if isinstance(statement, CreateTable):
             self._apply_create_table(statement)
@@ -185,6 +261,11 @@ class Database:
 
             self.refresh_age = RefreshAge(statement.max_pending)
             return f"refresh age set to {self.refresh_age.describe()}"
+        if isinstance(statement, SetSlowQuery):
+            self.slow_query_ms = statement.threshold_ms
+            if statement.threshold_ms is None:
+                return "slow query log disabled"
+            return f"slow query threshold set to {statement.threshold_ms:g} ms"
         if isinstance(statement, RefreshSummaryTables):
             names = statement.names or None
             self.refresh_summary_tables(names)
@@ -266,6 +347,99 @@ class Database:
         lines.append(_describe_fast_path(self._rewrite_stats.delta(before)))
         return "\n".join(lines)
 
+    def explain_analyze(self, sql: str) -> str:
+        """``EXPLAIN ANALYZE``: execute the query under a forced match
+        trace and render the timed phase breakdown (parse/bind/match/
+        compensate/execute, milliseconds) plus the per-AST match verdict
+        table — for every enabled summary table, either the matched
+        pattern section or the named reject reason (see
+        ``docs/OBSERVABILITY.md``)."""
+        return self._explain_analyze(sql)
+
+    def _explain_analyze(self, sql: str) -> str:
+        from repro.sql.parser import parse
+
+        metrics = self.metrics
+        before = self._rewrite_stats.snapshot()
+        total_start = time.perf_counter()
+        started = total_start
+        statement = parse(sql)
+        parse_ms = metrics.observe_ms("phase_parse_ms", started)
+        # Force a trace for this statement regardless of the session flag.
+        trace = _trace.start(sql)
+        error_note = None
+        result = None
+        try:
+            started = time.perf_counter()
+            graph = build_graph(statement, self.catalog)
+            bind_ms = metrics.observe_ms("phase_bind_ms", started)
+            match_ms = 0.0
+            if self.summary_tables:
+                started = time.perf_counter()
+                try:
+                    result = self._rewrite_bound(graph)
+                except Exception as error:
+                    # Same sandbox contract as execution: rebind pristine.
+                    self._rewrite_stats.rewrite_errors += 1
+                    self.last_rewrite_error = f"{type(error).__name__}: {error}"
+                    error_note = self.last_rewrite_error
+                    graph = build_graph(statement, self.catalog)
+                match_ms = metrics.observe_ms("phase_match_ms", started)
+            exec_graph = result.graph if result is not None else graph
+            started = time.perf_counter()
+            data = self.execute_graph(exec_graph)
+            execute_ms = metrics.observe_ms("phase_execute_ms", started)
+        finally:
+            _trace.finish()
+        total_ms = metrics.observe_ms("query_total_ms", total_start)
+        compensate_ms = trace.phases.get("compensate", 0.0)
+        trace.set_phase("parse", parse_ms)
+        trace.set_phase("bind", bind_ms)
+        trace.set_phase("match", max(0.0, match_ms - compensate_ms))
+        trace.set_phase("execute", execute_ms)
+        self._trace_buffer.append(trace)
+        self._note_slow_query(sql, total_ms)
+
+        lines = [f"-- EXPLAIN ANALYZE (trace #{trace.trace_id}) --"]
+        lines.append("-- phases --")
+        phase_rows = [
+            ("parse", parse_ms),
+            ("bind", bind_ms),
+            ("match", max(0.0, match_ms - compensate_ms)),
+            ("compensate", compensate_ms),
+            ("execute", execute_ms),
+            ("total", total_ms),
+        ]
+        for name, ms in phase_rows:
+            lines.append(f"  {name:<11}{ms:>10.3f} ms")
+        lines.append("-- match verdicts --")
+        rows = trace.verdict_rows()
+        if not rows:
+            lines.append(
+                "  (no summary tables registered)"
+                if not self.summary_tables
+                else "  (no candidates admissible for this query)"
+            )
+        else:
+            name_w = max(len("summary"), max(len(r[0]) for r in rows))
+            verdict_w = max(len("verdict"), max(len(r[1]) for r in rows))
+            lines.append(f"  {'summary':<{name_w}}  {'verdict':<{verdict_w}}  detail")
+            for name, verdict, detail in rows:
+                lines.append(f"  {name:<{name_w}}  {verdict:<{verdict_w}}  {detail}")
+        if error_note is not None:
+            lines.append(
+                f"-- rewrite failed ({error_note}); query ran on base tables --"
+            )
+        if result is not None:
+            lines.append("-- rewrite --")
+            lines.append(result.explain())
+            lines.append("-- rewritten SQL --")
+            lines.append(result.sql)
+        lines.append(f"-- result: {len(data)} row(s) --")
+        lines.append("-- matching fast path --")
+        lines.append(_describe_fast_path(self._rewrite_stats.delta(before)))
+        return "\n".join(lines)
+
     def _rewrite_for_execution(self, source, graph: QueryGraph, tolerance=None):
         """The rewrite *sandbox*: the graph to execute for ``source``.
 
@@ -338,10 +512,16 @@ class Database:
             if entry is not None:
                 if entry.steps is None:
                     stats.cache_negative_hits += 1
+                    t = _trace.ACTIVE
+                    if t is not None:
+                        self._trace_cache_hit(t, admissible, steps=None)
                     return None
                 replayed = self._replay_rewrite(graph, entry, admissible)
                 if replayed is not None:
                     stats.cache_hits += 1
+                    t = _trace.ACTIVE
+                    if t is not None:
+                        self._trace_cache_hit(t, admissible, steps=entry.steps)
                     return replayed
                 stats.cache_replay_failures += 1
             stats.cache_misses += 1
@@ -370,6 +550,32 @@ class Database:
             )
             stats.cache_stores += 1
         return result
+
+    def _trace_cache_hit(self, t, admissible: frozenset[str], steps) -> None:
+        """Record per-summary ``cache-hit`` verdicts so warm queries never
+        show an empty match table (the navigator did not run, but the
+        cached decision still names each admissible summary's outcome)."""
+        replayed = {step.summary_name: step for step in steps} if steps else {}
+        for key in sorted(admissible):
+            summary = self.summary_tables.get(key)
+            name = summary.name if summary is not None else key
+            step = replayed.get(key)
+            if step is not None:
+                t.verdict(
+                    name, "cache-hit",
+                    "decision cache replayed the prior match",
+                    applied=True, pattern=step.pattern,
+                )
+            elif steps is None:
+                t.verdict(
+                    name, "cache-hit",
+                    "cached decision: no rewrite applies to this query shape",
+                )
+            else:
+                t.verdict(
+                    name, "cache-hit",
+                    "cached decision chose another summary",
+                )
 
     def _replay_rewrite(
         self, graph: QueryGraph, entry: CacheEntry, admissible: frozenset[str]
@@ -416,6 +622,36 @@ class Database:
         except ReproError:
             return None
         return RewriteResult(graph, applied)
+
+    # ------------------------------------------------------------------
+    # Observability: match tracing and the slow-query log
+    # ------------------------------------------------------------------
+    def set_tracing(self, enabled: bool) -> None:
+        """Toggle per-query match tracing (the CLI's ``\\trace on|off``).
+
+        While enabled, every executed SELECT records a
+        :class:`repro.obs.trace.MatchTrace` into a bounded ring buffer
+        (:attr:`trace_buffer`); when disabled (the default) the tracing
+        hooks are a single ``is not None`` test — no allocation."""
+        self._tracing = bool(enabled)
+
+    @property
+    def tracing(self) -> bool:
+        return self._tracing
+
+    @property
+    def trace_buffer(self) -> TraceBuffer:
+        """The ring buffer of recently finished traces (newest last)."""
+        return self._trace_buffer
+
+    @property
+    def last_trace(self):
+        """The most recent finished trace, or None."""
+        return self._trace_buffer.last
+
+    def set_slow_query_threshold(self, threshold_ms: float | None) -> None:
+        """``SET SLOW QUERY <ms>`` / ``OFF`` as a library call."""
+        self.slow_query_ms = threshold_ms
 
     # ------------------------------------------------------------------
     # Fast-path introspection and control

@@ -36,10 +36,15 @@ from repro.qgm.boxes import (
 
 class Executor:
     """Evaluates query graphs against a table store (name → Table,
-    lower-case keys)."""
+    lower-case keys).
 
-    def __init__(self, tables: Mapping[str, Table]):
+    ``metrics`` is an optional :class:`repro.obs.metrics.MetricsRegistry`
+    that receives per-run counters (``executor_runs``, ``executor_boxes``)
+    and an output-cardinality histogram (``executor_rows``)."""
+
+    def __init__(self, tables: Mapping[str, Table], metrics=None):
         self._tables = tables
+        self._metrics = metrics
 
     def run(self, graph: QueryGraph) -> Table:
         """Execute ``graph`` and return the result (ORDER BY applied)."""
@@ -50,6 +55,13 @@ class Executor:
             result.sort_by(graph.order_by)
         if graph.limit is not None and len(result.rows) > graph.limit:
             result = Table(result.columns, result.rows[: graph.limit])
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("executor_runs", "graphs executed").inc()
+            metrics.counter("executor_boxes", "boxes evaluated").inc(len(memo))
+            metrics.histogram("executor_rows", "result cardinality").observe(
+                float(len(result.rows))
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -39,6 +39,8 @@ from repro.matching.framework import (
     inline_through_chain,
 )
 from repro.matching.translation import ChildTranslator, MatchedChildPair
+from repro.obs import trace as _trace
+from repro.qgm.unparse import render_expr
 from repro.qgm.boxes import (
     BaseTableBox,
     GroupByBox,
@@ -57,11 +59,26 @@ def match_groupby_boxes(
         subsumee.child_quantifier.box, subsumer.child_quantifier.box
     )
     if child_match is None:
-        return None  # common condition 1
+        # common condition 1
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "child-match", "4.1.2",
+                "the GROUP-BY inputs did not match",
+            )
+        return None
     if any(
         isinstance(box, SelectBox) and box.distinct for box in child_match.chain
     ):
-        return None  # duplicate elimination breaks multiplicity reasoning
+        # duplicate elimination breaks multiplicity reasoning
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "regroupability", "4.1.2",
+                "child compensation eliminates duplicates (DISTINCT), so "
+                "multiplicities cannot be re-derived",
+            )
+        return None
     if chain_has_grouping(child_match.chain):
         return _match_via_recursion(subsumee, subsumer, child_match, ctx)
     if subsumee.is_multidimensional and subsumer.is_multidimensional:
@@ -125,7 +142,14 @@ def _try_cuboid(
         rejoin_names,
     )
 
+    t = _trace.ACTIVE
     if subsumer.is_multidimensional and not _sliceable(subsumer, ctx):
+        if t is not None:
+            t.reject(
+                "regroupability", "5.1",
+                "cube AST not sliceable: a grouping column is nullable or "
+                "computed, so IS [NOT] NULL slicing is unsound",
+            )
         return None
 
     if ctx.option("column_equivalence"):
@@ -146,6 +170,12 @@ def _try_cuboid(
         inlined = inline_through_chain(predicate, child_match.chain, index, rq.name)
         derived = derive_scalar(inlined, scope)
         if derived is None:
+            if t is not None:
+                t.reject(
+                    "predicate-subsumption", "4.2.1",
+                    "pulled-up child predicate not derivable from grouping "
+                    "columns: " + render_expr(predicate),
+                )
             return None
         derived_preds.append(derived)
 
@@ -155,9 +185,21 @@ def _try_cuboid(
     for qcl in subsumee.grouping_outputs():
         translated = translator.translate(qcl.expr)
         if translated.contains_aggregate():
+            if t is not None:
+                t.reject(
+                    "qcl-derivation", "4.1.2 cond 1",
+                    f"grouping column {qcl.name!r} translates to an "
+                    "aggregate of the AST",
+                )
             return None
         derived = derive_scalar(translated, scope)
         if derived is None:
+            if t is not None:
+                t.reject(
+                    "qcl-derivation", "4.1.2 cond 1",
+                    f"grouping column {qcl.name!r} not derivable from the "
+                    "cuboid: " + render_expr(qcl.expr),
+                )
             return None
         derived_grouping[qcl.name] = derived
 
@@ -184,6 +226,12 @@ def _try_cuboid(
                 for ref in translated_arg.column_refs()
             )
         ):
+            if t is not None:
+                t.reject(
+                    "aggregate-rederivation", "4.2.1",
+                    f"aggregate {qcl.name!r} ranges over rejoin or "
+                    "already-aggregated columns",
+                )
             return None
         translated_args[qcl.name] = translated_arg
 
@@ -209,6 +257,13 @@ def _try_cuboid(
                 qcl.expr, translated_args[qcl.name], agg_scope
             )
             if recipe is None:
+                if t is not None:
+                    t.reject(
+                        "aggregate-rederivation", "4.1.2 rules a-g",
+                        f"{qcl.expr.func.upper()} output {qcl.name!r} not "
+                        "re-derivable from the AST's aggregates (no rule "
+                        "(a)-(g) applies)",
+                    )
                 return None
             agg_recipes[qcl.name] = recipe
 
@@ -676,6 +731,12 @@ def match_groupby_boxes_with_child(
     if subsumee.is_multidimensional and subsumer.is_multidimensional:
         return _match_cube_cube(subsumee, subsumer, child_match, ctx)
     if subsumee.is_multidimensional:
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "regroupability", "4.2.2",
+                "cube query over a simple AST inside the recursive pattern",
+            )
         return None
     return _match_against_best_cuboid(subsumee, subsumer, child_match, ctx)
 

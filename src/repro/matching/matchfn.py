@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.matching.framework import MatchContext, MatchResult
 from repro.matching.groupby_boxes import match_groupby_boxes
 from repro.matching.select_boxes import match_select_boxes
+from repro.obs import trace as _trace
 from repro.qgm.boxes import BaseTableBox, GroupByBox, QGMBox, SelectBox
 
 
@@ -26,13 +27,26 @@ def match_boxes(
         return match_select_boxes(subsumee, subsumer, ctx)
     if isinstance(subsumee, GroupByBox) and isinstance(subsumer, GroupByBox):
         return match_groupby_boxes(subsumee, subsumer, ctx)
-    return None  # common condition 2: same box type
+    # common condition 2: same box type
+    t = _trace.ACTIVE
+    if t is not None:
+        t.reject(
+            "box-kind",
+            detail=f"{type(subsumee).__name__} vs {type(subsumer).__name__}",
+        )
+    return None
 
 
 def _match_base_tables(
     subsumee: BaseTableBox, subsumer: BaseTableBox
 ) -> MatchResult | None:
     if subsumee.table_name.lower() != subsumer.table_name.lower():
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "base-table",
+                detail=f"{subsumee.table_name} != {subsumer.table_name}",
+            )
         return None
     column_map = {name: name for name in subsumee.output_names}
     return MatchResult(subsumee, subsumer, [], column_map, pattern="base-table")

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.matching.framework import MatchContext, MatchResult
 from repro.matching.matchfn import match_boxes
+from repro.obs import trace as _trace
 from repro.qgm.boxes import QueryGraph, box_heights
 
 
@@ -23,6 +24,15 @@ def match_graphs(
     found between query boxes (subsumees) and AST boxes (subsumers)."""
     ctx = MatchContext(query.catalog, options=options)
     ast_boxes = ast.boxes()  # children before parents
+    tracer = _trace.ACTIVE
+    if tracer is not None:
+        for subsumee in query.boxes():
+            for subsumer in ast_boxes:
+                result = match_boxes(subsumee, subsumer, ctx)
+                tracer.pair(subsumee, subsumer, result)
+                if result is not None:
+                    ctx.record(result)
+        return ctx
     for subsumee in query.boxes():
         for subsumer in ast_boxes:
             result = match_boxes(subsumee, subsumer, ctx)

@@ -39,6 +39,8 @@ from repro.matching.framework import (
     inline_through_chain,
 )
 from repro.matching.translation import ChildTranslator, MatchedChildPair
+from repro.obs import trace as _trace
+from repro.qgm.unparse import render_expr
 from repro.qgm.boxes import (
     BaseTableBox,
     GroupByBox,
@@ -57,7 +59,14 @@ def match_select_boxes(
     subsumee: SelectBox, subsumer: SelectBox, ctx: MatchContext
 ) -> MatchResult | None:
     if subsumer.distinct and not subsumee.distinct:
-        return None  # the AST dropped duplicates the query needs
+        # the AST dropped duplicates the query needs
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "regroupability", "4.1.1",
+                "subsumer is DISTINCT but the query keeps duplicates",
+            )
+        return None
     # Self-joins make the child assignment ambiguous (footnote 3); try
     # alternative injective pairings, greedy-preferred first.
     for pairs, rejoins, extras in _enumerate_pairings(subsumee, subsumer, ctx):
@@ -79,10 +88,26 @@ def _match_with_pairing(
 ) -> MatchResult | None:
     grouping_pairs = [p for p in pairs if chain_has_grouping(p.match.chain)]
     if len(grouping_pairs) > 1:
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "regroupability", "4.2.4",
+                f"{len(grouping_pairs)} children need grouping "
+                "compensations; only one can be pulled up",
+            )
         return None
     extra_join_preds = _lossless_extras(subsumee, subsumer, pairs, extras, ctx)
     if extra_join_preds is None:
-        return None  # condition 1 of 4.1.1 violated
+        # condition 1 of 4.1.1 violated
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "lossless-extras", "4.2.3",
+                "extra subsumer child(ren) "
+                + ", ".join(q.name for q in extras)
+                + " not provably lossless via RI joins",
+            )
+        return None
 
     if grouping_pairs:
         return _match_with_grouping_child(
@@ -118,7 +143,11 @@ def _enumerate_pairings(
         candidates.sort(key=lambda item: (not item[1].exact, len(item[1].chain)))
         entries.append((eq, candidates))
     if not entries:
-        return  # common condition 1: some child must match
+        # common condition 1: some child must match
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject("child-match", detail="no subsumee child matched any subsumer child")
+        return
 
     yielded = 0
 
@@ -255,7 +284,15 @@ def _match_select_only(
             if quantifier.name in rejoin_names or any(
                 q.name == quantifier.name for q in chain_rejoins
             ):
-                return None  # name collision across levels; bail out
+                # name collision across levels; bail out
+                t = _trace.ACTIVE
+                if t is not None:
+                    t.reject(
+                        "regroupability", "4.2.3",
+                        f"rejoin quantifier name {quantifier.name!r} "
+                        "collides across chain levels",
+                    )
+                return None
             chain_rejoins.append(quantifier)
     all_rejoin_names = rejoin_names | {q.name for q in chain_rejoins}
 
@@ -271,9 +308,23 @@ def _match_select_only(
                 )
             )
     if any(p.contains_aggregate() for p in pool):
-        return None  # would need a grouping pattern
+        # would need a grouping pattern
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "regroupability", "4.2.4",
+                "translated predicate contains an aggregate; a SELECT-only "
+                "compensation cannot re-apply it",
+            )
+        return None
 
     if not _subsumer_predicates_covered(subsumer, pool, extra_join_preds):
+        t = _trace.ACTIVE
+        if t is not None:
+            t.reject(
+                "predicate-subsumption", "4.1.1 cond 2",
+                _uncovered_predicate(subsumer, pool, extra_join_preds),
+            )
         return None
 
     classes_r = _subsumer_classes(subsumer, ctx)
@@ -288,14 +339,30 @@ def _match_select_only(
             continue
         derived = derive_scalar(predicate, scope)
         if derived is None:
-            return None  # condition 3 fails
+            # condition 3 fails
+            t = _trace.ACTIVE
+            if t is not None:
+                t.reject(
+                    "predicate-subsumption", "4.1.1 cond 3",
+                    "compensation predicate not derivable: "
+                    + render_expr(predicate),
+                )
+            return None
         compensation_preds.append(derived)
 
     derived_outputs: list[tuple[str, Expr]] = []
     for qcl in subsumee.outputs:
         derived = derive_scalar(translator.translate(qcl.expr), scope)
         if derived is None:
-            return None  # condition 4 fails
+            # condition 4 fails
+            t = _trace.ACTIVE
+            if t is not None:
+                t.reject(
+                    "qcl-derivation", "4.1.1 cond 4",
+                    f"output {qcl.name!r} not derivable: "
+                    + render_expr(qcl.expr),
+                )
+            return None
         derived_outputs.append((qcl.name, derived))
 
     all_rejoins = rejoins + chain_rejoins
@@ -356,6 +423,29 @@ def _subsumer_predicates_covered(
     return True
 
 
+def _uncovered_predicate(
+    subsumer: SelectBox, pool: list[Expr], extra_join_preds: list[Expr]
+) -> str:
+    """Name the first subsumer predicate that condition 2 could not cover
+    (trace detail only — mirrors :func:`_subsumer_predicates_covered`)."""
+    classes_e = EquivalenceClasses()
+    for predicate in pool:
+        classes_e.add_predicate(normalize(predicate))
+    exempt = {normalize(p) for p in extra_join_preds}
+    for r_pred in subsumer.predicates:
+        if normalize(r_pred) in exempt:
+            continue
+        if canonical(r_pred, classes_e) == TRUE:
+            continue
+        if any(
+            equivalent(p, r_pred, classes_e) or subsumes(r_pred, p, classes_e)
+            for p in pool
+        ):
+            continue
+        return "subsumer predicate not implied by query: " + render_expr(r_pred)
+    return "subsumer predicates not covered"
+
+
 def _matched_by_subsumer(
     predicate: Expr, subsumer: SelectBox, classes_r: EquivalenceClasses
 ) -> bool:
@@ -394,15 +484,36 @@ def _match_with_grouping_child(
     # The paper's pattern requires no joins between the matched children;
     # the non-grouping children must be single-row (scalar subqueries), so
     # threading their columns through the regrouping is sound.
+    t = _trace.ACTIVE
     if any(not p.match.exact for p in other_pairs):
+        if t is not None:
+            t.reject(
+                "regroupability", "4.2.4",
+                "a sibling of the grouping child needs its own compensation",
+            )
         return None
     if any(not _single_row_box(p.subsumee_q.box) for p in other_pairs):
+        if t is not None:
+            t.reject(
+                "regroupability", "4.2.4",
+                "a sibling of the grouping child is not provably single-row",
+            )
         return None
     if _has_cross_child_predicates(subsumee, pairs) or _has_cross_child_predicates(
         subsumer, pairs
     ):
+        if t is not None:
+            t.reject(
+                "regroupability", "4.2.4",
+                "matched children are joined to each other",
+            )
         return None
     if subsumee.distinct or subsumer.distinct:
+        if t is not None:
+            t.reject(
+                "regroupability", "4.2.4",
+                "DISTINCT cannot cross a pulled-up grouping compensation",
+            )
         return None
 
     rejoin_names = {q.name for q in rejoins}
@@ -417,6 +528,11 @@ def _match_with_grouping_child(
     # can never match a plain predicate.
     pool = [translator.translate(p) for p in subsumee.predicates]
     if not _subsumer_predicates_covered(subsumer, pool, extra_join_preds):
+        if t is not None:
+            t.reject(
+                "predicate-subsumption", "4.2.4",
+                _uncovered_predicate(subsumer, pool, extra_join_preds),
+            )
         return None
 
     classes_r = _subsumer_classes(subsumer, ctx)
@@ -431,6 +547,12 @@ def _match_with_grouping_child(
         grouping_pair, scope, ctx, subsumer
     )
     if rebuilt is None:
+        if t is not None:
+            t.reject(
+                "qcl-derivation", "4.2.4",
+                "grouping chain bottom box not re-derivable from the "
+                "subsumer's outputs (pull-up failed)",
+            )
         return None
     chain, thread = rebuilt
 
@@ -440,6 +562,11 @@ def _match_with_grouping_child(
             r_ref = ColumnRef(pair.subsumer_q.name, pair.match.column_map[column])
             derived = derive_scalar(r_ref, scope)
             if derived is None:
+                if t is not None:
+                    t.reject(
+                        "qcl-derivation", "4.2.4",
+                        f"threaded column {column!r} not derivable",
+                    )
                 return None
             thread.carry(pair.subsumee_q.name, column, derived, chain)
 

@@ -1,0 +1,29 @@
+"""Observability: match tracing, metrics registry, phase timers.
+
+See ``docs/OBSERVABILITY.md`` for the trace event schema, the
+reject-reason catalog mapped to paper sections, and the metric names.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    REASONS,
+    MatchTrace,
+    TraceBuffer,
+    describe_box,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REASONS",
+    "MatchTrace",
+    "TraceBuffer",
+    "describe_box",
+]

@@ -1,0 +1,293 @@
+"""Thread-safe metrics registry — counters, gauges, histograms, timers.
+
+One :class:`MetricsRegistry` per :class:`repro.engine.database.Database`
+absorbs every counter surface the system grew piecemeal — the matching
+fast path (:class:`repro.rewrite.cache.RewriteStats` is now a thin view
+over registry counters), the refresh scheduler, the rewrite sandbox —
+plus the phase timers (parse/bind/match/compensate/execute) recorded
+around query execution. Everything is exposed two ways:
+
+* :meth:`MetricsRegistry.to_json` — a structured dict/JSON dump for
+  tooling and the benchmark snapshot (``BENCH_rewrite.json``);
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  (``# TYPE`` headers, ``_count``/``_sum``/``_bucket`` series for
+  histograms), so a scraper can be pointed at a dump file or endpoint.
+
+All mutation is lock-protected per metric; creating a metric takes the
+registry lock once and returns the same object on every subsequent call
+with the same name, so hot paths can cache the metric object and skip
+the name lookup entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+#: default histogram bucket upper bounds, in the unit the caller observes
+#: (phase timers observe milliseconds)
+DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
+
+
+class Counter:
+    """A monotonic (but resettable) integer counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: int) -> None:
+        """Direct assignment — kept for stats-reset and the
+        :class:`repro.rewrite.cache.RewriteStats` compatibility view."""
+        with self._lock:
+            self._value = value
+
+    def reset(self) -> None:
+        self.set(0)
+
+    def describe(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, pending deltas)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def reset(self) -> None:
+        self.set(0.0)
+
+    def describe(self) -> dict:
+        return {"type": self.kind, "value": self._value}
+
+
+class Histogram:
+    """A fixed-bucket histogram tracking count/sum/min/max.
+
+    Buckets are cumulative upper bounds (Prometheus-style, with an
+    implicit ``+Inf``). The default boundaries suit millisecond timings.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "_counts", "_count", "_sum",
+                 "_min", "_max", "_lock")
+
+    def __init__(self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float | None:
+        return self._sum / self._count if self._count else None
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def describe(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending with +Inf."""
+        out = []
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    ``counter()``/``gauge()``/``histogram()`` are get-or-create: the
+    first call registers the metric, later calls return the same object
+    (asking for an existing name as a different kind raises, which
+    catches naming collisions early).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- registration --------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- access --------------------------------------------------------
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every registered metric (the ``\\stats reset`` path)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    # -- timing --------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Observe the block's wall time, in milliseconds, into the
+        histogram ``name``."""
+        histogram = self.histogram(name)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe((time.perf_counter() - started) * 1e3)
+
+    def observe_ms(self, name: str, started: float) -> float:
+        """Record elapsed milliseconds since ``started`` (a
+        ``perf_counter`` stamp) into histogram ``name``; returns the
+        elapsed milliseconds."""
+        elapsed = (time.perf_counter() - started) * 1e3
+        self.histogram(name).observe(elapsed)
+        return elapsed
+
+    # -- exposition ----------------------------------------------------
+    def to_dict(self) -> dict[str, dict]:
+        """``{name: {type, value | count/sum/min/max/mean}}``, sorted."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.describe() for name, metric in metrics}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for name, metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative_buckets():
+                    label = "+Inf" if bound == float("inf") else _format(bound)
+                    lines.append(f'{name}_bucket{{le="{label}"}} {cumulative}')
+                lines.append(f"{name}_sum {_format(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+            else:
+                lines.append(f"{name} {_format(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    """Render ints without a trailing ``.0`` (Prometheus-friendly)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -72,6 +72,7 @@ class RefreshScheduler:
         max_attempts: int = 4,
         retry_base_delay: float = 0.02,
         error_limit: int = 64,
+        registry=None,
     ):
         self._database = database
         self.queue_limit = queue_limit
@@ -94,17 +95,46 @@ class RefreshScheduler:
         self._worker_exited = False
         self._busy = False
         self._draining = False
-        # counters (monotonic; surfaced via Database.rewrite_stats())
-        self.refreshes_applied = 0
-        self.fallback_recomputes = 0
-        self.batches_applied = 0
-        self.retries_scheduled = 0
-        self.quarantines = 0
+        # counters (monotonic; surfaced via Database.rewrite_stats() and,
+        # through the shared registry, \metrics / Prometheus exposition)
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self._counters = {
+            name: registry.counter(f"scheduler_{name}", help)
+            for name, help in (
+                ("refreshes_applied", "deferred refresh passes applied"),
+                ("fallback_recomputes", "refreshes that fell back to full recompute"),
+                ("batches_applied", "delta batches merged into summaries"),
+                ("retries_scheduled", "failed refreshes scheduled for retry"),
+                ("quarantines", "summaries quarantined after repeated failures"),
+            )
+        }
         #: last fallback reason per summary name (for the \refresh command)
         self.last_fallbacks: dict[str, str] = {}
         #: worker-side errors that survived the per-name guard — a ring
         #: buffer (newest kept) so persistent failures stay bounded
         self.errors: deque[str] = deque(maxlen=error_limit)
+
+    # ------------------------------------------------------------------
+    # Counters — registry-backed so `+= 1` keeps working everywhere
+    # ------------------------------------------------------------------
+    def _counter_value(name):
+        def get(self):
+            return self._counters[name].value
+
+        def set_(self, value):
+            self._counters[name].set(value)
+
+        return property(get, set_)
+
+    refreshes_applied = _counter_value("refreshes_applied")
+    fallback_recomputes = _counter_value("fallback_recomputes")
+    batches_applied = _counter_value("batches_applied")
+    retries_scheduled = _counter_value("retries_scheduled")
+    quarantines = _counter_value("quarantines")
+    del _counter_value
 
     # ------------------------------------------------------------------
     # Producer side

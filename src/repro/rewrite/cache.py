@@ -34,45 +34,103 @@ the CLI's ``\\stats`` command.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
 from repro.qgm.boxes import QGMBox
 from repro.qgm.fingerprint import GraphFingerprint
 
+#: fast-path counter names and their one-line help (exposition strings)
+_STAT_FIELDS = {
+    "queries": "rewrite attempts routed through the fast path",
+    "candidates_considered": "summaries seen by the index",
+    "candidates_pruned": "... of which pruned without navigation",
+    "matches_attempted": "full match_graphs navigations run",
+    "rewrites_applied": "accepted (summary, match) applications",
+    "cache_hits": "positive decision-cache hits (replays)",
+    "cache_negative_hits": "cached 'no rewrite applies' hits",
+    "cache_misses": "fingerprint not cached (or stale)",
+    "cache_stores": "decisions written to the cache",
+    "cache_invalidations": "entries dropped as stale on lookup",
+    "cache_replay_failures": "replays that fell back to cold path",
+    "stale_rejections": "summaries too stale for the query's tolerance",
+    "quarantined_rejections": "quarantined summaries kept out of routing",
+    "rewrite_errors": "sandboxed rewrite failures (query fell back)",
+}
 
-@dataclass
+
 class RewriteStats:
-    """Counters for the matching fast path (cumulative per database)."""
+    """Counters for the matching fast path (cumulative per database).
 
-    queries: int = 0  # rewrite attempts routed through the fast path
-    candidates_considered: int = 0  # summaries seen by the index
-    candidates_pruned: int = 0  # ... of which pruned without navigation
-    matches_attempted: int = 0  # full match_graphs navigations run
-    rewrites_applied: int = 0  # accepted (summary, match) applications
-    cache_hits: int = 0  # positive decision-cache hits (replays)
-    cache_negative_hits: int = 0  # cached "no rewrite applies" hits
-    cache_misses: int = 0  # fingerprint not cached (or stale)
-    cache_stores: int = 0  # decisions written to the cache
-    cache_invalidations: int = 0  # entries dropped as stale on lookup
-    cache_replay_failures: int = 0  # replays that fell back to cold path
-    stale_rejections: int = 0  # summaries too stale for the query's tolerance
-    quarantined_rejections: int = 0  # quarantined summaries kept out of routing
-    rewrite_errors: int = 0  # sandboxed rewrite failures (query fell back)
+    Historically a plain dataclass of ints; now a *view* over
+    :class:`repro.obs.metrics.MetricsRegistry` counters (named
+    ``rewrite_<field>``), so the same numbers appear in ``\\stats``,
+    ``EXPLAIN``, ``\\metrics`` and the Prometheus dump without double
+    bookkeeping. The attribute API is unchanged — ``stats.cache_hits``
+    reads and ``stats.cache_hits += 1`` writes — and a bare
+    ``RewriteStats()`` still works (it owns a private registry), so
+    library callers and existing tests are untouched.
+    """
+
+    _FIELDS = tuple(_STAT_FIELDS)
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 namespace: str = "rewrite", **initial: int):
+        if registry is None:
+            registry = MetricsRegistry()
+        counters = {
+            name: registry.counter(f"{namespace}_{name}", help)
+            for name, help in _STAT_FIELDS.items()
+        }
+        self.__dict__["_registry"] = registry
+        self.__dict__["_counters"] = counters
+        for name, value in initial.items():
+            if name not in counters:
+                raise TypeError(f"unknown counter {name!r}")
+            counters[name].set(value)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.__dict__["_registry"]
+
+    def __getattr__(self, name: str) -> int:
+        counter = self.__dict__["_counters"].get(name)
+        if counter is None:
+            raise AttributeError(name)
+        return counter.value
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counter = self.__dict__["_counters"].get(name)
+        if counter is None:
+            self.__dict__[name] = value
+        else:
+            counter.set(value)
 
     def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        counters = self.__dict__["_counters"]
+        return {name: counters[name].value for name in self._FIELDS}
 
     def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        for counter in self.__dict__["_counters"].values():
+            counter.set(0)
 
     def snapshot(self) -> "RewriteStats":
+        """An independent frozen copy (its own registry) for delta()."""
         return RewriteStats(**self.as_dict())
 
     def delta(self, since: "RewriteStats") -> dict[str, int]:
         """Counter increments since a :meth:`snapshot`."""
         before = since.as_dict()
         return {name: value - before[name] for name, value in self.as_dict().items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"RewriteStats({inner})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RewriteStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
 
 
 @dataclass(frozen=True)

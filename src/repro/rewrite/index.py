@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 from repro.asts.definition import SummaryTable
 from repro.catalog.schema import Catalog
+from repro.obs import trace as _trace
 from repro.qgm.boxes import BaseTableBox, GroupByBox, QueryGraph
 
 #: box kinds whose presence in the AST requires presence in the query
@@ -143,10 +144,18 @@ def filter_fresh(
     kept = []
     rejected = 0
     quarantined = 0
+    t = _trace.ACTIVE
     for summary in summaries:
         state = getattr(summary, "refresh", None)
         if state is not None and state.quarantined:
             quarantined += 1
+            if t is not None:
+                t.verdict(
+                    summary.name, "quarantined",
+                    state.quarantine_reason
+                    if getattr(state, "quarantine_reason", None)
+                    else "contents untrusted after refresh failures",
+                )
             continue
         if tolerance is None:
             kept.append(summary)
@@ -156,6 +165,12 @@ def filter_fresh(
             kept.append(summary)
         else:
             rejected += 1
+            if t is not None:
+                t.verdict(
+                    summary.name, "refresh-age",
+                    f"{pending} pending delta batch(es) exceed "
+                    + tolerance.describe(),
+                )
     if stats is not None:
         if rejected:
             stats.stale_rejections += rejected
@@ -178,11 +193,17 @@ def prune_candidates(
         return []
     query_sig = graph_signature(graph)
     fk_parents = _fk_parent_tables(graph.catalog)
-    kept = [
-        summary
-        for summary in summaries
-        if plausible(query_sig, summary_signature(summary), fk_parents)
-    ]
+    t = _trace.ACTIVE
+    kept = []
+    for summary in summaries:
+        if plausible(query_sig, summary_signature(summary), fk_parents):
+            kept.append(summary)
+        elif t is not None:
+            t.verdict(
+                summary.name, "pruned",
+                "signature index: base tables or box kinds cannot cover "
+                "the query",
+            )
     if stats is not None:
         stats.candidates_considered += len(summaries)
         stats.candidates_pruned += len(summaries) - len(kept)

@@ -16,6 +16,7 @@ from repro.asts.definition import SummaryTable
 from repro.expr.nodes import ColumnRef
 from repro.matching.framework import MAIN, MatchResult, rebase_chain
 from repro.matching.navigator import match_graphs, root_matches
+from repro.obs import trace as _trace
 from repro.qgm.boxes import BaseTableBox, QCL, QGMBox, QueryGraph, SelectBox, box_heights
 from repro.rewrite.index import prune_candidates
 from repro.testing import faults
@@ -125,6 +126,9 @@ def rewrite_query(
         applied.append(AppliedRewrite(summary, match, subsumee_index))
         if stats is not None:
             stats.rewrites_applied += 1
+        t = _trace.ACTIVE
+        if t is not None:
+            t.mark_applied(summary.name)
         remaining.remove(summary)
     if not applied:
         return None
@@ -143,9 +147,20 @@ def _best_match(
     graph: QueryGraph, summary: SummaryTable, options: dict | None = None
 ) -> MatchResult | None:
     faults.fire("rewrite.match")
-    ctx = match_graphs(graph, summary.graph, options=options)
-    candidates = root_matches(graph, summary.graph, ctx)
-    return candidates[0] if candidates else None
+    t = _trace.ACTIVE
+    if t is None:
+        ctx = match_graphs(graph, summary.graph, options=options)
+        candidates = root_matches(graph, summary.graph, ctx)
+        return candidates[0] if candidates else None
+    t.begin_summary(summary.name, summary.graph.root)
+    match = None
+    try:
+        ctx = match_graphs(graph, summary.graph, options=options)
+        candidates = root_matches(graph, summary.graph, ctx)
+        match = candidates[0] if candidates else None
+    finally:
+        t.end_summary(match)
+    return match
 
 
 def apply_match(
@@ -154,6 +169,8 @@ def apply_match(
     """Destructively replace ``match.subsumee`` in ``graph`` with the
     compensation applied to a scan of the summary table. Returns the new
     box standing in for the subsumee."""
+    t = _trace.ACTIVE
+    started = t.clock() if t is not None else 0.0
     scan = BaseTableBox(f"Scan[{summary.name}]", summary.schema)
     counter = [0]
 
@@ -174,6 +191,8 @@ def apply_match(
         quantifier.box = replacement
     if graph.root is match.subsumee:
         graph.root = replacement
+    if t is not None:
+        t.add_phase("compensate", started)
     return replacement
 
 

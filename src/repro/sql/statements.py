@@ -11,10 +11,13 @@ Supported statements (used by the CLI and by ``Database.run_sql``):
 * ``SET REFRESH AGE ANY | 0 | <n>`` — the session's freshness
   tolerance: how many staged delta batches a deferred summary may lag
   behind and still answer queries
+* ``SET SLOW QUERY <ms> | OFF`` — the slow-query log threshold in
+  milliseconds (OFF disables the log)
 * ``INSERT INTO name VALUES (...), (...), ...``
 * ``DELETE FROM name VALUES (...), ...``  (exact-row delete; feeds the
   incremental maintenance path)
-* ``EXPLAIN select-statement``
+* ``EXPLAIN [ANALYZE] select-statement`` — ANALYZE executes the query
+  and reports phase timings plus the per-AST match verdict table
 * plain SELECT statements
 """
 
@@ -98,6 +101,11 @@ class SetRefreshAge:
 
 
 @dataclass(frozen=True)
+class SetSlowQuery:
+    threshold_ms: float | None  # None ⇒ OFF (slow-query log disabled)
+
+
+@dataclass(frozen=True)
 class InsertValues:
     table: str
     rows: tuple[tuple[Any, ...], ...]
@@ -113,6 +121,7 @@ class DeleteValues:
 class Explain:
     query: SelectStatement
     sql: str
+    analyze: bool = False
 
 
 Statement = (
@@ -122,6 +131,7 @@ Statement = (
     | DropSummaryTable
     | RefreshSummaryTables
     | SetRefreshAge
+    | SetSlowQuery
     | InsertValues
     | DeleteValues
     | Explain
@@ -194,9 +204,10 @@ class _StatementParser(_Parser):
             return self._parse_set()
         if word == "explain":
             self._advance()
+            analyze = self._accept_word("analyze")
             remainder_start = self._current
             query = self.parse_query()
-            return Explain(query, self._text_from(remainder_start))
+            return Explain(query, self._text_from(remainder_start), analyze)
         raise self._error(
             "expected SELECT, CREATE, DROP, REFRESH, SET, INSERT, DELETE "
             "or EXPLAIN"
@@ -323,8 +334,19 @@ class _StatementParser(_Parser):
                 names.append(self.expect_ident().value)
         return RefreshSummaryTables(tuple(names))
 
-    def _parse_set(self) -> SetRefreshAge:
+    def _parse_set(self) -> SetRefreshAge | SetSlowQuery:
         self._expect_word("set")
+        if self._accept_word("slow"):
+            self._expect_word("query")
+            if self._accept_word("off"):
+                return SetSlowQuery(None)
+            value = self._parse_constant()
+            if isinstance(value, bool) or not isinstance(value, (int, float)) or value < 0:
+                raise self._error(
+                    "SLOW QUERY must be OFF or a non-negative number of "
+                    "milliseconds"
+                )
+            return SetSlowQuery(float(value))
         self._expect_word("refresh")
         self._expect_word("age")
         if self._accept_word("any"):

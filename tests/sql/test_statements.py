@@ -13,6 +13,7 @@ from repro.sql.statements import (
     DropSummaryTable,
     Explain,
     InsertValues,
+    SetSlowQuery,
     parse_statement,
     split_statements,
 )
@@ -95,6 +96,31 @@ class TestParseOtherStatements:
     def test_explain(self):
         statement = parse_statement("explain select tid from Trans")
         assert isinstance(statement, Explain)
+        assert statement.analyze is False
+
+    def test_explain_analyze(self):
+        statement = parse_statement("explain analyze select tid from Trans")
+        assert isinstance(statement, Explain)
+        assert statement.analyze is True
+        assert statement.sql.lower().startswith("select")
+
+    def test_set_slow_query_threshold(self):
+        statement = parse_statement("set slow query 250")
+        assert statement == SetSlowQuery(250.0)
+        assert parse_statement("set slow query 12.5") == SetSlowQuery(12.5)
+
+    def test_set_slow_query_off(self):
+        assert parse_statement("set slow query off") == SetSlowQuery(None)
+
+    def test_set_slow_query_rejects_negative(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("set slow query -5")
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("set slow query fast")
+
+    def test_set_refresh_age_still_parses(self):
+        statement = parse_statement("set refresh age any")
+        assert statement.max_pending is None
 
     def test_plain_select(self):
         statement = parse_statement("select 1 as one from Trans")
