@@ -22,6 +22,9 @@ shell understands:
   machine-readable forms, ``\\metrics reset`` zeroes everything
 * ``\\slowlog`` — recent queries over the slow-query threshold
   (``SET SLOW QUERY <ms> | OFF`` adjusts it)
+* ``\\governor`` — query-governor status: session limits (``SET QUERY
+  TIMEOUT <ms> | OFF``, ``SET QUERY MAXROWS <n> | OFF``), admission
+  control, circuit-breaker state, and the last governor event
 * ``\\q`` — quit
 
 ``EXPLAIN SELECT ...`` prints the QGM graph, the match, and the
@@ -92,6 +95,8 @@ class Shell:
             return self._handle_metrics(parts)
         if name == "\\slowlog":
             return self._handle_slowlog(parts)
+        if name == "\\governor":
+            return self._handle_governor(parts)
         if name == "\\save":
             return self._handle_save(parts)
         if name == "\\open":
@@ -99,7 +104,7 @@ class Shell:
         self.write(
             f"unknown command {name} "
             "(try \\d, \\timing, \\noast, \\stats, \\refresh, \\trace, "
-            "\\metrics, \\slowlog, \\save DIR, \\open DIR, \\q)"
+            "\\metrics, \\slowlog, \\governor, \\save DIR, \\open DIR, \\q)"
         )
         return True
 
@@ -225,6 +230,18 @@ class Shell:
             if len(sql) > 60:
                 sql = sql[:57] + "..."
             self.write(f"  {entry['ms']:>10.3f} ms  {sql}")
+        return True
+
+    def _handle_governor(self, parts: list[str]) -> bool:
+        if len(parts) != 1:
+            self.write("usage: \\governor")
+            return True
+        self.write("query governor:")
+        for line in self.database.governor.describe_lines():
+            self.write(f"  {line}")
+        event = self.database.last_governor_event
+        if event is not None:
+            self.write(f"  last event: {event}")
         return True
 
     def _handle_save(self, parts: list[str]) -> bool:

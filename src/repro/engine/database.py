@@ -29,7 +29,14 @@ from repro.catalog.schema import Catalog, Column, TableSchema
 from repro.catalog.types import DataType, infer_literal_type
 from repro.engine.executor import Executor
 from repro.engine.table import Row, Table
-from repro.errors import CatalogError, ReproError
+from repro.errors import (
+    CatalogError,
+    MatchBudgetExceeded,
+    QueryCancelled,
+    ReproError,
+)
+from repro.governor import QueryGovernor
+from repro.governor import scope as governor_scope
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceBuffer
@@ -89,6 +96,15 @@ class Database:
         self._trace_buffer = TraceBuffer()
         self.slow_query_ms: float | None = DEFAULT_SLOW_QUERY_MS
         self.slow_queries: deque[dict] = deque(maxlen=64)
+        # Query governor: SET QUERY TIMEOUT/MAXROWS limits, admission
+        # control, and the per-shape circuit breaker (see
+        # docs/ROBUSTNESS.md, "Query governor & load shedding"). Fully
+        # disarmed by default — open_scope() returns None and every
+        # instrumentation site short-circuits.
+        self.governor = QueryGovernor(metrics=self.metrics)
+        #: last governor intervention (degradation/breaker skip), for
+        #: diagnostics and the CLI's \governor command
+        self.last_governor_event: str | None = None
 
     # ------------------------------------------------------------------
     # Data definition / loading
@@ -125,28 +141,47 @@ class Database:
         return build_graph(sql, self.catalog, label=label)
 
     def execute(
-        self, sql: str, use_summary_tables: bool = True, tolerance=None
+        self, sql: str, use_summary_tables: bool = True, tolerance=None,
+        token=None,
     ) -> Table:
         """Run a query, rewriting it over summary tables when possible.
 
         ``tolerance`` is a per-query freshness override (a
         :class:`repro.refresh.policy.RefreshAge`); by default the
         session's ``refresh_age`` decides how stale a REFRESH DEFERRED
-        summary may be and still serve this query.
+        summary may be and still serve this query. ``token`` is an
+        optional :class:`repro.governor.CancellationToken` another
+        thread may trigger to stop this query cooperatively.
         """
         return self._execute_select(
-            sql, sql, use_summary_tables, tolerance=tolerance
+            sql, sql, use_summary_tables, tolerance=tolerance, token=token
         )
 
     def _execute_select(
         self, source, sql_text: str | None, use_summary_tables: bool,
-        tolerance=None,
+        tolerance=None, token=None,
     ) -> Table:
         """Bind → rewrite → run, with phase timers (bind/match/execute,
         milliseconds) in the metrics registry, optional match tracing
         (``set_tracing``), and the slow-query log. ``source`` is SQL text
         or an already-parsed statement; ``sql_text`` is the original text
-        for the trace/slow log."""
+        for the trace/slow log.
+
+        Governed end to end: admission control may shed the query
+        (:class:`~repro.errors.QueryRejected`) before any work happens,
+        and the governor scope — when any limit or ``token`` is set —
+        stays active across bind, match, and execute."""
+        with self.governor.admission.admit():
+            budget = self.governor.open_scope(token)
+            with governor_scope.activate(budget):
+                return self._execute_governed(
+                    source, sql_text, use_summary_tables, tolerance
+                )
+
+    def _execute_governed(
+        self, source, sql_text: str | None, use_summary_tables: bool,
+        tolerance=None,
+    ) -> Table:
         metrics = self.metrics
         total_start = time.perf_counter()
         trace = _trace.start(sql_text) if self._tracing else None
@@ -213,6 +248,8 @@ class Database:
             Explain,
             InsertValues,
             RefreshSummaryTables,
+            SetQueryMaxRows,
+            SetQueryTimeout,
             SetRefreshAge,
             SetSlowQuery,
             parse_statement,
@@ -266,6 +303,16 @@ class Database:
             if statement.threshold_ms is None:
                 return "slow query log disabled"
             return f"slow query threshold set to {statement.threshold_ms:g} ms"
+        if isinstance(statement, SetQueryTimeout):
+            self.governor.timeout_ms = statement.timeout_ms
+            if statement.timeout_ms is None:
+                return "query timeout disabled"
+            return f"query timeout set to {statement.timeout_ms:g} ms"
+        if isinstance(statement, SetQueryMaxRows):
+            self.governor.max_rows = statement.max_rows
+            if statement.max_rows is None:
+                return "query maxrows disabled"
+            return f"query maxrows set to {statement.max_rows}"
         if isinstance(statement, RefreshSummaryTables):
             names = statement.names or None
             self.refresh_summary_tables(names)
@@ -357,6 +404,12 @@ class Database:
         return self._explain_analyze(sql)
 
     def _explain_analyze(self, sql: str) -> str:
+        with self.governor.admission.admit():
+            budget = self.governor.open_scope()
+            with governor_scope.activate(budget):
+                return self._explain_analyze_governed(sql, budget)
+
+    def _explain_analyze_governed(self, sql: str, budget) -> str:
         from repro.sql.parser import parse
 
         metrics = self.metrics
@@ -368,6 +421,7 @@ class Database:
         # Force a trace for this statement regardless of the session flag.
         trace = _trace.start(sql)
         error_note = None
+        governor_note = None
         result = None
         try:
             started = time.perf_counter()
@@ -378,6 +432,14 @@ class Database:
                 started = time.perf_counter()
                 try:
                     result = self._rewrite_bound(graph)
+                except QueryCancelled:
+                    raise
+                except MatchBudgetExceeded as error:
+                    # Graceful degradation, same ladder as execution:
+                    # abandon matching, disarm the deadline, run base.
+                    self._note_degradation(error)
+                    governor_note = str(error)
+                    graph = build_graph(statement, self.catalog)
                 except Exception as error:
                     # Same sandbox contract as execution: rebind pristine.
                     self._rewrite_stats.rewrite_errors += 1
@@ -430,6 +492,14 @@ class Database:
             lines.append(
                 f"-- rewrite failed ({error_note}); query ran on base tables --"
             )
+        if governor_note is not None:
+            lines.append(
+                f"-- governor degraded the query ({governor_note}); "
+                "ran on base tables --"
+            )
+        if budget is not None:
+            lines.append("-- governor --")
+            lines.extend(budget.describe_lines())
         if result is not None:
             lines.append("-- rewrite --")
             lines.append(result.explain())
@@ -451,9 +521,24 @@ class Database:
         the in-place-mutated ``graph`` partially rewritten, the fallback
         re-binds a pristine graph from ``source`` (SQL text or a parsed
         statement) rather than trusting the possibly-dirty one.
+
+        Two governor errors get special treatment: a cancellation is the
+        caller's explicit request to stop, so it propagates rather than
+        degrades; a match budget running out is the governor's graceful
+        degradation — matching is abandoned (recorded as a
+        ``budget-exhausted`` verdict, never an error), the deadline is
+        disarmed so the base-table plan can finish, and the circuit
+        breaker remembers the shape.
         """
         try:
             result = self._rewrite_bound(graph, tolerance=tolerance)
+        except QueryCancelled:
+            raise
+        except MatchBudgetExceeded as error:
+            self._note_degradation(error)
+            from repro.qgm.build import build_graph
+
+            return build_graph(source, self.catalog)
         except Exception as error:
             self._rewrite_stats.rewrite_errors += 1
             self.last_rewrite_error = f"{type(error).__name__}: {error}"
@@ -461,6 +546,38 @@ class Database:
 
             return build_graph(source, self.catalog)
         return result.graph if result is not None else graph
+
+    def _note_degradation(self, error: MatchBudgetExceeded) -> None:
+        """Record one match-phase budget exhaustion: mark the scope
+        degraded (disarming its deadline so execution completes), feed
+        the circuit breaker, bump the metrics counter, and fill the
+        active trace's verdicts so EXPLAIN ANALYZE shows
+        ``budget-exhausted`` instead of an empty match table."""
+        detail = str(error)
+        budget = governor_scope.current()
+        if budget is not None:
+            budget.mark_degraded(detail)
+            if budget.fingerprint is not None:
+                self.governor.breaker.record_timeout(budget.fingerprint)
+        self.governor.note_degradation()
+        self.last_governor_event = f"degraded to base tables: {detail}"
+        t = _trace.ACTIVE
+        if t is not None:
+            # The attempt the budget interrupted has neither a pattern
+            # nor a reject reason; later summaries were never begun.
+            seen = set()
+            for attempt in t.summaries:
+                seen.add(attempt.name.lower())
+                if (
+                    attempt.reason is None
+                    and attempt.pattern is None
+                    and not attempt.applied
+                ):
+                    attempt.reason = "budget-exhausted"
+                    attempt.detail = detail
+            for summary in self.enabled_summary_tables():
+                if summary.name.lower() not in seen:
+                    t.verdict(summary.name, "budget-exhausted", detail)
 
     def rewrite(
         self,
@@ -496,6 +613,14 @@ class Database:
 
         if tolerance is None:
             tolerance = self.refresh_age
+        # Match-phase gate: a deadline that already expired (during
+        # parse/bind) or a triggered token stops matching before the
+        # navigator starts work it cannot afford. Raises
+        # MatchBudgetExceeded, which the sandbox turns into base-table
+        # execution — never an error.
+        budget = governor_scope.current()
+        if budget is not None:
+            budget.enter_match()
         stats = self._rewrite_stats
         stats.queries += 1
         summaries = filter_fresh(
@@ -525,6 +650,30 @@ class Database:
                     return replayed
                 stats.cache_replay_failures += 1
             stats.cache_misses += 1
+        # Circuit breaker: a shape that repeatedly timed out during
+        # matching skips the navigator for a cool-down. The fingerprint
+        # must be taken *before* rewrite_query mutates the graph in
+        # place; reuse the cache key's when available, and skip the
+        # extra hash entirely on the ungoverned, breaker-idle path.
+        breaker = self.governor.breaker
+        shape = key[0] if key is not None else None
+        if shape is None and (budget is not None or breaker.active):
+            shape = fingerprint(graph)
+        if budget is not None:
+            budget.fingerprint = shape
+        if breaker.active and breaker.should_skip(shape):
+            self.governor.note_breaker_skip()
+            self.last_governor_event = (
+                "circuit breaker open: match skipped for this query shape"
+            )
+            t = _trace.ACTIVE
+            if t is not None:
+                for summary in summaries:
+                    t.verdict(
+                        summary.name, "circuit-open",
+                        "match skipped during breaker cool-down",
+                    )
+            return None
         result = rewrite_query(
             graph,
             summaries,
@@ -532,6 +681,9 @@ class Database:
             stats=stats,
             prune=self._fast_path_index,
         )
+        if shape is not None:
+            # The match phase completed: this shape is healthy.
+            breaker.record_success(shape)
         if use_cache:
             steps = None
             if result is not None:
@@ -792,6 +944,13 @@ class Database:
         Refreshed deferred summaries become fully fresh: their staleness
         record is cleared and consumed delta-log batches are pruned.
         """
+        # Preempt a background refresh of the same summaries: a manual
+        # REFRESH must never block behind a stuck worker pass — the
+        # worker yields at its next cooperative tick, flags the summary
+        # for recompute, and this full recompute then satisfies it.
+        if names is not None:
+            names = list(names)
+        self._scheduler.interrupt(names)
         with self._maintenance_lock:
             if names is None:
                 targets = list(self.summary_tables.values())
@@ -987,10 +1146,15 @@ class Database:
             self._scheduler.notify(stale)
         self._scheduler.drain()
 
-    def close(self) -> None:
-        """Stop the background refresh worker (queued work is finished
-        first)."""
-        self._scheduler.stop()
+    def close(self, force: bool = False) -> None:
+        """Stop the background refresh worker.
+
+        By default queued work is finished first; ``force=True`` cancels
+        the in-flight refresh cooperatively (its summary is flagged for
+        a full recompute on the next refresh) so ``close`` never blocks
+        behind a stuck query.
+        """
+        self._scheduler.stop(cancel_inflight=force)
 
     def refresh_status(self) -> list[dict]:
         """Per-summary refresh mode and staleness, for the CLI and tests."""

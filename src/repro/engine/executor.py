@@ -23,6 +23,8 @@ from repro.engine.aggregates import make_accumulator
 from repro.engine.table import Row, Table
 from repro.errors import ExecutionError
 from repro.expr.evaluator import evaluate
+from repro.governor import scope as governor_scope
+from repro.testing import faults
 from repro.expr.nodes import AggCall, BinaryOp, ColumnRef, Expr
 from repro.qgm.boxes import (
     BaseTableBox,
@@ -47,9 +49,21 @@ class Executor:
         self._metrics = metrics
 
     def run(self, graph: QueryGraph) -> Table:
-        """Execute ``graph`` and return the result (ORDER BY applied)."""
+        """Execute ``graph`` and return the result (ORDER BY applied).
+
+        When a governor scope is active on this thread (see
+        :mod:`repro.governor.scope`), the join/scan/group loops tick the
+        budget every ``_TICK_EVERY`` rows — deadline expiry raises
+        ``QueryTimeout``, cancellation ``QueryCancelled`` — and every
+        materialized intermediate/result table is checked against the
+        ``SET QUERY MAXROWS`` high-water cap. Ungoverned runs take the
+        original loops untouched.
+        """
+        budget = governor_scope.current()
         memo: dict[int, Table] = {}
-        result = self._evaluate(graph.root, memo)
+        result = self._evaluate(graph.root, memo, budget)
+        if budget is not None:
+            budget.check_rows(len(result.rows), "result rows")
         if graph.order_by:
             result = Table(result.columns, result.rows)
             result.sort_by(graph.order_by)
@@ -65,20 +79,22 @@ class Executor:
         return result
 
     # ------------------------------------------------------------------
-    def _evaluate(self, box: QGMBox, memo: dict[int, Table]) -> Table:
+    def _evaluate(self, box: QGMBox, memo: dict[int, Table], budget=None) -> Table:
         cached = memo.get(id(box))
         if cached is not None:
             return cached
         if isinstance(box, BaseTableBox):
             result = self._scan(box)
         elif isinstance(box, SelectBox):
-            result = self._evaluate_select(box, memo)
+            result = self._evaluate_select(box, memo, budget)
         elif isinstance(box, GroupByBox):
-            result = self._evaluate_groupby(box, memo)
+            result = self._evaluate_groupby(box, memo, budget)
         elif isinstance(box, UnionAllBox):
             rows: list[Row] = []
             for quantifier in box.quantifiers():
-                rows.extend(self._evaluate(quantifier.box, memo).rows)
+                rows.extend(self._evaluate(quantifier.box, memo, budget).rows)
+                if budget is not None:
+                    budget.check_rows(len(rows), "unioned rows")
             result = Table(box.output_names, rows)
         else:
             raise ExecutionError(f"cannot execute box {box!r}")
@@ -94,9 +110,13 @@ class Executor:
     # ------------------------------------------------------------------
     # SELECT boxes
     # ------------------------------------------------------------------
-    def _evaluate_select(self, box: SelectBox, memo: dict[int, Table]) -> Table:
+    def _evaluate_select(
+        self, box: SelectBox, memo: dict[int, Table], budget=None
+    ) -> Table:
         quantifiers = box.quantifiers()
-        child_tables = {q.name: self._evaluate(q.box, memo) for q in quantifiers}
+        child_tables = {
+            q.name: self._evaluate(q.box, memo, budget) for q in quantifiers
+        }
 
         local, equijoins, residual = _classify_predicates(box)
 
@@ -111,26 +131,32 @@ class Executor:
                     ColumnRef(quantifier.name, name): i
                     for i, name in enumerate(table.columns)
                 }
-                rows = _filter_rows(rows, predicates, index)
+                rows = _filter_rows(rows, predicates, index, budget)
             child_rows[quantifier.name] = rows
 
         joined_rows, index_of = _join_children(
-            quantifiers, child_tables, child_rows, equijoins
+            quantifiers, child_tables, child_rows, equijoins, budget
         )
         leftover = [pair.predicate for pair in equijoins if not pair.used] + residual
         if leftover:
-            joined_rows = _filter_rows(joined_rows, leftover, index_of)
+            joined_rows = _filter_rows(joined_rows, leftover, index_of, budget)
 
-        out_rows = _project_rows(joined_rows, [q.expr for q in box.outputs], index_of)
+        out_rows = _project_rows(
+            joined_rows, [q.expr for q in box.outputs], index_of, budget
+        )
         if box.distinct:
             out_rows = _dedupe(out_rows)
+        if budget is not None:
+            budget.check_rows(len(out_rows))
         return Table(box.output_names, out_rows)
 
     # ------------------------------------------------------------------
     # GROUP-BY boxes
     # ------------------------------------------------------------------
-    def _evaluate_groupby(self, box: GroupByBox, memo: dict[int, Table]) -> Table:
-        child = self._evaluate(box.child_quantifier.box, memo)
+    def _evaluate_groupby(
+        self, box: GroupByBox, memo: dict[int, Table], budget=None
+    ) -> Table:
+        child = self._evaluate(box.child_quantifier.box, memo, budget)
         quantifier_name = box.child_quantifier.name
 
         def child_index(ref: ColumnRef) -> int:
@@ -159,9 +185,12 @@ class Executor:
         for grouping_set in box.grouping_sets:
             out_rows.extend(
                 self._evaluate_cuboid(
-                    box, child.rows, grouping_set, grouping_source, aggregate_specs
+                    box, child.rows, grouping_set, grouping_source,
+                    aggregate_specs, budget,
                 )
             )
+        if budget is not None:
+            budget.check_rows(len(out_rows), "grouped rows")
         return Table(box.output_names, out_rows)
 
     def _evaluate_cuboid(
@@ -171,10 +200,11 @@ class Executor:
         grouping_set: tuple[str, ...],
         grouping_source: dict[str, int],
         aggregate_specs: list[tuple[str, AggCall, int | None]],
+        budget=None,
     ) -> list[Row]:
         key_indexes = [grouping_source[name] for name in grouping_set]
         groups: dict[tuple, list] = {}
-        for row in rows:
+        for row in _ticked(rows, budget):
             key = tuple(row[i] for i in key_indexes)
             accumulators = groups.get(key)
             if accumulators is None:
@@ -204,6 +234,39 @@ class Executor:
                     row.append(None)  # grouped-out column of this cuboid
             out_rows.append(tuple(row))
         return out_rows
+
+
+# ----------------------------------------------------------------------
+# Governor instrumentation
+# ----------------------------------------------------------------------
+#: rows between governor checkpoints in the executor's hot loops —
+#: coarse enough that the disarmed paths stay untouched and the armed
+#: overhead is one tick per batch, fine enough that cancellation and
+#: deadlines land promptly even mid-join
+_TICK_EVERY = 1024
+
+
+def _ticked(rows, budget):
+    """Iterate ``rows``, ticking ``budget`` every ``_TICK_EVERY`` rows.
+
+    Returns ``rows`` untouched when ungoverned, so callers keep plain
+    list iteration on the default path. The ``executor.tick`` fault
+    point fires at every batch boundary — note it therefore only fires
+    while a governor scope is active.
+    """
+    if budget is None:
+        return rows
+    return _ticking_iter(rows, budget)
+
+
+def _ticking_iter(rows, budget):
+    count = 0
+    for row in rows:
+        yield row
+        count += 1
+        if count % _TICK_EVERY == 0:
+            faults.fire("executor.tick")
+            budget.tick(_TICK_EVERY, "execute")
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +311,7 @@ def _join_children(
     child_tables,
     child_rows,
     equijoins: list[_EquiJoin],
+    budget=None,
 ) -> tuple[list[Row], dict[ColumnRef, int]]:
     """Greedy hash-join of the children; returns rows + a QNC index map."""
     if not quantifiers:
@@ -306,17 +370,24 @@ def _join_children(
                 (index_of[old_ref], table.column_index(new_ref.name))
             )
             join.used = True
-        joined = _hash_join(joined, rows, keys)
+        joined = _hash_join(joined, rows, keys, budget)
         joined_names.add(quantifier.name)
         width += len(table.columns)
     return joined, index_of
 
 
 def _hash_join(
-    left_rows: list[Row], right_rows: list[Row], keys: list[tuple[int, int]]
+    left_rows: list[Row],
+    right_rows: list[Row],
+    keys: list[tuple[int, int]],
+    budget=None,
 ) -> list[Row]:
     if not keys:
-        return [l + r for l in left_rows for r in right_rows]
+        if budget is None:
+            return [l + r for l in left_rows for r in right_rows]
+        return _governed_output(
+            (l + r for l in left_rows for r in right_rows), budget
+        )
     right_key_indexes = [right_index for _, right_index in keys]
     left_key_indexes = [left_index for left_index, _ in keys]
     buckets: dict[tuple, list[Row]] = {}
@@ -325,6 +396,17 @@ def _hash_join(
         if any(value is None for value in key):
             continue  # NULL never equi-joins
         buckets.setdefault(key, []).append(row)
+    if budget is not None:
+        return _governed_output(
+            (
+                row + match
+                for row in left_rows
+                for match in buckets.get(
+                    tuple(row[i] for i in left_key_indexes), ()
+                )
+            ),
+            budget,
+        )
     joined = []
     for row in left_rows:
         key = tuple(row[i] for i in left_key_indexes)
@@ -333,8 +415,25 @@ def _hash_join(
     return joined
 
 
+def _governed_output(rows, budget) -> list[Row]:
+    """Materialize join output under the governor: tick per batch and
+    apply the MAXROWS high-water check *while* the output grows, so a
+    row explosion is caught mid-join rather than after it finishes."""
+    out: list[Row] = []
+    for row in rows:
+        out.append(row)
+        if len(out) % _TICK_EVERY == 0:
+            faults.fire("executor.tick")
+            budget.tick(_TICK_EVERY, "execute")
+            budget.check_rows(len(out), "joined rows")
+    return out
+
+
 def _filter_rows(
-    rows: list[Row], predicates: list[Expr], index_of: dict[ColumnRef, int]
+    rows: list[Row],
+    predicates: list[Expr],
+    index_of: dict[ColumnRef, int],
+    budget=None,
 ) -> list[Row]:
     cell: list[Row] = [()]
 
@@ -342,7 +441,7 @@ def _filter_rows(
         return cell[0][index_of[ref]]
 
     kept = []
-    for row in rows:
+    for row in _ticked(rows, budget):
         cell[0] = row
         if all(evaluate(predicate, resolve) is True for predicate in predicates):
             kept.append(row)
@@ -350,7 +449,10 @@ def _filter_rows(
 
 
 def _project_rows(
-    rows: list[Row], exprs: list[Expr], index_of: dict[ColumnRef, int]
+    rows: list[Row],
+    exprs: list[Expr],
+    index_of: dict[ColumnRef, int],
+    budget=None,
 ) -> list[Row]:
     cell: list[Row] = [()]
 
@@ -365,7 +467,7 @@ def _project_rows(
         else:
             plans.append(expr)
     out = []
-    for row in rows:
+    for row in _ticked(rows, budget):
         cell[0] = row
         out.append(
             tuple(

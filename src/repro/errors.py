@@ -55,5 +55,44 @@ class RewriteError(ReproError):
     """The rewrite engine could not apply a match to the query graph."""
 
 
+class GovernorError(ReproError):
+    """Base class for query-governor interventions (see
+    :mod:`repro.governor`): deadlines, budgets, cancellation, and
+    admission control all raise subtypes of this."""
+
+
+class QueryRejected(GovernorError):
+    """Admission control shed this query: the concurrent-query limit was
+    reached and the wait queue was full (or the queue wait timed out).
+
+    Load shedding is deliberate back-pressure, not a fault — retrying
+    later is the expected response.
+    """
+
+
+class QueryTimeout(GovernorError):
+    """The query's ``SET QUERY TIMEOUT`` deadline expired while it was
+    executing. (A deadline that expires during the *match* phase never
+    raises this — matching is optional work, so the governor degrades to
+    base-table execution instead; see :class:`MatchBudgetExceeded`.)"""
+
+
+class QueryCancelled(GovernorError):
+    """The query's cancellation token was triggered (scheduler shutdown,
+    ``REFRESH`` preemption, or an explicit ``cancel()``)."""
+
+
+class BudgetExhausted(GovernorError):
+    """A governor work budget (``SET QUERY MAXROWS``, match-pairing
+    budget) was exceeded."""
+
+
+class MatchBudgetExceeded(BudgetExhausted):
+    """The match phase ran out of budget (its deadline expired or its
+    pairing budget was spent). The rewrite sandbox catches this and
+    degrades the query to base-table execution — it only escapes to
+    callers who invoke the matcher directly."""
+
+
 class MaintenanceError(ReproError):
     """A summary table could not be incrementally maintained."""

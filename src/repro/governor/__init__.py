@@ -1,0 +1,43 @@
+"""Query governor: deadlines, cooperative cancellation, admission
+control, and graceful degradation to base tables.
+
+The package splits into:
+
+* :mod:`repro.governor.budget` — the cooperative primitives
+  (:class:`Budget`, :class:`Deadline`, :class:`CancellationToken`, and
+  the per-query :class:`QueryBudget` that the five pipeline phases
+  tick);
+* :mod:`repro.governor.scope` — the thread-local slot instrumentation
+  sites read (:func:`current` / :func:`activate`);
+* :mod:`repro.governor.admission` — the bounded concurrent-query gate;
+* :mod:`repro.governor.breaker` — the per-fingerprint circuit breaker
+  over the match phase;
+* :mod:`repro.governor.governor` — the :class:`QueryGovernor` facade a
+  :class:`~repro.engine.database.Database` owns.
+
+See ``docs/ROBUSTNESS.md`` ("Query governor & load shedding") for the
+budget semantics and the degradation ladder.
+"""
+
+from repro.governor.admission import AdmissionController
+from repro.governor.breaker import CircuitBreaker
+from repro.governor.budget import (
+    Budget,
+    CancellationToken,
+    Deadline,
+    QueryBudget,
+)
+from repro.governor.governor import QueryGovernor
+from repro.governor.scope import activate, current
+
+__all__ = [
+    "AdmissionController",
+    "Budget",
+    "CancellationToken",
+    "CircuitBreaker",
+    "Deadline",
+    "QueryBudget",
+    "QueryGovernor",
+    "activate",
+    "current",
+]

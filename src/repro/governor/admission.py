@@ -1,0 +1,183 @@
+"""Admission control: a bounded concurrent-query gate with a wait queue.
+
+The paper's engine inherits DB2's workload manager; this reproduction's
+:class:`~repro.engine.database.Database` is plain Python that any number
+of threads may call into. Without a gate, N concurrent expensive queries
+each get 1/N of the process and *all* miss their deadlines — classic
+congestion collapse. The controller bounds the damage the way servers
+do: at most ``max_concurrent`` queries run, up to ``max_queue`` more
+wait (bounded, so memory is too), and everything beyond that is shed
+immediately with a typed :class:`~repro.errors.QueryRejected` the caller
+can retry on.
+
+Disabled (``max_concurrent is None``) the gate costs one attribute read
+per query — the default, since a single-threaded shell needs no gate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import QueryRejected
+from repro.testing import faults
+
+
+class AdmissionController:
+    """Semaphore-with-bounded-queue gate over query execution.
+
+    ``admit()`` is used as a context manager around each query. The
+    running/queued gauges and the admitted/rejected counters are
+    injected by :class:`~repro.governor.governor.QueryGovernor` so they
+    land in the database's :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int | None = None,
+        max_queue: int = 4,
+        queue_timeout_ms: float | None = 1000.0,
+        metrics: dict | None = None,
+    ):
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout_ms = queue_timeout_ms
+        self.running = 0
+        self.waiting = 0
+        self._metrics = metrics or {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_concurrent is not None
+
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        max_concurrent: int | None,
+        max_queue: int | None = None,
+        queue_timeout_ms: float | None = None,
+    ) -> None:
+        """Reconfigure limits. Already-running queries keep their slots;
+        the new limits apply to subsequent admissions."""
+        with self._lock:
+            self.max_concurrent = max_concurrent
+            if max_queue is not None:
+                self.max_queue = max_queue
+            if queue_timeout_ms is not None:
+                self.queue_timeout_ms = queue_timeout_ms
+            # A raised limit may free logical slots for waiters.
+            self._slot_freed.notify_all()
+
+    # ------------------------------------------------------------------
+    def admit(self) -> "_Admission":
+        """Acquire a run slot (waiting in the bounded queue if needed)
+        or raise :class:`QueryRejected`. Returns a context manager whose
+        exit releases the slot."""
+        faults.fire("governor.admit")
+        if self.max_concurrent is None:
+            return _Admission(self, held=False)
+        with self._lock:
+            if self.running < self.max_concurrent:
+                self.running += 1
+                self._gauge("running", self.running)
+                self._count("admitted")
+                return _Admission(self, held=True)
+            if self.waiting >= self.max_queue:
+                self._count("rejected")
+                raise QueryRejected(
+                    f"admission queue full ({self.running} running, "
+                    f"{self.waiting} waiting; limits: "
+                    f"{self.max_concurrent} concurrent, "
+                    f"{self.max_queue} queued)"
+                )
+            self.waiting += 1
+            self._gauge("waiting", self.waiting)
+            try:
+                budget = (
+                    None
+                    if self.queue_timeout_ms is None
+                    else self.queue_timeout_ms / 1e3
+                )
+                while (
+                    self.max_concurrent is not None
+                    and self.running >= self.max_concurrent
+                ):
+                    # Recompute the remaining wait each iteration:
+                    # Condition.wait can wake spuriously.
+                    started = time.monotonic()
+                    if not self._slot_freed.wait(timeout=budget):
+                        self._count("rejected")
+                        raise QueryRejected(
+                            f"timed out after {self.queue_timeout_ms:g} ms "
+                            "waiting for an admission slot"
+                        )
+                    if budget is not None:
+                        budget -= time.monotonic() - started
+                        if budget <= 0 and (
+                            self.max_concurrent is not None
+                            and self.running >= self.max_concurrent
+                        ):
+                            self._count("rejected")
+                            raise QueryRejected(
+                                f"timed out after {self.queue_timeout_ms:g} "
+                                "ms waiting for an admission slot"
+                            )
+            finally:
+                self.waiting -= 1
+                self._gauge("waiting", self.waiting)
+            if self.max_concurrent is None:
+                # Disabled while we waited; run ungated.
+                self._count("admitted")
+                return _Admission(self, held=False)
+            self.running += 1
+            self._gauge("running", self.running)
+            self._count("admitted")
+            return _Admission(self, held=True)
+
+    def _release(self) -> None:
+        with self._lock:
+            self.running -= 1
+            self._gauge("running", self.running)
+            self._slot_freed.notify()
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        counter = self._metrics.get(name)
+        if counter is not None:
+            counter.inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        gauge = self._metrics.get("gauge_" + name)
+        if gauge is not None:
+            gauge.set(value)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "queue_timeout_ms": self.queue_timeout_ms,
+                "running": self.running,
+                "waiting": self.waiting,
+            }
+
+
+class _Admission:
+    """Context manager holding (or not holding) one run slot."""
+
+    __slots__ = ("_controller", "_held")
+
+    def __init__(self, controller: AdmissionController, held: bool):
+        self._controller = controller
+        self._held = held
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._held:
+            self._held = False
+            self._controller._release()

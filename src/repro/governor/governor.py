@@ -1,0 +1,159 @@
+"""The :class:`QueryGovernor` facade wired into every ``Database``.
+
+One object owns the session's limit configuration (``SET QUERY TIMEOUT``
+/ ``SET QUERY MAXROWS`` / the programmatic match budget), the admission
+gate, and the circuit breaker, and mints a fresh
+:class:`~repro.governor.budget.QueryBudget` per query. All of its
+observable state lands in the database's
+:class:`~repro.obs.metrics.MetricsRegistry` under ``governor.*`` names
+so ``\\metrics`` and the Prometheus exposition pick it up for free.
+
+Everything defaults to *off*: a freshly constructed governor reports
+``enabled == False`` and :meth:`open_scope` returns ``None``, which the
+database treats as "skip all governor plumbing" — that is the ≤3%
+overhead contract the benchmark pins.
+"""
+
+from __future__ import annotations
+
+from repro.governor.admission import AdmissionController
+from repro.governor.breaker import CircuitBreaker
+from repro.governor.budget import CancellationToken, Deadline, QueryBudget
+
+if False:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+
+class QueryGovernor:
+    """Session-level governor configuration and per-query scope factory."""
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None):
+        self.timeout_ms: float | None = None
+        self.max_rows: int | None = None
+        self.match_budget: int | None = None
+        self._metrics = metrics
+        self._budget_counters = {}
+        admission_metrics = {}
+        breaker_metrics = {}
+        if metrics is not None:
+            self._budget_counters = {
+                "timeouts": metrics.counter(
+                    "governor.timeouts",
+                    "Queries killed by SET QUERY TIMEOUT during execute",
+                ),
+                "cancellations": metrics.counter(
+                    "governor.cancellations",
+                    "Queries stopped by a cancellation token",
+                ),
+                "maxrows_exceeded": metrics.counter(
+                    "governor.maxrows_exceeded",
+                    "Queries stopped by SET QUERY MAXROWS",
+                ),
+            }
+            self.degradations = metrics.counter(
+                "governor.degradations",
+                "Match phases abandoned for base-table fallback "
+                "(budget-exhausted verdicts)",
+            )
+            self.breaker_skips = metrics.counter(
+                "governor.breaker_skips",
+                "Match phases skipped because the circuit was open",
+            )
+            admission_metrics = {
+                "admitted": metrics.counter(
+                    "governor.admitted", "Queries admitted to run"
+                ),
+                "rejected": metrics.counter(
+                    "governor.rejected",
+                    "Queries shed by admission control (QueryRejected)",
+                ),
+                "gauge_running": metrics.gauge(
+                    "governor.running", "Queries currently executing"
+                ),
+                "gauge_waiting": metrics.gauge(
+                    "governor.waiting", "Queries waiting for an admission slot"
+                ),
+            }
+            breaker_metrics = {
+                "tripped": metrics.counter(
+                    "governor.breaker_tripped",
+                    "Circuit-breaker closed-to-open transitions",
+                ),
+            }
+        else:
+            self.degradations = None
+            self.breaker_skips = None
+        self.admission = AdmissionController(metrics=admission_metrics)
+        self.breaker = CircuitBreaker(metrics=breaker_metrics)
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when any per-query limit is configured (admission control
+        gates independently via ``admission.enabled``)."""
+        return (
+            self.timeout_ms is not None
+            or self.max_rows is not None
+            or self.match_budget is not None
+        )
+
+    def open_scope(
+        self, token: CancellationToken | None = None
+    ) -> QueryBudget | None:
+        """Mint the budget for one query, or None when fully disarmed.
+
+        A caller-supplied ``token`` forces a scope even with no limits
+        set, so programmatic cancellation works without a timeout.
+        """
+        if not self.enabled and token is None:
+            return None
+        deadline = (
+            Deadline(self.timeout_ms) if self.timeout_ms is not None else None
+        )
+        return QueryBudget(
+            deadline=deadline,
+            token=token,
+            max_rows=self.max_rows,
+            match_budget=self.match_budget,
+            counters=self._budget_counters,
+        )
+
+    def note_degradation(self) -> None:
+        if self.degradations is not None:
+            self.degradations.inc()
+
+    def note_breaker_skip(self) -> None:
+        if self.breaker_skips is not None:
+            self.breaker_skips.inc()
+
+    # ------------------------------------------------------------------
+    def describe_lines(self) -> list[str]:
+        """Rendered by the CLI's ``\\governor`` command."""
+
+        def onoff(value, unit=""):
+            return f"{value:g}{unit}" if value is not None else "off"
+
+        admission = self.admission.snapshot()
+        breaker = self.breaker.snapshot()
+        lines = [
+            f"query timeout   {onoff(self.timeout_ms, ' ms')}",
+            f"query maxrows   {onoff(self.max_rows)}",
+            f"match budget    {onoff(self.match_budget, ' pairings')}",
+        ]
+        if admission["enabled"]:
+            lines.append(
+                f"admission       {admission['max_concurrent']} concurrent, "
+                f"{admission['max_queue']} queued, "
+                f"{admission['queue_timeout_ms']:g} ms queue wait "
+                f"({admission['running']} running, "
+                f"{admission['waiting']} waiting)"
+            )
+        else:
+            lines.append("admission       off (unbounded concurrency)")
+        lines.append(
+            f"circuit breaker {breaker['threshold']} consecutive timeouts "
+            f"open for {breaker['cooldown_s']:g} s "
+            f"({breaker['tracked']} shape(s) tracked, "
+            f"{breaker['open']} open)"
+        )
+        return lines

@@ -107,6 +107,10 @@ class MatchContext:
         if options:
             self.options.update(options)
         self._name_counter = 0
+        #: the active :class:`repro.governor.budget.QueryBudget`, set by
+        #: the navigator so match functions can tick without a
+        #: thread-local read per pairing; None when ungoverned
+        self.governor = None
 
     def option(self, name: str):
         return self.options[name]

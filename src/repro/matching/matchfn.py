@@ -21,6 +21,9 @@ def match_boxes(
 ) -> MatchResult | None:
     """Try to match one (subsumee, subsumer) pair; child pairs must have
     been attempted already (the navigator guarantees bottom-up order)."""
+    governor = ctx.governor
+    if governor is not None:
+        governor.tick_match()
     if isinstance(subsumee, BaseTableBox) and isinstance(subsumer, BaseTableBox):
         return _match_base_tables(subsumee, subsumer)
     if isinstance(subsumee, SelectBox) and isinstance(subsumer, SelectBox):

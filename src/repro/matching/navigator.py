@@ -12,6 +12,7 @@ attempted and recorded in the context.
 from __future__ import annotations
 
 from repro.matching.framework import MatchContext, MatchResult
+from repro.governor import scope as governor_scope
 from repro.matching.matchfn import match_boxes
 from repro.obs import trace as _trace
 from repro.qgm.boxes import QueryGraph, box_heights
@@ -23,6 +24,12 @@ def match_graphs(
     """Run the matching algorithm; the returned context holds every match
     found between query boxes (subsumees) and AST boxes (subsumers)."""
     ctx = MatchContext(query.catalog, options=options)
+    # Governor scope, read once per navigation: match_boxes ticks the
+    # budget per box-pairing through ctx.governor (every pairing is a
+    # checkpoint — a single pairing can recurse arbitrarily deep, so
+    # this is the cancellation granularity the ISSUE's "never hangs"
+    # contract rests on).
+    ctx.governor = governor_scope.current()
     ast_boxes = ast.boxes()  # children before parents
     tracer = _trace.ACTIVE
     if tracer is not None:

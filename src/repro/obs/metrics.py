@@ -61,6 +61,15 @@ class Counter:
     def reset(self) -> None:
         self.set(0)
 
+    def swap(self) -> dict:
+        """Atomically capture-and-zero: returns :meth:`describe` of the
+        pre-reset state. Concurrent ``inc`` calls land entirely before
+        or entirely after the swap — never half in each epoch."""
+        with self._lock:
+            snapshot = {"type": self.kind, "value": self._value}
+            self._value = 0
+        return snapshot
+
     def describe(self) -> dict:
         return {"type": self.kind, "value": self._value}
 
@@ -94,6 +103,13 @@ class Gauge:
 
     def reset(self) -> None:
         self.set(0.0)
+
+    def swap(self) -> dict:
+        """Atomically capture-and-zero (see :meth:`Counter.swap`)."""
+        with self._lock:
+            snapshot = {"type": self.kind, "value": self._value}
+            self._value = 0.0
+        return snapshot
 
     def describe(self) -> dict:
         return {"type": self.kind, "value": self._value}
@@ -154,6 +170,24 @@ class Histogram:
             self._sum = 0.0
             self._min = None
             self._max = None
+
+    def swap(self) -> dict:
+        """Atomically capture-and-zero (see :meth:`Counter.swap`)."""
+        with self._lock:
+            snapshot = {
+                "type": self.kind,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count if self._count else None,
+            }
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+        return snapshot
 
     def describe(self) -> dict:
         return {
@@ -227,12 +261,20 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def reset(self) -> None:
-        """Zero every registered metric (the ``\\stats reset`` path)."""
+    def reset(self) -> dict[str, dict]:
+        """Zero every registered metric via snapshot-and-swap, returning
+        ``{name: pre-reset describe()}``.
+
+        Each metric is captured and zeroed atomically under its own
+        lock, so a writer racing the reset (say, the refresh worker
+        mid-apply using ``Counter.inc``) either lands in the returned
+        snapshot or in the fresh epoch — an increment is never torn
+        across the two the way a naive read-then-clear (or a caller's
+        ``get``/``set`` pair straddling the reset) could lose it.
+        """
         with self._lock:
-            metrics = list(self._metrics.values())
-        for metric in metrics:
-            metric.reset()
+            metrics = list(self._metrics.items())
+        return {name: metric.swap() for name, metric in metrics}
 
     # -- timing --------------------------------------------------------
     @contextmanager

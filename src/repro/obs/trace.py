@@ -102,6 +102,16 @@ REASONS = {
         "decision cache replayed a prior verdict for this query shape; "
         "the navigator did not run",
     ),
+    "budget-exhausted": (
+        "governor",
+        "the match phase ran out of budget (SET QUERY TIMEOUT expired or "
+        "the pairing budget was spent); the query degraded to base tables",
+    ),
+    "circuit-open": (
+        "governor",
+        "the circuit breaker skipped matching for this query shape after "
+        "repeated consecutive match timeouts (cool-down in effect)",
+    ),
 }
 
 _TRACE_IDS = itertools.count(1)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.catalog.schema import Catalog
 from repro.errors import BindError, UnsupportedSqlError
+from repro.governor import scope as governor_scope
 from repro.expr.nodes import (
     AggCall,
     ColumnRef,
@@ -132,6 +133,9 @@ class _Binder:
         self.top_order_by: list[tuple[str, bool]] = []
         self.top_limit: int | None = None
         self._order_binder = None  # set by the most recent block builder
+        # Governor scope, read once: each block built ticks the bind
+        # phase (token checks only — deadlines never kill a bind).
+        self._budget = governor_scope.current()
 
     # ------------------------------------------------------------------
     def _box_name(self, kind: str) -> str:
@@ -150,6 +154,8 @@ class _Binder:
         return box
 
     def build_block(self, stmt: SelectStatement, is_top: bool = False) -> QGMBox:
+        if self._budget is not None:
+            self._budget.tick(1, "bind")
         if stmt.order_by and not is_top:
             raise UnsupportedSqlError("ORDER BY is only supported at the top level")
         if stmt.limit is not None and not is_top:

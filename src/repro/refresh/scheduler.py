@@ -46,7 +46,9 @@ import threading
 import time
 from collections import deque
 
-from repro.errors import ReproError
+from repro.errors import QueryCancelled, ReproError
+from repro.governor import scope as governor_scope
+from repro.governor.budget import CancellationToken, QueryBudget
 from repro.testing import faults
 
 
@@ -95,6 +97,16 @@ class RefreshScheduler:
         self._worker_exited = False
         self._busy = False
         self._draining = False
+        # Cooperative cancellation of the in-flight refresh: the worker
+        # runs each refresh under a governor scope holding this token,
+        # so interrupt() / stop(cancel_inflight=True) can stop a stuck
+        # apply or recompute at its next executor tick.
+        self._inflight_token: CancellationToken | None = None
+        self._inflight_name: str | None = None
+        #: summaries whose last refresh was cancelled mid-apply — the
+        #: merge may be partial, so their next refresh must skip the
+        #: incremental path and recompute from base tables
+        self._force_recompute: set[str] = set()
         # counters (monotonic; surfaced via Database.rewrite_stats() and,
         # through the shared registry, \metrics / Prometheus exposition)
         if registry is None:
@@ -118,7 +130,13 @@ class RefreshScheduler:
         self.errors: deque[str] = deque(maxlen=error_limit)
 
     # ------------------------------------------------------------------
-    # Counters — registry-backed so `+= 1` keeps working everywhere
+    # Counters — registry-backed properties for *reads* (tests and
+    # rewrite_stats keep working). Worker-side increments go through
+    # ``self._counters[name].inc()``: the property's ``+= 1`` expands to
+    # a get-then-set, which can silently resurrect a pre-reset value if
+    # ``\\metrics reset`` swaps the registry between the two halves.
+    # ``inc`` holds the metric's own lock, so it either lands before the
+    # snapshot (and is captured) or after (and starts the new epoch).
     # ------------------------------------------------------------------
     def _counter_value(name):
         def get(self):
@@ -171,8 +189,16 @@ class RefreshScheduler:
             self._draining = False
             self._condition.notify_all()
 
-    def stop(self) -> None:
-        """Finish queued work (including retries) and join the worker.
+    def stop(self, cancel_inflight: bool = False) -> None:
+        """Stop the worker and join it.
+
+        By default queued work (including retries) is finished first —
+        the graceful shutdown tests and ``Database.close()`` rely on
+        that. ``cancel_inflight=True`` is the load-shedding variant:
+        the queue and retry ladder are discarded, the in-flight
+        refresh's token is cancelled (it stops at its next cooperative
+        tick and its summary is flagged for a full recompute), and the
+        join returns promptly instead of blocking behind a stuck query.
 
         A concurrent ``notify`` may legitimately restart the worker the
         moment the old one exits; joining a captured reference (rather
@@ -184,18 +210,49 @@ class RefreshScheduler:
             if thread is None:
                 return
             self._running = False
+            if cancel_inflight:
+                self._queue.clear()
+                self._queued.clear()
+                self._retries.clear()
+                if self._inflight_token is not None:
+                    self._inflight_token.cancel("scheduler stopping")
             self._condition.notify_all()
         thread.join()
         with self._condition:
             if self._thread is thread:
                 self._thread = None
 
+    def interrupt(self, names: list[str] | None = None) -> bool:
+        """Cancel the in-flight refresh cooperatively.
+
+        ``names`` restricts the interrupt to refreshes of those
+        summaries (``None`` interrupts whatever is running). Used by
+        manual ``REFRESH SUMMARY TABLE`` so it never waits behind a
+        stuck worker refresh of the same summary. Returns True when a
+        token was cancelled. The cancelled refresh is not a failure:
+        the worker flags the summary for a forced recompute and
+        requeues it (see :meth:`_on_cancelled`).
+        """
+        with self._condition:
+            token = self._inflight_token
+            if token is None:
+                return False
+            if names is not None:
+                keys = {name.lower() for name in names}
+                if self._inflight_name not in keys:
+                    return False
+            token.cancel("refresh interrupted")
+            return True
+
     def reset_attempts(self, name: str) -> None:
         """Forget ``name``'s failure history (a manual refresh
-        succeeded, so its next failure starts a fresh backoff ladder)."""
+        succeeded, so its next failure starts a fresh backoff ladder —
+        and, having fully recomputed, any forced-recompute flag from an
+        earlier cancelled merge is satisfied too)."""
         with self._condition:
             self._attempts.pop(name.lower(), None)
             self._retries.pop(name.lower(), None)
+            self._force_recompute.discard(name.lower())
             self._condition.notify_all()
 
     @property
@@ -235,7 +292,14 @@ class RefreshScheduler:
         return [name for name, due in self._retries.items() if due <= now]
 
     def _wait_timeout(self) -> float | None:
-        """How long the worker may sleep before the next retry is due."""
+        """How long the worker may sleep before the next retry is due.
+
+        Must be recomputed immediately before *every* ``Condition.wait``
+        — including re-entries after spurious wakeups. ``wait`` can
+        return with nothing due and nothing queued, and reusing the
+        pre-sleep value there would oversleep a retry whose deadline
+        moved closer (or arrived) in the meantime.
+        """
         if not self._retries:
             return None
         return max(0.0, min(self._retries.values()) - time.monotonic())
@@ -253,6 +317,9 @@ class RefreshScheduler:
                         # notify() knows to start a replacement
                         self._worker_exited = True
                         return
+                    # Recomputed each iteration: a spurious wakeup loops
+                    # back here and sleeps for the *remaining* time to
+                    # the earliest retry, never the original interval.
                     self._condition.wait(self._wait_timeout())
                 if (
                     self.batch_window
@@ -260,8 +327,16 @@ class RefreshScheduler:
                     and not self._draining
                     and self._queue
                 ):
-                    # let a burst of ingest coalesce before sweeping
-                    self._condition.wait(self.batch_window)
+                    # Let a burst of ingest coalesce before sweeping —
+                    # but never sleep past the next retry deadline: a
+                    # retry due sooner than the window must not wait
+                    # behind it.
+                    window = self.batch_window
+                    next_retry = self._wait_timeout()
+                    if next_retry is not None and next_retry < window:
+                        window = next_retry
+                    if window > 0:
+                        self._condition.wait(window)
                     due = self._due_retries()
                 names = list(self._queue)
                 self._queue.clear()
@@ -285,11 +360,36 @@ class RefreshScheduler:
         history, unexpected failure schedules a retry or quarantines."""
         try:
             self._refresh_one(name)
+        except QueryCancelled as error:
+            # Not a failure: someone (stop(), interrupt(), REFRESH)
+            # asked this refresh to yield. No backoff, no quarantine.
+            self._on_cancelled(name, error)
         except Exception as error:  # keep the worker alive
             self._on_failure(name, error)
         else:
             with self._condition:
                 self._attempts.pop(name, None)
+                self._force_recompute.discard(name)
+
+    def _on_cancelled(self, name: str, error: QueryCancelled) -> None:
+        """A refresh was cancelled mid-flight. The incremental merge may
+        have partially landed (``last_refresh_lsn`` was *not* advanced),
+        so flag the summary for a full recompute and — unless the whole
+        scheduler is shutting down — requeue it so it converges without
+        waiting for the next ingest."""
+        with self._condition:
+            self._force_recompute.add(name)
+            self.errors.append(
+                f"{name}: refresh cancelled ({error}); recompute scheduled"
+            )
+            if (
+                self._running
+                and name not in self._queued
+                and len(self._queue) < self.queue_limit
+            ):
+                self._queue.append(name)
+                self._queued.add(name)
+            self._condition.notify_all()
 
     def _on_failure(self, name: str, error: Exception) -> None:
         quarantine = False
@@ -305,10 +405,10 @@ class RefreshScheduler:
             else:
                 delay = self.retry_base_delay * (2 ** (attempts - 1))
                 self._retries[name] = time.monotonic() + delay
-                self.retries_scheduled += 1
+                self._counters["retries_scheduled"].inc()
             self._condition.notify_all()
         if quarantine:
-            self.quarantines += 1
+            self._counters["quarantines"].inc()
             reason = (
                 f"refresh failed {self.max_attempts} time(s); "
                 f"last error: {error}"
@@ -317,10 +417,32 @@ class RefreshScheduler:
             self._database.quarantine_summary(name, reason)
 
     def _refresh_one(self, name: str) -> None:
-        """Bring one deferred summary fully up to date with the log."""
+        """Bring one deferred summary fully up to date with the log.
+
+        Runs under a governor scope holding a fresh cancellation token,
+        published as the in-flight token so :meth:`interrupt` and
+        :meth:`stop` can stop the apply/recompute at its next executor
+        tick. A raised :class:`QueryCancelled` propagates to
+        :meth:`_process` (it must *not* be absorbed by the
+        incremental-apply fallback below — a cancelled apply means
+        "yield now", not "recompute now while still holding the lock").
+        """
         from repro.asts.maintenance import apply_pending
 
         database = self._database
+        token = CancellationToken()
+        with self._condition:
+            self._inflight_token = token
+            self._inflight_name = name
+        try:
+            with governor_scope.activate(QueryBudget(token=token)):
+                self._refresh_one_locked(name, apply_pending, database)
+        finally:
+            with self._condition:
+                self._inflight_token = None
+                self._inflight_name = None
+
+    def _refresh_one_locked(self, name: str, apply_pending, database) -> None:
         with database._maintenance_lock:
             summary = database.summary_tables.get(name.lower())
             if (
@@ -334,21 +456,31 @@ class RefreshScheduler:
             batches = log.pending_for(
                 summary.base_tables(), summary.refresh.last_refresh_lsn
             )
+            with self._condition:
+                forced = name in self._force_recompute
             if batches:
-                try:
-                    faults.fire("scheduler.apply")
-                    reason = apply_pending(database, summary, batches)
-                except ReproError as error:
-                    reason = f"incremental apply failed: {error}"
+                if forced:
+                    # A previous refresh of this summary was cancelled
+                    # mid-merge: the incremental state is suspect, so
+                    # skip straight to the full recompute.
+                    reason = "recompute forced after cancelled refresh"
+                else:
+                    try:
+                        faults.fire("scheduler.apply")
+                        reason = apply_pending(database, summary, batches)
+                    except QueryCancelled:
+                        raise
+                    except ReproError as error:
+                        reason = f"incremental apply failed: {error}"
                 if reason is not None:
                     faults.fire("scheduler.recompute")
                     data = database.execute_graph(summary.graph)
                     summary.table.rows[:] = data.rows
                     summary.stats["rows"] = float(len(data))
-                    self.fallback_recomputes += 1
+                    self._counters["fallback_recomputes"].inc()
                     self.last_fallbacks[summary.name] = reason
-                self.refreshes_applied += 1
-                self.batches_applied += len(batches)
+                self._counters["refreshes_applied"].inc()
+                self._counters["batches_applied"].inc(len(batches))
             summary.refresh.pending_deltas = 0
             summary.refresh.last_refresh_lsn = upto
             database._prune_delta_log()

@@ -16,6 +16,7 @@ Grammar highlights (see README for the full list):
 from __future__ import annotations
 
 from repro.errors import SqlSyntaxError
+from repro.governor import scope as governor_scope
 from repro.expr.nodes import (
     AGGREGATE_FUNCS,
     AggCall,
@@ -71,6 +72,10 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._index = 0
+        # Governor scope, read once at construction: when a budget is
+        # active, every consumed token ticks the parse phase (token-only
+        # checks — a deadline never kills a query mid-parse).
+        self._budget = governor_scope.current()
 
     # ------------------------------------------------------------------
     # Token helpers
@@ -83,6 +88,8 @@ class _Parser:
         token = self._current
         if token.kind != "eof":
             self._index += 1
+            if self._budget is not None:
+                self._budget.tick(1, "parse")
         return token
 
     def _error(self, message: str) -> SqlSyntaxError:

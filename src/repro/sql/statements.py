@@ -13,6 +13,11 @@ Supported statements (used by the CLI and by ``Database.run_sql``):
   behind and still answer queries
 * ``SET SLOW QUERY <ms> | OFF`` — the slow-query log threshold in
   milliseconds (OFF disables the log)
+* ``SET QUERY TIMEOUT <ms> | OFF`` — the query governor's wall-clock
+  deadline: a timeout during the match phase degrades the query to base
+  tables, one during execution raises ``QueryTimeout``
+* ``SET QUERY MAXROWS <n> | OFF`` — the governor's high-water cap on
+  rows materialized in any one intermediate or result table
 * ``INSERT INTO name VALUES (...), (...), ...``
 * ``DELETE FROM name VALUES (...), ...``  (exact-row delete; feeds the
   incremental maintenance path)
@@ -106,6 +111,16 @@ class SetSlowQuery:
 
 
 @dataclass(frozen=True)
+class SetQueryTimeout:
+    timeout_ms: float | None  # None ⇒ OFF (no deadline)
+
+
+@dataclass(frozen=True)
+class SetQueryMaxRows:
+    max_rows: int | None  # None ⇒ OFF (no materialized-row cap)
+
+
+@dataclass(frozen=True)
 class InsertValues:
     table: str
     rows: tuple[tuple[Any, ...], ...]
@@ -132,6 +147,8 @@ Statement = (
     | RefreshSummaryTables
     | SetRefreshAge
     | SetSlowQuery
+    | SetQueryTimeout
+    | SetQueryMaxRows
     | InsertValues
     | DeleteValues
     | Explain
@@ -334,8 +351,12 @@ class _StatementParser(_Parser):
                 names.append(self.expect_ident().value)
         return RefreshSummaryTables(tuple(names))
 
-    def _parse_set(self) -> SetRefreshAge | SetSlowQuery:
+    def _parse_set(
+        self,
+    ) -> SetRefreshAge | SetSlowQuery | SetQueryTimeout | SetQueryMaxRows:
         self._expect_word("set")
+        if self._accept_word("query"):
+            return self._parse_set_query()
         if self._accept_word("slow"):
             self._expect_word("query")
             if self._accept_word("off"):
@@ -355,6 +376,31 @@ class _StatementParser(_Parser):
         if not isinstance(value, int) or isinstance(value, bool) or value < 0:
             raise self._error("REFRESH AGE must be ANY or a non-negative integer")
         return SetRefreshAge(value)
+
+    def _parse_set_query(self) -> SetQueryTimeout | SetQueryMaxRows:
+        # SET QUERY TIMEOUT <ms>|OFF and SET QUERY MAXROWS <n>|OFF:
+        # the governor's per-query limits (docs/ROBUSTNESS.md).
+        kind = self._expect_word("timeout", "maxrows")
+        if kind == "timeout":
+            if self._accept_word("off"):
+                return SetQueryTimeout(None)
+            value = self._parse_constant()
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or value <= 0
+            ):
+                raise self._error(
+                    "QUERY TIMEOUT must be OFF or a positive number of "
+                    "milliseconds"
+                )
+            return SetQueryTimeout(float(value))
+        if self._accept_word("off"):
+            return SetQueryMaxRows(None)
+        value = self._parse_constant()
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise self._error("QUERY MAXROWS must be OFF or a positive integer")
+        return SetQueryMaxRows(value)
 
     def _parse_insert(self) -> InsertValues:
         self._expect_word("insert")

@@ -17,6 +17,9 @@ Injection points (see docs/ROBUSTNESS.md for the failure each models)::
     scheduler.apply      before incremental summary-delta application
     scheduler.recompute  before a fallback full recomputation
     rewrite.match        before a summary table is navigated for a match
+    governor.admit       before admission control considers a query
+    executor.tick        at each governed executor row-batch checkpoint
+                         (fires only while a governor scope is active)
 
 Three firing modes, all deterministic:
 
@@ -53,6 +56,8 @@ POINTS = frozenset(
         "scheduler.apply",
         "scheduler.recompute",
         "rewrite.match",
+        "governor.admit",
+        "executor.tick",
     }
 )
 

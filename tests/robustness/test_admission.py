@@ -1,0 +1,176 @@
+"""Admission-control tests: the bounded semaphore + wait queue, typed
+rejection, queue-overflow chaos under real concurrency, and the
+``governor.admit`` fault-injection point."""
+
+import threading
+
+import pytest
+
+from repro.errors import QueryRejected
+from repro.governor import AdmissionController
+from repro.testing import INJECTOR, InjectedFault
+from repro.workloads.tpcd import QUERIES, build_tpcd_db
+
+
+# ----------------------------------------------------------------------
+# Controller units
+# ----------------------------------------------------------------------
+def test_disabled_controller_admits_everything():
+    gate = AdmissionController()
+    assert not gate.enabled
+    with gate.admit():
+        with gate.admit():
+            assert gate.running == 0  # ungated: nothing tracked
+
+
+def test_full_queue_rejects_immediately():
+    gate = AdmissionController(max_concurrent=1, max_queue=0)
+    with gate.admit():
+        with pytest.raises(QueryRejected, match="admission queue full"):
+            gate.admit()
+    # slot released: admissible again
+    with gate.admit():
+        pass
+    assert gate.running == 0
+
+
+def test_waiter_gets_slot_when_released():
+    gate = AdmissionController(
+        max_concurrent=1, max_queue=1, queue_timeout_ms=5000.0
+    )
+    first = gate.admit()
+    got_in = threading.Event()
+
+    def contender():
+        with gate.admit():
+            got_in.set()
+
+    thread = threading.Thread(target=contender)
+    with first:
+        thread.start()
+        # the contender parks in the wait queue behind the held slot
+        deadline = threading.Event()
+        deadline.wait(0.05)
+        assert not got_in.is_set()
+        assert gate.waiting == 1
+    thread.join(timeout=5.0)
+    assert got_in.is_set()
+    assert gate.running == 0
+    assert gate.waiting == 0
+
+
+def test_queue_wait_times_out_with_typed_rejection():
+    gate = AdmissionController(
+        max_concurrent=1, max_queue=1, queue_timeout_ms=30.0
+    )
+    with gate.admit():
+        with pytest.raises(QueryRejected, match="timed out"):
+            gate.admit()
+    assert gate.waiting == 0
+
+
+def test_configure_wakes_waiters():
+    gate = AdmissionController(
+        max_concurrent=1, max_queue=2, queue_timeout_ms=5000.0
+    )
+    held = gate.admit()
+    admitted = threading.Event()
+
+    def contender():
+        with gate.admit():
+            admitted.set()
+
+    thread = threading.Thread(target=contender)
+    thread.start()
+    try:
+        threading.Event().wait(0.05)
+        gate.configure(max_concurrent=2)  # raised limit frees a slot
+        thread.join(timeout=5.0)
+        assert admitted.is_set()
+    finally:
+        held.__exit__(None, None, None)
+
+
+# ----------------------------------------------------------------------
+# Database integration
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def tpcd():
+    db = build_tpcd_db(orders=60)
+    yield db
+    db.close()
+
+
+def test_database_rejects_beyond_queue(tpcd):
+    tpcd.governor.admission.configure(
+        max_concurrent=1, max_queue=0, queue_timeout_ms=50.0
+    )
+    held = tpcd.governor.admission.admit()
+    try:
+        with pytest.raises(QueryRejected):
+            tpcd.execute(QUERIES["q6_forecast"], use_summary_tables=False)
+    finally:
+        held.__exit__(None, None, None)
+    # slot free again: the same query is admitted and answers
+    result = tpcd.execute(QUERIES["q6_forecast"], use_summary_tables=False)
+    assert len(result.columns) >= 1
+    metrics = tpcd.metrics.to_dict()
+    assert metrics["governor.rejected"]["value"] == 1
+    assert metrics["governor.admitted"]["value"] >= 1
+    assert metrics["governor.running"]["value"] == 0
+
+
+def test_admission_overflow_chaos(tpcd):
+    """Many threads storm a 1-slot gate: every attempt either runs to a
+    correct answer or is shed with QueryRejected, the counters account
+    for all of them, and the gate drains back to idle."""
+    tpcd.governor.admission.configure(
+        max_concurrent=1, max_queue=1, queue_timeout_ms=200.0
+    )
+    attempts = 12
+    outcomes = []
+    lock = threading.Lock()
+
+    def worker():
+        try:
+            result = tpcd.execute(
+                QUERIES["q6_forecast"], use_summary_tables=False
+            )
+            with lock:
+                outcomes.append(("ok", len(result.rows)))
+        except QueryRejected:
+            with lock:
+                outcomes.append(("rejected", None))
+
+    threads = [threading.Thread(target=worker) for _ in range(attempts)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert len(outcomes) == attempts  # nothing hung, nothing vanished
+    ok = [o for o in outcomes if o[0] == "ok"]
+    assert ok, "at least the first arrival must be admitted"
+    assert len({rows for _, rows in ok}) == 1  # admitted answers agree
+    snapshot = tpcd.governor.admission.snapshot()
+    assert snapshot["running"] == 0
+    assert snapshot["waiting"] == 0
+    metrics = tpcd.metrics.to_dict()
+    admitted = metrics["governor.admitted"]["value"]
+    rejected = metrics["governor.rejected"]["value"]
+    assert admitted + rejected == attempts
+    assert metrics["governor.running"]["value"] == 0
+    assert metrics["governor.waiting"]["value"] == 0
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+def test_admit_fault_point_fires_and_leaves_gate_clean(tpcd):
+    tpcd.governor.admission.configure(max_concurrent=2, max_queue=1)
+    with INJECTOR.injected("governor.admit"):
+        with pytest.raises(InjectedFault):
+            tpcd.execute("select orderkey from Orders")
+    # the fault fired before any slot was taken: state is untouched
+    assert tpcd.governor.admission.running == 0
+    result = tpcd.execute("select orderkey from Orders")
+    assert len(result.rows) > 0

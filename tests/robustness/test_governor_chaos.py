@@ -1,0 +1,246 @@
+"""Chaos tests for the governor's scheduler integration: cooperative
+cancellation mid-refresh (forced recompute convergence), load-shedding
+shutdown, ``REFRESH`` preemption plumbing, the snapshot-and-swap metrics
+reset, and the scheduler's spurious-wakeup/batch-window timing fix."""
+
+import datetime
+import threading
+import time
+
+import pytest
+
+from repro.catalog import credit_card_catalog
+from repro.engine import Database
+from repro.engine.table import tables_equal
+from repro.errors import QueryCancelled
+from repro.obs.metrics import MetricsRegistry
+from repro.refresh.scheduler import RefreshScheduler
+from repro.testing import INJECTOR
+
+D = datetime.date
+#: AVG is not self-maintainable, so every deferred refresh of this
+#: summary takes the full-recompute path — which scans all of Trans
+#: through the governed executor, guaranteeing ``executor.tick`` fires.
+AVG_SUMMARY = "select faid, avg(qty) as aq, count(*) as cnt from Trans group by faid"
+
+
+def big_trans_db(rows=1500):
+    db = Database(credit_card_catalog())
+    db.load("Acct", [(10, 1, "gold"), (20, 2, "silver")])
+    db.load(
+        "Trans",
+        [
+            (
+                i,
+                1,
+                1,
+                10 if i % 2 else 20,
+                D(1995, 1 + i % 12, 1 + i % 28),
+                2,
+                float(i % 97),
+                0.1,
+            )
+            for i in range(1, rows + 1)
+        ],
+    )
+    return db
+
+
+NEW_ROW = (9001, 1, 1, 10, D(1995, 5, 5), 2, 44.0, 0.1)
+
+
+# ----------------------------------------------------------------------
+# Cancellation mid-refresh
+# ----------------------------------------------------------------------
+def test_cancelled_refresh_forces_recompute_and_converges():
+    db = big_trans_db()
+    db.create_summary_table("M1", AVG_SUMMARY, refresh_mode="deferred")
+    # The first recompute pass is cancelled at its first executor tick;
+    # the worker must treat that as a yield (not a failure), flag the
+    # summary for a forced recompute, requeue it, and converge.
+    INJECTOR.arm("executor.tick", times=1, error=QueryCancelled)
+    db.insert_rows("Trans", [NEW_ROW])
+    db.drain_refresh()
+    INJECTOR.disarm()
+    scheduler = db._scheduler
+    assert any("refresh cancelled" in err for err in scheduler.errors)
+    assert scheduler.last_fallbacks["M1"] == (
+        "recompute forced after cancelled refresh"
+    )
+    assert not scheduler._force_recompute  # satisfied by the second pass
+    assert scheduler.quarantines == 0  # a cancel is not a failure
+    want = db.execute(AVG_SUMMARY, use_summary_tables=False)
+    assert tables_equal(db.summary_tables["m1"].table, want)
+    db.close()
+
+
+def test_load_shedding_stop_discards_queue_promptly():
+    db = big_trans_db(rows=64)
+    db.create_summary_table("M1", AVG_SUMMARY, refresh_mode="deferred")
+    # poison the apply/recompute so the refresh climbs the retry ladder
+    INJECTOR.arm("scheduler.recompute", times=50)
+    db.insert_rows("Trans", [NEW_ROW])
+    scheduler = db._scheduler
+    deadline = time.monotonic() + 5.0
+    while scheduler.pending_retries == 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    INJECTOR.disarm()
+    started = time.monotonic()
+    scheduler.stop(cancel_inflight=True)
+    assert time.monotonic() - started < 5.0  # never blocks behind retries
+    assert scheduler.queued == 0
+    assert scheduler.pending_retries == 0
+    db.close()
+
+
+def test_interrupt_filters_by_summary_name():
+    db = big_trans_db(rows=32)
+    scheduler = db._scheduler
+    assert scheduler.interrupt() is False  # nothing in flight
+    from repro.governor import CancellationToken
+
+    token = CancellationToken()
+    with scheduler._condition:
+        scheduler._inflight_token = token
+        scheduler._inflight_name = "m1"
+    try:
+        assert scheduler.interrupt(["Other"]) is False
+        assert not token.cancelled
+        assert scheduler.interrupt(["M1"]) is True
+        assert token.cancelled
+        assert token.reason == "refresh interrupted"
+    finally:
+        with scheduler._condition:
+            scheduler._inflight_token = None
+            scheduler._inflight_name = None
+    db.close()
+
+
+def test_manual_refresh_preempts_and_recomputes():
+    """REFRESH SUMMARY TABLE interrupts a same-name background refresh
+    (here: one flagged mid-cancel) and leaves the summary fresh."""
+    db = big_trans_db()
+    db.create_summary_table("M1", AVG_SUMMARY, refresh_mode="deferred")
+    INJECTOR.arm("executor.tick", times=1, error=QueryCancelled)
+    db.insert_rows("Trans", [NEW_ROW])
+    db.drain_refresh()
+    INJECTOR.disarm()
+    db.refresh_summary_tables(["M1"])  # must not block or raise
+    want = db.execute(AVG_SUMMARY, use_summary_tables=False)
+    assert tables_equal(db.summary_tables["m1"].table, want)
+    assert not db._scheduler._force_recompute
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# Metrics reset vs. a racing worker (snapshot-and-swap)
+# ----------------------------------------------------------------------
+def test_metrics_reset_never_loses_racing_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("scheduler_refreshes_applied", "test")
+    increments = 20000
+
+    def hammer():
+        for _ in range(increments):
+            counter.inc()
+
+    worker = threading.Thread(target=hammer)
+    worker.start()
+    recovered = 0
+    while worker.is_alive():
+        snapshot = registry.reset()
+        recovered += snapshot["scheduler_refreshes_applied"]["value"]
+    worker.join()
+    recovered += registry.reset()["scheduler_refreshes_applied"]["value"]
+    # every inc lands in exactly one epoch: nothing lost, nothing doubled
+    assert recovered == increments
+
+
+def test_scheduler_counters_survive_mid_apply_reset():
+    """\\metrics reset while the worker is applying refreshes must not
+    resurrect pre-reset values or corrupt the registry."""
+    db = big_trans_db(rows=64)
+    db.create_summary_table(
+        "M1",
+        "select faid, count(*) as cnt, sum(qty) as sq from Trans group by faid",
+        refresh_mode="deferred",
+    )
+    stop = threading.Event()
+
+    def resetter():
+        while not stop.is_set():
+            db.metrics.reset()
+
+    thread = threading.Thread(target=resetter)
+    thread.start()
+    try:
+        for i in range(20):
+            db.insert_rows("Trans", [(20000 + i, 1, 1, 10, D(1995, 6, 6), 2, 1.0, 0.1)])
+            db.drain_refresh()
+    finally:
+        stop.set()
+        thread.join()
+    want = db.execute(
+        "select faid, count(*) as cnt, sum(qty) as sq from Trans group by faid",
+        use_summary_tables=False,
+    )
+    assert tables_equal(db.summary_tables["m1"].table, want)
+    # the registry still coheres after the storm of swaps
+    value = db.metrics.to_dict()["scheduler_refreshes_applied"]["value"]
+    assert value >= 0
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# Spurious wakeups and the batch-window cap
+# ----------------------------------------------------------------------
+def test_wait_timeout_recomputes_remaining_time():
+    db = big_trans_db(rows=8)
+    scheduler = db._scheduler
+    with scheduler._condition:
+        scheduler._retries["m1"] = time.monotonic() + 0.5
+    first = scheduler._wait_timeout()
+    time.sleep(0.1)
+    second = scheduler._wait_timeout()
+    assert second < first  # a re-entered wait sleeps only the remainder
+    with scheduler._condition:
+        scheduler._retries.clear()
+    db.close()
+
+
+def test_batch_window_never_delays_a_due_retry():
+    """A long batch window must be capped by the next retry deadline —
+    otherwise a queued ingest burst makes every pending retry wait the
+    full window before being considered."""
+    db = big_trans_db(rows=64)
+    scheduler = db._scheduler
+    scheduler.retry_base_delay = 0.4
+    db.create_summary_table("M1", AVG_SUMMARY, refresh_mode="deferred")
+    # M1's first refresh fails once -> a retry is scheduled ~0.4s out
+    # (the batch window is still its tiny default here, so the failing
+    # pass itself runs promptly)
+    INJECTOR.arm("scheduler.recompute", times=1)
+    db.insert_rows("Trans", [NEW_ROW])
+    deadline = time.monotonic() + 5.0
+    while scheduler.pending_retries == 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    INJECTOR.disarm()
+    assert scheduler.pending_retries == 1
+    # Now raise the window and keep the queue busy: the worker's batch
+    # sleep must be capped by the retry's remaining delay, so the retry
+    # still lands at ~0.4s — uncapped it would wait the full 2s.
+    started = time.monotonic()
+    scheduler.batch_window = 2.0
+    db.insert_rows(
+        "Trans", [(30000, 1, 1, 20, D(1995, 7, 7), 2, 2.0, 0.1)]
+    )
+    while scheduler.pending_retries and time.monotonic() < deadline:
+        time.sleep(0.005)
+    elapsed = time.monotonic() - started
+    assert scheduler.pending_retries == 0, "retry starved by batch window"
+    assert elapsed < 1.5  # far below the uncapped 2s window
+    scheduler.batch_window = 0.005
+    db.drain_refresh()
+    want = db.execute(AVG_SUMMARY, use_summary_tables=False)
+    assert tables_equal(db.summary_tables["m1"].table, want)
+    db.close()
