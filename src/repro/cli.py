@@ -27,6 +27,10 @@ shell understands:
   control, circuit-breaker state, and the last governor event
 * ``\\q`` — quit
 
+``SET EXECUTOR PARALLEL <n> | OFF`` turns on morsel-driven parallel
+execution with ``n`` worker threads (docs/EXECUTOR.md); EXPLAIN ANALYZE
+shows the batch/parallelism counters of the run.
+
 ``EXPLAIN SELECT ...`` prints the QGM graph, the match, and the
 rewritten SQL; ``EXPLAIN ANALYZE SELECT ...`` also executes the query
 and reports phase timings plus the per-AST match verdict table.

@@ -136,3 +136,155 @@ def make_accumulator(call: AggCall) -> Accumulator:
     if call.distinct:
         return Distinct(accumulator)
     return accumulator
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels + partial-state algebra (the batch executor)
+# ----------------------------------------------------------------------
+# The columnar executor computes each aggregate with one tight loop over
+# (group id, value) pairs instead of a method call per row, and — under
+# morsel parallelism — carries *mergeable partial states* per group:
+#
+#   COUNT(*) / COUNT(x)  int            merged by addition
+#   SUM(x)               value | None   merged by NULL-aware addition
+#   AVG(x)               [sum, count]   merged component-wise
+#   MIN(x) / MAX(x)      value | None   merged by comparison
+#   DISTINCT variants    set of values  merged by union
+#
+# This is the same re-derivation algebra as the rewriter's rules (a)–(g)
+# in repro/matching/derivation.py: a partition plays the role of a
+# summary-table cell, and the merge re-derives the query aggregate from
+# partial aggregates (AVG via SUM/COUNT, COUNT(*) via addition, ...).
+
+
+def spec_kind(call: AggCall) -> tuple[str, bool]:
+    """``(partial-state kind, distinct)`` for an aggregate call."""
+    if call.func == "count" and call.arg is None:
+        return "count*", bool(call.distinct)
+    if call.func not in _PLAIN:
+        raise ExecutionError(f"unknown aggregate {call.func!r}")
+    return call.func, bool(call.distinct)
+
+
+def empty_state(kind: str, distinct: bool):
+    """The partial state of a group with no input rows (only the
+    grand-total grouping set of an empty table produces one)."""
+    if distinct:
+        return set()
+    if kind in ("count*", "count"):
+        return 0
+    if kind == "avg":
+        return [None, 0]
+    return None  # sum / min / max
+
+
+def partial_states(kind: str, distinct: bool, gids, ngroups: int, values):
+    """One partial state per group for one aggregate.
+
+    ``gids`` assigns each input row a group id in ``range(ngroups)``;
+    ``values`` is the aggregate's argument column aligned with ``gids``
+    (``None`` for COUNT(*)). NULL inputs are ignored by every aggregate
+    except COUNT(*), exactly like the row accumulators above."""
+    if distinct:
+        sets: list[set] = [set() for _ in range(ngroups)]
+        if values is not None:
+            for gid, value in zip(gids, values):
+                if value is not None:
+                    sets[gid].add(value)
+        return sets
+    if kind == "count*":
+        counts = [0] * ngroups
+        for gid in gids:
+            counts[gid] += 1
+        return counts
+    if kind == "count":
+        counts = [0] * ngroups
+        for gid, value in zip(gids, values):
+            if value is not None:
+                counts[gid] += 1
+        return counts
+    if kind == "sum":
+        totals: list[Any] = [None] * ngroups
+        for gid, value in zip(gids, values):
+            if value is not None:
+                total = totals[gid]
+                totals[gid] = value if total is None else total + value
+        return totals
+    if kind == "avg":
+        totals = [None] * ngroups
+        counts = [0] * ngroups
+        for gid, value in zip(gids, values):
+            if value is not None:
+                total = totals[gid]
+                totals[gid] = value if total is None else total + value
+                counts[gid] += 1
+        return [[total, count] for total, count in zip(totals, counts)]
+    if kind == "min":
+        best: list[Any] = [None] * ngroups
+        for gid, value in zip(gids, values):
+            if value is not None:
+                current = best[gid]
+                if current is None or value < current:
+                    best[gid] = value
+        return best
+    if kind == "max":
+        best = [None] * ngroups
+        for gid, value in zip(gids, values):
+            if value is not None:
+                current = best[gid]
+                if current is None or value > current:
+                    best[gid] = value
+        return best
+    raise ExecutionError(f"unknown aggregate kind {kind!r}")
+
+
+def merge_states(kind: str, distinct: bool, a, b):
+    """Combine two partial states for one group (rules (a)–(g))."""
+    if distinct:
+        a |= b  # partials are owned by the merge; mutation is safe
+        return a
+    if kind in ("count*", "count"):
+        return a + b
+    if kind == "sum":
+        if a is None:
+            return b
+        return a if b is None else a + b
+    if kind == "avg":
+        total_a, count_a = a
+        total_b, count_b = b
+        if total_a is None:
+            total = total_b
+        elif total_b is None:
+            total = total_a
+        else:
+            total = total_a + total_b
+        return [total, count_a + count_b]
+    if kind == "min":
+        if a is None:
+            return b
+        return a if b is None or a <= b else b
+    if kind == "max":
+        if a is None:
+            return b
+        return a if b is None or a >= b else b
+    raise ExecutionError(f"unknown aggregate kind {kind!r}")
+
+
+def finalize_state(kind: str, distinct: bool, state):
+    """Partial state → the aggregate's SQL result value."""
+    if distinct:
+        if kind in ("count", "count*"):
+            return len(state)
+        if not state:
+            return None
+        if kind == "sum":
+            return sum(state)
+        if kind == "avg":
+            return sum(state) / len(state)
+        if kind == "min":
+            return min(state)
+        return max(state)
+    if kind == "avg":
+        total, count = state
+        return None if count == 0 else total / count
+    return state

@@ -105,6 +105,14 @@ class Database:
         #: last governor intervention (degradation/breaker skip), for
         #: diagnostics and the CLI's \governor command
         self.last_governor_event: str | None = None
+        # Morsel-driven executor parallelism (SET EXECUTOR PARALLEL
+        # <n>|OFF, docs/EXECUTOR.md): the session owns one worker pool so
+        # per-query runs don't pay thread start-up. Off by default.
+        self._executor_parallel: int | None = None
+        self._executor_pool = None
+        #: batch/parallelism counters of the most recent executor run
+        #: (EXPLAIN ANALYZE's ``-- executor --`` section)
+        self.last_executor_stats = None
 
     # ------------------------------------------------------------------
     # Data definition / loading
@@ -232,7 +240,43 @@ class Database:
         )
 
     def execute_graph(self, graph: QueryGraph) -> Table:
-        return Executor(self.tables, metrics=self.metrics).run(graph)
+        executor = Executor(
+            self.tables,
+            metrics=self.metrics,
+            parallel=self._executor_parallel,
+            pool=self._executor_pool,
+        )
+        result = executor.run(graph)
+        self.last_executor_stats = executor.stats
+        return result
+
+    @property
+    def executor_parallel(self) -> int | None:
+        """Configured morsel-parallel worker count (``None`` ⇒ serial)."""
+        return self._executor_parallel
+
+    def set_executor_parallel(self, workers: int | None) -> None:
+        """Enable/disable morsel-driven parallel execution.
+
+        ``workers`` is the thread-pool size (``None`` or ``0`` turns the
+        pool off). Every query — including summary-table recomputes run
+        by the refresh scheduler — executes its scans, hash-join probes
+        and per-cuboid group-bys across the pool; partial aggregates are
+        merged with the derivation rules (a)–(g).
+        """
+        if workers is not None and workers < 1:
+            workers = None
+        old_pool = self._executor_pool
+        self._executor_pool = None
+        self._executor_parallel = workers
+        if old_pool is not None:
+            old_pool.shutdown(wait=True)
+        if workers:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-exec"
+            )
 
     def run_sql(self, sql: str, use_summary_tables: bool = True):
         """Execute one statement of any supported kind (SELECT, CREATE
@@ -248,6 +292,7 @@ class Database:
             Explain,
             InsertValues,
             RefreshSummaryTables,
+            SetExecutorParallel,
             SetQueryMaxRows,
             SetQueryTimeout,
             SetRefreshAge,
@@ -313,6 +358,11 @@ class Database:
             if statement.max_rows is None:
                 return "query maxrows disabled"
             return f"query maxrows set to {statement.max_rows}"
+        if isinstance(statement, SetExecutorParallel):
+            self.set_executor_parallel(statement.workers)
+            if statement.workers is None:
+                return "executor parallelism disabled"
+            return f"executor parallelism set to {statement.workers} worker(s)"
         if isinstance(statement, RefreshSummaryTables):
             names = statement.names or None
             self.refresh_summary_tables(names)
@@ -497,6 +547,10 @@ class Database:
                 f"-- governor degraded the query ({governor_note}); "
                 "ran on base tables --"
             )
+        executor_stats = self.last_executor_stats
+        if executor_stats is not None:
+            lines.append("-- executor --")
+            lines.extend(executor_stats.describe_lines())
         if budget is not None:
             lines.append("-- governor --")
             lines.extend(budget.describe_lines())
@@ -1147,7 +1201,7 @@ class Database:
         self._scheduler.drain()
 
     def close(self, force: bool = False) -> None:
-        """Stop the background refresh worker.
+        """Stop the background refresh worker and the executor pool.
 
         By default queued work is finished first; ``force=True`` cancels
         the in-flight refresh cooperatively (its summary is flagged for
@@ -1155,6 +1209,11 @@ class Database:
         behind a stuck query.
         """
         self._scheduler.stop(cancel_inflight=force)
+        pool = self._executor_pool
+        self._executor_pool = None
+        self._executor_parallel = None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def refresh_status(self) -> list[dict]:
         """Per-summary refresh mode and staleness, for the CLI and tests."""

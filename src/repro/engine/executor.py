@@ -1,28 +1,52 @@
-"""Executor: evaluates a QGM graph over in-memory tables.
+"""Columnar batch executor: evaluates a QGM graph over in-memory tables.
 
 This is the substrate the paper takes for granted (DB2's runtime). The
 plan is derived directly from the graph:
 
 * SELECT boxes filter each child with its single-quantifier predicates,
   then hash-join children along equality predicates (greedy connected
-  order, cross join as a last resort), apply residual predicates, and
-  project the output expressions.
+  order, building on the smaller side, cross join as a last resort),
+  apply residual predicates, and project the output expressions.
 * GROUP-BY boxes evaluate each grouping set (cuboid) independently and
   union the results with NULL padding, which is exactly the semantics of
   Section 5 / Figure 12.
 
 QGM is semantics, not a plan — any smarter engine would return the same
-tables; this one is simple enough to trust as ground truth.
+tables; :mod:`repro.engine.reference` keeps the row-at-a-time oracle.
+
+Execution model (docs/EXECUTOR.md):
+
+* Relations flow between operators as **columns** — one plain value
+  list per column — not as tuples.  Filtering applies each predicate
+  conjunct as a compiled batch function (:mod:`repro.expr.vector`) over
+  a *selection vector* of surviving row indices, then gathers once.
+* Work is cut into **morsels**: selection vectors are processed in
+  chunks of ``BATCH_ROWS`` rows (``_TICK_EVERY`` under a governor scope,
+  preserving the historical tick cadence).  Each completed full morsel
+  fires the ``executor.tick`` fault point and ticks the governor budget,
+  so deadlines and cancellation land mid-operator.
+* With ``SET EXECUTOR PARALLEL <n>`` a thread pool runs morsels
+  concurrently (morsel-driven scheduling: workers pull whole morsels,
+  not rows).  Scans/filters and hash-join probes fan out per morsel;
+  cuboid group-bys fan out per partition and merge partial aggregate
+  states with the same re-derivation algebra as
+  :mod:`repro.matching.derivation` rules (a)–(g): SUM of partial SUMs,
+  added COUNTs, MIN/MAX of partial MIN/MAXes, AVG carried as
+  (SUM, COUNT), DISTINCT carried as a set union.  Governor ticks run
+  *inside* the workers, so a deadline expiring mid-morsel raises
+  ``QueryTimeout`` on the coordinating thread via the future.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from concurrent.futures import ThreadPoolExecutor
+from itertools import chain
+from typing import Mapping
 
-from repro.engine.aggregates import make_accumulator
-from repro.engine.table import Row, Table
+from repro.engine import aggregates as _agg
+from repro.engine.table import Table
 from repro.errors import ExecutionError
-from repro.expr.evaluator import evaluate
+from repro.expr.vector import compile_vector, conjuncts
 from repro.governor import scope as governor_scope
 from repro.testing import faults
 from repro.expr.nodes import AggCall, BinaryOp, ColumnRef, Expr
@@ -35,67 +59,267 @@ from repro.qgm.boxes import (
     UnionAllBox,
 )
 
+#: default morsel size (rows per batch) for parallel execution; serial
+#: ungoverned runs use one batch per operator (a full column pass is the
+#: fastest shape for pure-Python list comprehensions)
+BATCH_ROWS = 4096
+
+#: rows between governor checkpoints in the executor's hot loops —
+#: governed runs shrink the morsel to this size so the armed overhead is
+#: one tick per batch and cancellation/deadlines land promptly mid-join
+#: (the same cadence as the historical row-at-a-time executor)
+_TICK_EVERY = 1024
+
+
+class ExecutorStats:
+    """Per-run batch/parallelism counters (EXPLAIN ANALYZE's
+    ``-- executor --`` section and the ``executor_batch_*`` metrics)."""
+
+    __slots__ = (
+        "batches",
+        "rows",
+        "parallel_tasks",
+        "workers",
+        "batch_rows",
+        "join_builds",
+    )
+
+    def __init__(self, workers: int, batch_rows: int):
+        self.batches = 0  # morsels processed across all operators
+        self.rows = 0  # rows through batch operators (input side)
+        self.parallel_tasks = 0  # morsels handed to worker threads
+        self.workers = workers  # 0 ⇒ serial
+        self.batch_rows = batch_rows
+        #: one entry per hash join: which input became the build side
+        self.join_builds: list[dict] = []
+
+    def describe_lines(self) -> list[str]:
+        lines = [
+            f"  batch rows {self.batch_rows}",
+            f"  batches    {self.batches} ({self.rows} rows)",
+        ]
+        if self.workers:
+            lines.append(
+                f"  parallel   {self.workers} workers, "
+                f"{self.parallel_tasks} morsel tasks"
+            )
+        else:
+            lines.append("  parallel   off")
+        for build in self.join_builds:
+            lines.append(
+                f"  hash join  build={build['build']} "
+                f"({build['build_rows']} rows), probe "
+                f"{build['probe_rows']} rows"
+            )
+        return lines
+
+
+class _Rel:
+    """An intermediate relation: one plain value list per column.
+
+    ``borrowed`` marks columns aliased from a stored table (or its
+    materialization cache); borrowed columns must be copied before they
+    are adopted into a result table that a caller might mutate."""
+
+    __slots__ = ("cols", "nrows", "borrowed")
+
+    def __init__(self, cols: list[list], nrows: int, borrowed: bool):
+        self.cols = cols
+        self.nrows = nrows
+        self.borrowed = borrowed
+
+
+class _Ctx:
+    """Per-run execution context: governor budget, worker pool, morsel
+    size, and the stats the run accumulates."""
+
+    __slots__ = ("budget", "pool", "workers", "stats", "chunk")
+
+    def __init__(self, budget, pool, workers, stats, chunk):
+        self.budget = budget
+        self.pool = pool
+        self.workers = workers
+        self.stats = stats
+        #: morsel size; ``None`` ⇒ single batch per operator
+        self.chunk = chunk
+
+    def tick(self, n: int) -> None:
+        """Account one processed morsel of ``n`` rows.
+
+        Mirrors the historical cadence exactly: the ``executor.tick``
+        fault point and the budget tick fire only for *full* morsels
+        (``n == chunk``), so a six-row governed query still never ticks.
+        Runs on whichever thread processed the morsel — that is what
+        makes deadlines/cancellation land mid-morsel under parallelism.
+        """
+        stats = self.stats
+        stats.batches += 1
+        stats.rows += n
+        budget = self.budget
+        if budget is not None and n == self.chunk:
+            faults.fire("executor.tick")
+            budget.tick(n, "execute")
+
+    def map(self, task, chunks: list) -> list:
+        """Run ``task`` over ``chunks``, on the pool when it helps.
+
+        Results come back in chunk order.  A worker exception (deadline,
+        cancellation, fault injection) cancels the not-yet-started
+        morsels and re-raises on the coordinating thread."""
+        if self.pool is not None and len(chunks) > 1:
+            self.stats.parallel_tasks += len(chunks)
+            futures = [self.pool.submit(task, chunk) for chunk in chunks]
+            results = []
+            try:
+                for future in futures:
+                    results.append(future.result())
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+            return results
+        return [task(chunk) for chunk in chunks]
+
+    def partitions(self, nrows: int) -> list[range]:
+        """Row ranges for partition-parallel group-by (one per worker,
+        never smaller than a morsel); a single range when serial."""
+        floor = self.chunk or BATCH_ROWS
+        if self.pool is not None and self.workers > 1 and nrows >= 2 * floor:
+            size = max(floor, -(-nrows // self.workers))
+            return _split(range(nrows), size)
+        return [range(nrows)]
+
+
+def _split(sel, size):
+    """Cut a selection (range or index list) into morsels of ``size``."""
+    n = len(sel)
+    if size is None or n <= size:
+        return [sel]
+    return [sel[k : k + size] for k in range(0, n, size)]
+
+
+def _make_resolver(cols, index_of):
+    def resolve(ref, _cols=cols, _index=index_of):
+        return _cols[_index[ref]]
+
+    return resolve
+
 
 class Executor:
     """Evaluates query graphs against a table store (name → Table,
     lower-case keys).
 
     ``metrics`` is an optional :class:`repro.obs.metrics.MetricsRegistry`
-    that receives per-run counters (``executor_runs``, ``executor_boxes``)
-    and an output-cardinality histogram (``executor_rows``)."""
+    that receives per-run counters (``executor_runs``, ``executor_boxes``,
+    ``executor_batch_*``) and an output-cardinality histogram
+    (``executor_rows``).  ``parallel`` enables morsel-driven parallelism
+    with that many workers; ``pool`` supplies a long-lived
+    ``ThreadPoolExecutor`` (the Database owns one per session) — without
+    it a transient pool is spun up per run.  ``batch_rows`` overrides the
+    morsel size (benchmarks sweep it); the default is ``BATCH_ROWS``
+    when chunking is needed, or one whole-column batch per operator."""
 
-    def __init__(self, tables: Mapping[str, Table], metrics=None):
+    def __init__(
+        self,
+        tables: Mapping[str, Table],
+        metrics=None,
+        parallel: int | None = None,
+        pool=None,
+        batch_rows: int | None = None,
+    ):
         self._tables = tables
         self._metrics = metrics
+        self._parallel = parallel or 0
+        self._pool = pool
+        self._batch_rows = batch_rows
+        #: populated by :meth:`run`
+        self.stats: ExecutorStats | None = None
 
     def run(self, graph: QueryGraph) -> Table:
         """Execute ``graph`` and return the result (ORDER BY applied).
 
         When a governor scope is active on this thread (see
-        :mod:`repro.governor.scope`), the join/scan/group loops tick the
-        budget every ``_TICK_EVERY`` rows — deadline expiry raises
-        ``QueryTimeout``, cancellation ``QueryCancelled`` — and every
-        materialized intermediate/result table is checked against the
-        ``SET QUERY MAXROWS`` high-water cap. Ungoverned runs take the
-        original loops untouched.
+        :mod:`repro.governor.scope`), every morsel boundary ticks the
+        budget — deadline expiry raises ``QueryTimeout``, cancellation
+        ``QueryCancelled`` — and every materialized intermediate/result
+        table is checked against the ``SET QUERY MAXROWS`` high-water
+        cap.  Ungoverned serial runs take whole-column batches with no
+        instrumentation in the hot loops.
         """
         budget = governor_scope.current()
-        memo: dict[int, Table] = {}
-        result = self._evaluate(graph.root, memo, budget)
-        if budget is not None:
-            budget.check_rows(len(result.rows), "result rows")
-        if graph.order_by:
-            result = Table(result.columns, result.rows)
-            result.sort_by(graph.order_by)
-        if graph.limit is not None and len(result.rows) > graph.limit:
-            result = Table(result.columns, result.rows[: graph.limit])
+        workers = self._parallel
+        pool = self._pool if workers else None
+        owns_pool = False
+        if workers and pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-exec"
+            )
+            owns_pool = True
+        if self._batch_rows is not None:
+            chunk = self._batch_rows
+        elif budget is not None:
+            chunk = _TICK_EVERY
+        elif pool is not None:
+            chunk = BATCH_ROWS
+        else:
+            chunk = None  # one batch per operator
+        stats = ExecutorStats(workers if pool is not None else 0, chunk or BATCH_ROWS)
+        self.stats = stats
+        ctx = _Ctx(budget, pool, workers, stats, chunk)
+        try:
+            memo: dict[int, Table] = {}
+            result = self._evaluate(graph.root, memo, ctx)
+            if budget is not None:
+                budget.check_rows(len(result), "result rows")
+            if graph.order_by:
+                result = Table.from_columns(
+                    result.columns,
+                    [list(c) for c in result.columns_data()],
+                    len(result),
+                )
+                result.sort_by(graph.order_by)
+            if graph.limit is not None and len(result) > graph.limit:
+                result = Table.from_columns(
+                    result.columns,
+                    [c[: graph.limit] for c in result.columns_data()],
+                    graph.limit,
+                )
+        finally:
+            if owns_pool:
+                pool.shutdown(wait=True)
         metrics = self._metrics
         if metrics is not None:
             metrics.counter("executor_runs", "graphs executed").inc()
             metrics.counter("executor_boxes", "boxes evaluated").inc(len(memo))
             metrics.histogram("executor_rows", "result cardinality").observe(
-                float(len(result.rows))
+                float(len(result))
             )
+            metrics.counter(
+                "executor_batch_count", "column batches (morsels) processed"
+            ).inc(stats.batches)
+            metrics.counter(
+                "executor_batch_rows", "rows through batch operators"
+            ).inc(stats.rows)
+            if stats.parallel_tasks:
+                metrics.counter(
+                    "executor_batch_parallel_tasks",
+                    "morsels executed on worker threads",
+                ).inc(stats.parallel_tasks)
         return result
 
     # ------------------------------------------------------------------
-    def _evaluate(self, box: QGMBox, memo: dict[int, Table], budget=None) -> Table:
+    def _evaluate(self, box: QGMBox, memo: dict[int, Table], ctx: _Ctx) -> Table:
         cached = memo.get(id(box))
         if cached is not None:
             return cached
         if isinstance(box, BaseTableBox):
             result = self._scan(box)
         elif isinstance(box, SelectBox):
-            result = self._evaluate_select(box, memo, budget)
+            result = self._evaluate_select(box, memo, ctx)
         elif isinstance(box, GroupByBox):
-            result = self._evaluate_groupby(box, memo, budget)
+            result = self._evaluate_groupby(box, memo, ctx)
         elif isinstance(box, UnionAllBox):
-            rows: list[Row] = []
-            for quantifier in box.quantifiers():
-                rows.extend(self._evaluate(quantifier.box, memo, budget).rows)
-                if budget is not None:
-                    budget.check_rows(len(rows), "unioned rows")
-            result = Table(box.output_names, rows)
+            result = self._evaluate_union(box, memo, ctx)
         else:
             raise ExecutionError(f"cannot execute box {box!r}")
         memo[id(box)] = result
@@ -107,56 +331,370 @@ class Executor:
             raise ExecutionError(f"no data loaded for table {box.table_name!r}")
         return table
 
+    @staticmethod
+    def _rel_of(table: Table) -> _Rel:
+        # columns_data() aliases the stores' value lists (or their
+        # materialization caches) — mark borrowed so nothing downstream
+        # adopts them into a mutable result without copying.
+        return _Rel(table.columns_data(), len(table), True)
+
+    @staticmethod
+    def _to_table(names, rel: _Rel) -> Table:
+        if rel.borrowed:
+            return Table.from_columns(names, [list(c) for c in rel.cols], rel.nrows)
+        return Table.from_columns(names, rel.cols, rel.nrows)
+
+    def _evaluate_union(self, box: UnionAllBox, memo, ctx: _Ctx) -> Table:
+        cols: list[list] = [[] for _ in box.output_names]
+        total = 0
+        budget = ctx.budget
+        for quantifier in box.quantifiers():
+            child = self._evaluate(quantifier.box, memo, ctx)
+            for out, data in zip(cols, child.columns_data()):
+                out.extend(data)
+            total += len(child)
+            if budget is not None:
+                budget.check_rows(total, "unioned rows")
+        return Table.from_columns(box.output_names, cols, total)
+
     # ------------------------------------------------------------------
     # SELECT boxes
     # ------------------------------------------------------------------
-    def _evaluate_select(
-        self, box: SelectBox, memo: dict[int, Table], budget=None
-    ) -> Table:
+    def _evaluate_select(self, box: SelectBox, memo, ctx: _Ctx) -> Table:
         quantifiers = box.quantifiers()
         child_tables = {
-            q.name: self._evaluate(q.box, memo, budget) for q in quantifiers
+            q.name: self._evaluate(q.box, memo, ctx) for q in quantifiers
         }
 
         local, equijoins, residual = _classify_predicates(box)
 
         # Filter each child early with its single-quantifier predicates.
-        child_rows: dict[str, list[Row]] = {}
+        child_rels: dict[str, _Rel] = {}
         for quantifier in quantifiers:
             table = child_tables[quantifier.name]
-            rows = table.rows
+            rel = self._rel_of(table)
             predicates = local.get(quantifier.name, [])
             if predicates:
                 index = {
                     ColumnRef(quantifier.name, name): i
                     for i, name in enumerate(table.columns)
                 }
-                rows = _filter_rows(rows, predicates, index, budget)
-            child_rows[quantifier.name] = rows
+                rel = self._filter_rel(rel, predicates, index, ctx)
+            child_rels[quantifier.name] = rel
 
-        joined_rows, index_of = _join_children(
-            quantifiers, child_tables, child_rows, equijoins, budget
+        joined, index_of = self._join_children(
+            quantifiers, child_tables, child_rels, equijoins, ctx
         )
         leftover = [pair.predicate for pair in equijoins if not pair.used] + residual
         if leftover:
-            joined_rows = _filter_rows(joined_rows, leftover, index_of, budget)
+            joined = self._filter_rel(joined, leftover, index_of, ctx)
 
-        out_rows = _project_rows(
-            joined_rows, [q.expr for q in box.outputs], index_of, budget
-        )
+        out = self._project_rel(joined, [q.expr for q in box.outputs], index_of, ctx)
         if box.distinct:
-            out_rows = _dedupe(out_rows)
-        if budget is not None:
-            budget.check_rows(len(out_rows))
-        return Table(box.output_names, out_rows)
+            out = self._distinct_rel(out)
+        if ctx.budget is not None:
+            ctx.budget.check_rows(out.nrows)
+        return self._to_table(box.output_names, out)
+
+    def _filter_rel(self, rel: _Rel, predicates, index_of, ctx: _Ctx) -> _Rel:
+        """Apply predicates as sequential selection passes.
+
+        Each top-level AND conjunct shrinks the selection before the
+        next one runs — the row interpreter's short-circuit order, which
+        is what keeps guarded expressions (``y <> 0 AND x / y > 1``)
+        from evaluating where they shouldn't."""
+        fns = [
+            compile_vector(conjunct)
+            for predicate in predicates
+            for conjunct in conjuncts(predicate)
+        ]
+        if not fns:
+            return rel
+        cols = rel.cols
+        resolve = _make_resolver(cols, index_of)
+        sel = range(rel.nrows)
+        for fn in fns:
+            if not len(sel):
+                break
+
+            def task(chunk, _fn=fn, _resolve=resolve, _ctx=ctx):
+                values = _fn(_resolve, chunk)
+                kept = [i for i, v in zip(chunk, values) if v is True]
+                _ctx.tick(len(chunk))
+                return kept
+
+            parts = ctx.map(task, _split(sel, ctx.chunk))
+            sel = parts[0] if len(parts) == 1 else list(chain.from_iterable(parts))
+        if type(sel) is range and len(sel) == rel.nrows:
+            return rel
+        return _Rel([[c[i] for i in sel] for c in cols], len(sel), False)
+
+    def _join_children(
+        self, quantifiers, child_tables, child_rels, equijoins, ctx: _Ctx
+    ) -> tuple[_Rel, dict[ColumnRef, int]]:
+        """Greedy hash-join of the children; returns the joined relation
+        plus a QNC index map."""
+        if not quantifiers:
+            raise ExecutionError("SELECT box with no children")
+
+        remaining = list(quantifiers)
+        links: dict[str, set[str]] = {}
+        for join in equijoins:
+            links.setdefault(join.left.qualifier, set()).add(join.right.qualifier)
+            links.setdefault(join.right.qualifier, set()).add(join.left.qualifier)
+
+        def pop_next(joined_names: set[str]):
+            if not joined_names:
+                # Start with the child most constrained by join edges.
+                best = max(remaining, key=lambda q: len(links.get(q.name, ())))
+                remaining.remove(best)
+                return best
+            for candidate in remaining:
+                if links.get(candidate.name, set()) & joined_names:
+                    remaining.remove(candidate)
+                    return candidate
+            return remaining.pop(0)
+
+        index_of: dict[ColumnRef, int] = {}
+        joined: _Rel | None = None
+        joined_names: set[str] = set()
+        width = 0
+        while remaining:
+            quantifier = pop_next(joined_names)
+            table = child_tables[quantifier.name]
+            rel = child_rels[quantifier.name]
+            offset = width
+            for i, name in enumerate(table.columns):
+                index_of[ColumnRef(quantifier.name, name)] = offset + i
+            if joined is None:
+                joined = rel
+                joined_names = {quantifier.name}
+                width = len(table.columns)
+                continue
+            # Hash keys: every unused equi-join predicate connecting the
+            # new child to the already-joined side.
+            keys: list[tuple[int, int]] = []  # (joined index, new-child index)
+            for join in equijoins:
+                if join.used:
+                    continue
+                sides = {
+                    join.left.qualifier: join.left,
+                    join.right.qualifier: join.right,
+                }
+                if quantifier.name not in sides:
+                    continue
+                other = set(sides) - {quantifier.name}
+                if not other or next(iter(other)) not in joined_names:
+                    continue
+                new_ref = sides[quantifier.name]
+                old_ref = sides[next(iter(other))]
+                keys.append((index_of[old_ref], table.column_index(new_ref.name)))
+                join.used = True
+            joined = self._hash_join(joined, rel, keys, ctx)
+            joined_names.add(quantifier.name)
+            width += len(table.columns)
+        return joined, index_of
+
+    def _hash_join(
+        self, left: _Rel, right: _Rel, keys: list[tuple[int, int]], ctx: _Ctx
+    ) -> _Rel:
+        if not keys:
+            return self._cross_join(left, right, ctx)
+        # Build on the smaller side by *actual* cardinality — the greedy
+        # join order optimizes connectivity, not size, so either input
+        # may be the small one.
+        build_left = left.nrows <= right.nrows
+        if build_left:
+            build, probe = left, right
+            build_key_cols = [left.cols[i] for i, _ in keys]
+            probe_key_cols = [right.cols[j] for _, j in keys]
+        else:
+            build, probe = right, left
+            build_key_cols = [right.cols[j] for _, j in keys]
+            probe_key_cols = [left.cols[i] for i, _ in keys]
+        ctx.stats.join_builds.append(
+            {
+                "build": "left" if build_left else "right",
+                "build_rows": build.nrows,
+                "probe_rows": probe.nrows,
+            }
+        )
+        buckets = self._build_buckets(build_key_cols, build.nrows, ctx)
+        single = len(probe_key_cols) == 1
+        budget = ctx.budget
+        out_count = [0]  # shared high-water counter (approximate under parallel)
+
+        def probe_task(chunk):
+            build_take: list[int] = []
+            probe_take: list[int] = []
+            extend_b = build_take.extend
+            append_p = probe_take.append
+            if single:
+                col = probe_key_cols[0]
+                get = buckets.get
+                for i in chunk:
+                    bucket = get(col[i])
+                    if bucket is None:
+                        continue
+                    extend_b(bucket)
+                    if len(bucket) == 1:
+                        append_p(i)
+                    else:
+                        probe_take.extend([i] * len(bucket))
+            else:
+                get = buckets.get
+                for i in chunk:
+                    bucket = get(tuple(col[i] for col in probe_key_cols))
+                    if bucket is None:
+                        continue
+                    extend_b(bucket)
+                    probe_take.extend([i] * len(bucket))
+            ctx.tick(len(chunk))
+            if budget is not None:
+                # MAXROWS high-water *while* the output grows, so a row
+                # explosion is caught mid-join rather than after it.
+                out_count[0] += len(build_take)
+                budget.check_rows(out_count[0], "joined rows")
+            return build_take, probe_take
+
+        parts = ctx.map(probe_task, _split(range(probe.nrows), ctx.chunk))
+        if len(parts) == 1:
+            build_take, probe_take = parts[0]
+        else:
+            build_take = list(chain.from_iterable(p[0] for p in parts))
+            probe_take = list(chain.from_iterable(p[1] for p in parts))
+        if build_left:
+            left_take, right_take = build_take, probe_take
+        else:
+            left_take, right_take = probe_take, build_take
+        cols = [[c[i] for i in left_take] for c in left.cols]
+        cols += [[c[i] for i in right_take] for c in right.cols]
+        return _Rel(cols, len(left_take), False)
+
+    def _build_buckets(self, key_cols, nrows: int, ctx: _Ctx) -> dict:
+        """Hash-side build: key → list of build-row indices (NULL keys
+        never equi-join and are skipped)."""
+        buckets: dict = {}
+        single = len(key_cols) == 1
+        for chunk in _split(range(nrows), ctx.chunk):
+            if single:
+                col = key_cols[0]
+                get = buckets.get
+                for i in chunk:
+                    value = col[i]
+                    if value is None:
+                        continue
+                    bucket = get(value)
+                    if bucket is None:
+                        buckets[value] = [i]
+                    else:
+                        bucket.append(i)
+            else:
+                get = buckets.get
+                for i in chunk:
+                    key = tuple(col[i] for col in key_cols)
+                    if any(value is None for value in key):
+                        continue
+                    bucket = get(key)
+                    if bucket is None:
+                        buckets[key] = [i]
+                    else:
+                        bucket.append(i)
+            ctx.tick(len(chunk))
+        return buckets
+
+    def _cross_join(self, left: _Rel, right: _Rel, ctx: _Ctx) -> _Rel:
+        ln, rn = left.nrows, right.nrows
+        ncols = len(left.cols) + len(right.cols)
+        if ln == 0 or rn == 0:
+            return _Rel([[] for _ in range(ncols)], 0, False)
+        left_take: list[int] = []
+        right_take: list[int] = []
+        right_range = range(rn)
+        budget = ctx.budget
+        if budget is None:
+            for i in range(ln):
+                left_take.extend([i] * rn)
+                right_take.extend(right_range)
+        else:
+            threshold = ctx.chunk or BATCH_ROWS
+            pending = 0
+            for i in range(ln):
+                left_take.extend([i] * rn)
+                right_take.extend(right_range)
+                pending += rn
+                if pending >= threshold:
+                    faults.fire("executor.tick")
+                    budget.tick(pending, "execute")
+                    budget.check_rows(len(left_take), "joined rows")
+                    pending = 0
+        ctx.stats.batches += 1
+        ctx.stats.rows += len(left_take)
+        cols = [[c[i] for i in left_take] for c in left.cols]
+        cols += [[c[i] for i in right_take] for c in right.cols]
+        return _Rel(cols, len(left_take), False)
+
+    def _project_rel(self, rel: _Rel, exprs: list[Expr], index_of, ctx: _Ctx) -> _Rel:
+        cols = rel.cols
+        nrows = rel.nrows
+        resolve = _make_resolver(cols, index_of)
+        out_cols: list[list] = []
+        aliased_ids: set[int] = set()
+        borrowed = False
+        for expr in exprs:
+            if isinstance(expr, ColumnRef):
+                column = cols[index_of[expr]]
+                if id(column) in aliased_ids:
+                    # Same source column projected twice: the stores of
+                    # one table must not share a value list.
+                    column = list(column)
+                else:
+                    aliased_ids.add(id(column))
+                    borrowed = borrowed or rel.borrowed
+                out_cols.append(column)
+                continue
+            fn = compile_vector(expr)
+            chunks = _split(range(nrows), ctx.chunk)
+            if len(chunks) == 1:
+                column = fn(resolve, chunks[0])
+                ctx.tick(nrows)
+            else:
+
+                def task(chunk, _fn=fn, _resolve=resolve, _ctx=ctx):
+                    values = _fn(_resolve, chunk)
+                    _ctx.tick(len(chunk))
+                    return values
+
+                column = list(chain.from_iterable(ctx.map(task, chunks)))
+            out_cols.append(column)
+        return _Rel(out_cols, nrows, borrowed)
+
+    @staticmethod
+    def _distinct_rel(rel: _Rel) -> _Rel:
+        if rel.nrows == 0 or not rel.cols:
+            return rel
+        seen: set = set()
+        add = seen.add
+        keep: list[int] = []
+        append = keep.append
+        position = 0
+        for row in zip(*rel.cols):
+            if row not in seen:
+                add(row)
+                append(position)
+            position += 1
+        if len(keep) == rel.nrows:
+            return rel
+        return _Rel(
+            [[c[i] for i in keep] for c in rel.cols], len(keep), False
+        )
 
     # ------------------------------------------------------------------
     # GROUP-BY boxes
     # ------------------------------------------------------------------
-    def _evaluate_groupby(
-        self, box: GroupByBox, memo: dict[int, Table], budget=None
-    ) -> Table:
-        child = self._evaluate(box.child_quantifier.box, memo, budget)
+    def _evaluate_groupby(self, box: GroupByBox, memo, ctx: _Ctx) -> Table:
+        child = self._evaluate(box.child_quantifier.box, memo, ctx)
+        rel = self._rel_of(child)
         quantifier_name = box.child_quantifier.name
 
         def child_index(ref: ColumnRef) -> int:
@@ -166,13 +704,14 @@ class Executor:
 
         # Column index feeding each grouping output, by output name.
         grouping_source: dict[str, int] = {}
-        aggregate_specs: list[tuple[str, AggCall, int | None]] = []
+        # (name, call, arg index, partial kind, distinct)
+        specs: list[tuple] = []
         for qcl in box.outputs:
             if isinstance(qcl.expr, AggCall):
-                arg_index = (
-                    child_index(qcl.expr.arg) if qcl.expr.arg is not None else None
-                )
-                aggregate_specs.append((qcl.name, qcl.expr, arg_index))
+                call = qcl.expr
+                arg_index = child_index(call.arg) if call.arg is not None else None
+                kind, distinct = _agg.spec_kind(call)
+                specs.append((qcl.name, call, arg_index, kind, distinct))
             elif isinstance(qcl.expr, ColumnRef):
                 grouping_source[qcl.name] = child_index(qcl.expr)
             else:
@@ -181,92 +720,149 @@ class Executor:
                     "or aggregate"
                 )
 
-        out_rows: list[Row] = []
-        for grouping_set in box.grouping_sets:
-            out_rows.extend(
-                self._evaluate_cuboid(
-                    box, child.rows, grouping_set, grouping_source,
-                    aggregate_specs, budget,
-                )
-            )
-        if budget is not None:
-            budget.check_rows(len(out_rows), "grouped rows")
-        return Table(box.output_names, out_rows)
+        cuboids = [
+            self._evaluate_cuboid(box, rel, grouping_set, grouping_source, specs, ctx)
+            for grouping_set in box.grouping_sets
+        ]
+        if len(cuboids) == 1:
+            out = cuboids[0]
+            total = out.nrows
+        else:
+            cols: list[list] = [[] for _ in box.output_names]
+            total = 0
+            for cuboid in cuboids:
+                for out_col, col in zip(cols, cuboid.cols):
+                    out_col.extend(col)
+                total += cuboid.nrows
+            out = _Rel(cols, total, False)
+        if ctx.budget is not None:
+            ctx.budget.check_rows(total, "grouped rows")
+        return self._to_table(box.output_names, out)
 
     def _evaluate_cuboid(
-        self,
-        box: GroupByBox,
-        rows: list[Row],
-        grouping_set: tuple[str, ...],
-        grouping_source: dict[str, int],
-        aggregate_specs: list[tuple[str, AggCall, int | None]],
-        budget=None,
-    ) -> list[Row]:
+        self, box, rel: _Rel, grouping_set, grouping_source, specs, ctx: _Ctx
+    ) -> _Rel:
         key_indexes = [grouping_source[name] for name in grouping_set]
-        groups: dict[tuple, list] = {}
-        for row in _ticked(rows, budget):
-            key = tuple(row[i] for i in key_indexes)
-            accumulators = groups.get(key)
-            if accumulators is None:
-                accumulators = [make_accumulator(call) for _, call, _ in aggregate_specs]
-                groups[key] = accumulators
-            for accumulator, (_, _, arg_index) in zip(accumulators, aggregate_specs):
-                accumulator.add(row[arg_index] if arg_index is not None else True)
-        if not groups and not grouping_set:
-            # Grand total over an empty input still yields one row.
-            groups[()] = [make_accumulator(call) for _, call, _ in aggregate_specs]
+        key_cols = [rel.cols[i] for i in key_indexes]
 
+        ranges = ctx.partitions(rel.nrows)
+
+        def task(rng):
+            return self._cuboid_partial(key_cols, specs, rel, rng, ctx)
+
+        parts = ctx.map(task, ranges)
+        order, states = _merge_partials(parts, specs)
+        if not order and not grouping_set:
+            # Grand total over an empty input still yields one row.
+            order = [()]
+            states = [
+                [_agg.empty_state(kind, distinct)]
+                for (_, _, _, kind, distinct) in specs
+            ]
+
+        ngroups = len(order)
+        single = len(key_indexes) == 1
+        aggregate_values = {
+            name: [_agg.finalize_state(kind, distinct, s) for s in spec_states]
+            for (name, _, _, kind, distinct), spec_states in zip(specs, states)
+        }
         in_set = set(grouping_set)
         key_position = {name: i for i, name in enumerate(grouping_set)}
-        out_rows = []
-        for key, accumulators in groups.items():
-            aggregate_values = {
-                name: acc.result()
-                for (name, _, _), acc in zip(aggregate_specs, accumulators)
-            }
-            row = []
-            for qcl in box.outputs:
-                if qcl.name in aggregate_values:
-                    row.append(aggregate_values[qcl.name])
-                elif qcl.name in in_set:
-                    row.append(key[key_position[qcl.name]])
+        out_cols: list[list] = []
+        for qcl in box.outputs:
+            if qcl.name in aggregate_values:
+                out_cols.append(aggregate_values[qcl.name])
+            elif qcl.name in in_set:
+                position = key_position[qcl.name]
+                if single:
+                    out_cols.append(list(order))
                 else:
-                    row.append(None)  # grouped-out column of this cuboid
-            out_rows.append(tuple(row))
-        return out_rows
+                    out_cols.append([key[position] for key in order])
+            else:
+                out_cols.append([None] * ngroups)  # grouped-out column
+        return _Rel(out_cols, ngroups, False)
+
+    def _cuboid_partial(self, key_cols, specs, rel: _Rel, rng, ctx: _Ctx):
+        """One partition's group-by pass: first-seen key order, a group
+        id per row, then one tight kernel loop per aggregate.  Returns
+        ``(keys in order, per-spec partial states)`` for the merge."""
+        group_of: dict = {}
+        order: list = []
+        gids: list[int] = []
+        gid_append = gids.append
+        nkeys = len(key_cols)
+        for chunk in _split(rng, ctx.chunk):
+            if nkeys == 1:
+                col = key_cols[0]
+                get = group_of.get
+                for i in chunk:
+                    value = col[i]
+                    gid = get(value)
+                    if gid is None:
+                        gid = group_of[value] = len(order)
+                        order.append(value)
+                    gid_append(gid)
+            elif nkeys == 0:
+                if not order and len(chunk):
+                    order.append(())
+                gids.extend([0] * len(chunk))
+            else:
+                gathered = [[col[i] for i in chunk] for col in key_cols]
+                get = group_of.get
+                for key in zip(*gathered):
+                    gid = get(key)
+                    if gid is None:
+                        gid = group_of[key] = len(order)
+                        order.append(key)
+                    gid_append(gid)
+            ctx.tick(len(chunk))
+        ngroups = len(order)
+        states = []
+        arg_cache: dict[int, list] = {}
+        budget = ctx.budget
+        full = type(rng) is range and len(rng) == rel.nrows
+        for _, _, arg_index, kind, distinct in specs:
+            if arg_index is None:
+                values = None
+            else:
+                values = arg_cache.get(arg_index)
+                if values is None:
+                    col = rel.cols[arg_index]
+                    values = col if full else [col[i] for i in rng]
+                    arg_cache[arg_index] = values
+            states.append(
+                _agg.partial_states(kind, distinct, gids, ngroups, values)
+            )
+            if budget is not None:
+                budget.checkpoint("execute")
+        return order, states
 
 
-# ----------------------------------------------------------------------
-# Governor instrumentation
-# ----------------------------------------------------------------------
-#: rows between governor checkpoints in the executor's hot loops —
-#: coarse enough that the disarmed paths stay untouched and the armed
-#: overhead is one tick per batch, fine enough that cancellation and
-#: deadlines land promptly even mid-join
-_TICK_EVERY = 1024
+def _merge_partials(parts, specs):
+    """Merge per-partition group-by states in partition order.
 
-
-def _ticked(rows, budget):
-    """Iterate ``rows``, ticking ``budget`` every ``_TICK_EVERY`` rows.
-
-    Returns ``rows`` untouched when ungoverned, so callers keep plain
-    list iteration on the default path. The ``executor.tick`` fault
-    point fires at every batch boundary — note it therefore only fires
-    while a governor scope is active.
-    """
-    if budget is None:
-        return rows
-    return _ticking_iter(rows, budget)
-
-
-def _ticking_iter(rows, budget):
-    count = 0
-    for row in rows:
-        yield row
-        count += 1
-        if count % _TICK_EVERY == 0:
-            faults.fire("executor.tick")
-            budget.tick(_TICK_EVERY, "execute")
+    First-seen key order across ordered partitions reproduces the serial
+    pass's group order; states combine with the re-derivation algebra
+    (see :func:`repro.engine.aggregates.merge_states`)."""
+    if len(parts) == 1:
+        return parts[0]
+    group_of: dict = {}
+    order: list = []
+    merged: list[list] = [[] for _ in specs]
+    for part_order, part_states in parts:
+        for local_gid, key in enumerate(part_order):
+            gid = group_of.get(key)
+            if gid is None:
+                group_of[key] = len(order)
+                order.append(key)
+                for s in range(len(specs)):
+                    merged[s].append(part_states[s][local_gid])
+            else:
+                for s, (_, _, _, kind, distinct) in enumerate(specs):
+                    merged[s][gid] = _agg.merge_states(
+                        kind, distinct, merged[s][gid], part_states[s][local_gid]
+                    )
+    return order, merged
 
 
 # ----------------------------------------------------------------------
@@ -304,185 +900,3 @@ def _classify_predicates(
             continue
         residual.append(predicate)
     return local, equijoins, residual
-
-
-def _join_children(
-    quantifiers,
-    child_tables,
-    child_rows,
-    equijoins: list[_EquiJoin],
-    budget=None,
-) -> tuple[list[Row], dict[ColumnRef, int]]:
-    """Greedy hash-join of the children; returns rows + a QNC index map."""
-    if not quantifiers:
-        raise ExecutionError("SELECT box with no children")
-
-    remaining = list(quantifiers)
-    links: dict[str, set[str]] = {}
-    for join in equijoins:
-        links.setdefault(join.left.qualifier, set()).add(join.right.qualifier)
-        links.setdefault(join.right.qualifier, set()).add(join.left.qualifier)
-
-    def pop_next(joined_names: set[str]):
-        if not joined_names:
-            # Start with the child most constrained by join edges.
-            best = max(remaining, key=lambda q: len(links.get(q.name, ())))
-            remaining.remove(best)
-            return best
-        for candidate in remaining:
-            if links.get(candidate.name, set()) & joined_names:
-                remaining.remove(candidate)
-                return candidate
-        candidate = remaining[0]
-        return remaining.pop(0)
-
-    index_of: dict[ColumnRef, int] = {}
-    joined: list[Row] = []
-    joined_names: set[str] = set()
-    width = 0
-    while remaining:
-        quantifier = pop_next(joined_names)
-        table = child_tables[quantifier.name]
-        rows = child_rows[quantifier.name]
-        offset = width
-        for i, name in enumerate(table.columns):
-            index_of[ColumnRef(quantifier.name, name)] = offset + i
-        if not joined_names:
-            joined = rows
-            joined_names = {quantifier.name}
-            width = len(table.columns)
-            continue
-        # Hash keys: every unused equi-join predicate connecting the new
-        # child to the already-joined side.
-        keys: list[tuple[int, int]] = []  # (joined index, new-child index)
-        for join in equijoins:
-            if join.used:
-                continue
-            sides = {join.left.qualifier: join.left, join.right.qualifier: join.right}
-            if quantifier.name not in sides:
-                continue
-            other = set(sides) - {quantifier.name}
-            if not other or next(iter(other)) not in joined_names:
-                continue
-            new_ref = sides[quantifier.name]
-            old_ref = sides[next(iter(other))]
-            keys.append(
-                (index_of[old_ref], table.column_index(new_ref.name))
-            )
-            join.used = True
-        joined = _hash_join(joined, rows, keys, budget)
-        joined_names.add(quantifier.name)
-        width += len(table.columns)
-    return joined, index_of
-
-
-def _hash_join(
-    left_rows: list[Row],
-    right_rows: list[Row],
-    keys: list[tuple[int, int]],
-    budget=None,
-) -> list[Row]:
-    if not keys:
-        if budget is None:
-            return [l + r for l in left_rows for r in right_rows]
-        return _governed_output(
-            (l + r for l in left_rows for r in right_rows), budget
-        )
-    right_key_indexes = [right_index for _, right_index in keys]
-    left_key_indexes = [left_index for left_index, _ in keys]
-    buckets: dict[tuple, list[Row]] = {}
-    for row in right_rows:
-        key = tuple(row[i] for i in right_key_indexes)
-        if any(value is None for value in key):
-            continue  # NULL never equi-joins
-        buckets.setdefault(key, []).append(row)
-    if budget is not None:
-        return _governed_output(
-            (
-                row + match
-                for row in left_rows
-                for match in buckets.get(
-                    tuple(row[i] for i in left_key_indexes), ()
-                )
-            ),
-            budget,
-        )
-    joined = []
-    for row in left_rows:
-        key = tuple(row[i] for i in left_key_indexes)
-        for match in buckets.get(key, ()):  # missing key -> no rows
-            joined.append(row + match)
-    return joined
-
-
-def _governed_output(rows, budget) -> list[Row]:
-    """Materialize join output under the governor: tick per batch and
-    apply the MAXROWS high-water check *while* the output grows, so a
-    row explosion is caught mid-join rather than after it finishes."""
-    out: list[Row] = []
-    for row in rows:
-        out.append(row)
-        if len(out) % _TICK_EVERY == 0:
-            faults.fire("executor.tick")
-            budget.tick(_TICK_EVERY, "execute")
-            budget.check_rows(len(out), "joined rows")
-    return out
-
-
-def _filter_rows(
-    rows: list[Row],
-    predicates: list[Expr],
-    index_of: dict[ColumnRef, int],
-    budget=None,
-) -> list[Row]:
-    cell: list[Row] = [()]
-
-    def resolve(ref: ColumnRef) -> Any:
-        return cell[0][index_of[ref]]
-
-    kept = []
-    for row in _ticked(rows, budget):
-        cell[0] = row
-        if all(evaluate(predicate, resolve) is True for predicate in predicates):
-            kept.append(row)
-    return kept
-
-
-def _project_rows(
-    rows: list[Row],
-    exprs: list[Expr],
-    index_of: dict[ColumnRef, int],
-    budget=None,
-) -> list[Row]:
-    cell: list[Row] = [()]
-
-    def resolve(ref: ColumnRef) -> Any:
-        return cell[0][index_of[ref]]
-
-    # Fast path for plain column projections.
-    plans: list[Any] = []
-    for expr in exprs:
-        if isinstance(expr, ColumnRef):
-            plans.append(index_of[expr])
-        else:
-            plans.append(expr)
-    out = []
-    for row in _ticked(rows, budget):
-        cell[0] = row
-        out.append(
-            tuple(
-                row[plan] if isinstance(plan, int) else evaluate(plan, resolve)
-                for plan in plans
-            )
-        )
-    return out
-
-
-def _dedupe(rows: list[Row]) -> list[Row]:
-    seen: set = set()
-    unique = []
-    for row in rows:
-        if row not in seen:
-            seen.add(row)
-            unique.append(row)
-    return unique

@@ -7,6 +7,13 @@ NULL. AND/OR follow Kleene logic.
 Aggregates are *not* evaluated here — :class:`repro.expr.nodes.AggCall`
 nodes are computed by the GROUP-BY operator in the engine; encountering one
 in scalar context is a programming error and raises.
+
+This module is the *semantic reference*: one row at a time, one
+interpreter dispatch per node. The batch executor instead compiles
+expressions with :mod:`repro.expr.vector` into per-batch closures;
+``tests/expr/test_vector.py`` holds the two element-for-element equal
+(including where evaluation happens — guarded divisions raise in
+neither). Change semantics here and the vector compiler must follow.
 """
 
 from __future__ import annotations

@@ -121,6 +121,11 @@ class SetQueryMaxRows:
 
 
 @dataclass(frozen=True)
+class SetExecutorParallel:
+    workers: int | None  # None ⇒ OFF (serial morsel execution)
+
+
+@dataclass(frozen=True)
 class InsertValues:
     table: str
     rows: tuple[tuple[Any, ...], ...]
@@ -149,6 +154,7 @@ Statement = (
     | SetSlowQuery
     | SetQueryTimeout
     | SetQueryMaxRows
+    | SetExecutorParallel
     | InsertValues
     | DeleteValues
     | Explain
@@ -353,10 +359,28 @@ class _StatementParser(_Parser):
 
     def _parse_set(
         self,
-    ) -> SetRefreshAge | SetSlowQuery | SetQueryTimeout | SetQueryMaxRows:
+    ) -> (
+        SetRefreshAge
+        | SetSlowQuery
+        | SetQueryTimeout
+        | SetQueryMaxRows
+        | SetExecutorParallel
+    ):
         self._expect_word("set")
         if self._accept_word("query"):
             return self._parse_set_query()
+        if self._accept_word("executor"):
+            # SET EXECUTOR PARALLEL <n>|OFF: morsel-driven worker pool
+            # for scans/joins/group-bys (docs/EXECUTOR.md).
+            self._expect_word("parallel")
+            if self._accept_word("off"):
+                return SetExecutorParallel(None)
+            value = self._parse_constant()
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise self._error(
+                    "EXECUTOR PARALLEL must be OFF or a positive worker count"
+                )
+            return SetExecutorParallel(value)
         if self._accept_word("slow"):
             self._expect_word("query")
             if self._accept_word("off"):

@@ -232,3 +232,64 @@ class TestLimit:
 
         with pytest.raises(SqlSyntaxError):
             tiny_db.execute("select tid from Trans limit 2.5")
+
+
+class TestHashJoinBuildSide:
+    """The hash join must build on the smaller input by *actual*
+    cardinality (post-filter), not by declared table order."""
+
+    @staticmethod
+    def _db(n_loc, n_trans):
+        import datetime
+
+        from repro.catalog import credit_card_catalog
+        from repro.engine import Database
+
+        db = Database(credit_card_catalog())
+        db.load(
+            "Loc",
+            [(i, f"city{i}", "CA", "USA") for i in range(1, n_loc + 1)],
+        )
+        db.load("PGroup", [(1, "TV")])
+        db.load("Cust", [(1, "Alice", "CA")])
+        db.load("Acct", [(10, 1, "gold")])
+        d = datetime.date(1995, 6, 15)
+        db.load(
+            "Trans",
+            [
+                (t, 1, (t % n_loc) + 1, 10, d, 1, 10.0, 0.1)
+                for t in range(1, n_trans + 1)
+            ],
+        )
+        return db
+
+    @staticmethod
+    def _join_builds(db, sql):
+        from repro.engine import Executor
+        from repro.qgm import build_graph
+
+        executor = Executor(db.tables)
+        executor.run(build_graph(sql, db.catalog))
+        return executor.stats.join_builds
+
+    def test_builds_on_smaller_side_either_orientation(self):
+        sql = "select tid, city from Trans, Loc where flid = lid"
+        for n_loc, n_trans in [(3, 50), (50, 3)]:
+            builds = self._join_builds(self._db(n_loc, n_trans), sql)
+            assert len(builds) == 1
+            (build,) = builds
+            assert build["build_rows"] == min(n_loc, n_trans)
+            assert build["probe_rows"] == max(n_loc, n_trans)
+            assert build["build_rows"] <= build["probe_rows"]
+
+    def test_actual_cardinality_after_filter_wins(self):
+        # Trans is the big table (50 rows) but the pushed-down filter
+        # leaves only 2, so the build side must flip onto Trans.
+        db = self._db(3, 50)
+        builds = self._join_builds(
+            db,
+            "select tid, city from Trans, Loc where flid = lid and tid <= 2",
+        )
+        assert len(builds) == 1
+        assert builds[0]["build_rows"] == 2
+        assert builds[0]["probe_rows"] == 3
