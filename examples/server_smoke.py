@@ -1,0 +1,120 @@
+"""Server smoke: N concurrent clients, bit-identical answers.
+
+Boots a :class:`~repro.server.server.QueryServer` over the TPC-D
+workload, drives it with ``--clients`` (default 8) concurrent
+connections mixing cached reads, session SETs, and ingest, and then
+verifies every workload query answered over the wire is **bit-identical**
+to direct in-process execution — same values, same order, same types.
+Exits non-zero on any divergence, error, or SET leakage. CI runs this
+as the server job's gate.
+
+Run:  PYTHONPATH=src python examples/server_smoke.py [--clients 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.server.client import ReproClient  # noqa: E402
+from repro.server.server import QueryServer  # noqa: E402
+from repro.workloads import tpcd  # noqa: E402
+
+
+def identical(remote, direct) -> bool:
+    if list(remote.columns) != list(direct.columns):
+        return False
+    if list(remote.rows) != list(direct.rows):
+        return False
+    return all(
+        type(a) is type(b)
+        for left, right in zip(remote.rows, direct.rows)
+        for a, b in zip(left, right)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--orders", type=int, default=250)
+    args = parser.parse_args(argv)
+
+    db = tpcd.build_tpcd_db(orders=args.orders)
+    tpcd.install_asts(db)
+    server = QueryServer(db)
+    host, port = server.start_in_thread()
+    print(f"server listening on {host}:{port} "
+          f"({args.clients} clients x {args.rounds} rounds)")
+
+    queries = list(tpcd.QUERIES.values())
+    failures: list[str] = []
+    barrier = threading.Barrier(args.clients, timeout=60)
+
+    def worker(worker_id: int) -> None:
+        ingests = worker_id % 2 == 1
+        try:
+            with ReproClient(host, port) as client:
+                client.set(f"SET QUERY MAXROWS {50000 + worker_id}")
+                barrier.wait()
+                for round_no in range(args.rounds):
+                    if ingests:
+                        key = 800000 + worker_id * 100 + round_no
+                        client.query(
+                            f"INSERT INTO Lineitem VALUES ({key}, 7, 2, "
+                            "250.0, 0.03, 0.01, 'N', 'O', DATE '1997-03-05')"
+                        )
+                    reply = client.query(
+                        queries[(worker_id + round_no) % len(queries)]
+                    )
+                    if not reply.table.rows:
+                        failures.append(f"client {worker_id}: empty result")
+                if client.ping()["session"]["max_rows"] != 50000 + worker_id:
+                    failures.append(f"client {worker_id}: SET leaked")
+        except Exception as error:  # noqa: BLE001
+            failures.append(f"client {worker_id}: {type(error).__name__}: "
+                            f"{error}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    if any(thread.is_alive() for thread in threads):
+        failures.append("deadlock: worker thread still alive after 120 s")
+
+    # Final differential pass on a quiet server: every workload query
+    # over the wire (cold key after the ingest churn, then a warm hit)
+    # must equal direct execution bit-for-bit.
+    checked = 0
+    with ReproClient(host, port) as client:
+        for name, sql in tpcd.QUERIES.items():
+            direct = db.execute(sql)
+            for expect_warm in (False, True):
+                reply = client.query(sql)
+                if not identical(reply.table, direct):
+                    failures.append(f"{name}: wire result diverged "
+                                    f"(cache={reply.cache})")
+                checked += 1
+        hits = client.metrics()["cache.hits"]["value"]
+    server.stop()
+
+    print(f"differential: {checked} wire results checked, "
+          f"{hits} cache hits served")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: bit-identical under concurrency, no leaks, no deadlock")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,13 @@ shell understands:
 * ``\\governor`` — query-governor status: session limits (``SET QUERY
   TIMEOUT <ms> | OFF``, ``SET QUERY MAXROWS <n> | OFF``), admission
   control, circuit-breaker state, and the last governor event
+* ``\\connect HOST:PORT`` — switch to remote mode: subsequent SQL,
+  ``\\metrics``, and ``\\governor`` go to a ``repro serve`` server over
+  the wire protocol (docs/SERVER.md); ``\\disconnect`` switches back
 * ``\\q`` — quit
+
+``repro serve [--demo] [--host H] [--port P] ...`` runs the query
+server instead of the shell; see ``repro serve --help``.
 
 ``SET EXECUTOR PARALLEL <n> | OFF`` turns on morsel-driven parallel
 execution with ``n`` worker threads (docs/EXECUTOR.md); EXPLAIN ANALYZE
@@ -56,6 +62,10 @@ class Shell:
         self.out = out or sys.stdout
         self.timing = False
         self.use_summary_tables = True
+        #: a live ReproClient when \connect-ed to a server, else None
+        self.remote = None
+        #: statements that failed (drives the non-interactive exit code)
+        self.errors = 0
 
     # ------------------------------------------------------------------
     def write(self, text: str = "") -> None:
@@ -101,6 +111,10 @@ class Shell:
             return self._handle_slowlog(parts)
         if name == "\\governor":
             return self._handle_governor(parts)
+        if name == "\\connect":
+            return self._handle_connect(parts)
+        if name == "\\disconnect":
+            return self._handle_disconnect()
         if name == "\\save":
             return self._handle_save(parts)
         if name == "\\open":
@@ -108,7 +122,8 @@ class Shell:
         self.write(
             f"unknown command {name} "
             "(try \\d, \\timing, \\noast, \\stats, \\refresh, \\trace, "
-            "\\metrics, \\slowlog, \\governor, \\save DIR, \\open DIR, \\q)"
+            "\\metrics, \\slowlog, \\governor, \\connect HOST:PORT, "
+            "\\disconnect, \\save DIR, \\open DIR, \\q)"
         )
         return True
 
@@ -187,6 +202,8 @@ class Shell:
         return True
 
     def _handle_metrics(self, parts: list[str]) -> bool:
+        if self.remote is not None:
+            return self._handle_remote_metrics(parts)
         metrics = self.database.metrics
         if len(parts) == 2 and parts[1] == "reset":
             metrics.reset()
@@ -202,9 +219,30 @@ class Shell:
             self.write("usage: \\metrics [json|prom|reset]")
             return True
         dump = metrics.to_dict()
+        self._render_metrics(dump)
+        return True
+
+    def _handle_remote_metrics(self, parts: list[str]) -> bool:
+        if len(parts) == 2 and parts[1] == "json":
+            import json
+
+            self.write(json.dumps(self.remote.metrics(), indent=2, sort_keys=True))
+            return True
+        if len(parts) != 1:
+            self.write("usage (remote): \\metrics [json]")
+            return True
+        try:
+            dump = self.remote.metrics()
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return True
+        self._render_metrics(dump)
+        return True
+
+    def _render_metrics(self, dump: dict) -> None:
         if not dump:
             self.write("(no metrics recorded)")
-            return True
+            return
         width = max(len(name) for name in dump)
         for name in sorted(dump):
             entry = dump[name]
@@ -215,7 +253,6 @@ class Shell:
             else:
                 value = f"{entry['value']:g}"
             self.write(f"  {name:<{width}} {value}")
-        return True
 
     def _handle_slowlog(self, parts: list[str]) -> bool:
         if len(parts) != 1:
@@ -240,12 +277,62 @@ class Shell:
         if len(parts) != 1:
             self.write("usage: \\governor")
             return True
+        if self.remote is not None:
+            try:
+                lines = self.remote.governor()
+            except ReproError as error:
+                self.write(f"error: {error}")
+                return True
+            self.write("query governor (remote):")
+            for line in lines:
+                self.write(f"  {line}")
+            return True
         self.write("query governor:")
         for line in self.database.governor.describe_lines():
             self.write(f"  {line}")
         event = self.database.last_governor_event
         if event is not None:
             self.write(f"  last event: {event}")
+        return True
+
+    def _handle_connect(self, parts: list[str]) -> bool:
+        if len(parts) != 2:
+            self.write("usage: \\connect HOST:PORT (or just PORT)")
+            return True
+        from repro.server.client import ReproClient
+
+        target = parts[1]
+        host, _, port_text = target.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            self.write(f"error: bad port in {target!r}")
+            self.errors += 1
+            return True
+        try:
+            client = ReproClient(host, port)
+            client.ping()
+        except (OSError, ReproError) as error:
+            self.write(f"error: cannot connect to {host}:{port}: {error}")
+            self.errors += 1
+            return True
+        if self.remote is not None:
+            self.remote.close()
+        self.remote = client
+        self.write(
+            f"connected to {host}:{port} — SQL, \\metrics and \\governor "
+            "now go to the server (\\disconnect to return)"
+        )
+        return True
+
+    def _handle_disconnect(self) -> bool:
+        if self.remote is None:
+            self.write("(not connected)")
+            return True
+        self.remote.close()
+        self.remote = None
+        self.write("disconnected; back to the in-process database")
         return True
 
     def _handle_save(self, parts: list[str]) -> bool:
@@ -303,17 +390,27 @@ class Shell:
 
     def _handle_sql(self, sql: str) -> None:
         start = time.perf_counter()
+        cache_label = None
         try:
-            result = self.database.run_sql(
-                sql, use_summary_tables=self.use_summary_tables
-            )
+            if self.remote is not None:
+                reply = self.remote.query(
+                    sql, use_summary_tables=self.use_summary_tables
+                )
+                result = reply.value
+                cache_label = reply.cache
+            else:
+                result = self.database.run_sql(
+                    sql, use_summary_tables=self.use_summary_tables
+                )
         except ReproError as error:
             self.write(f"error: {error}")
+            self.errors += 1
             return
         elapsed = time.perf_counter() - start
         if isinstance(result, Table):
             self.write(result.pretty(limit=40))
-            self.write(f"({len(result)} rows)")
+            suffix = f", cache {cache_label}" if cache_label else ""
+            self.write(f"({len(result)} rows{suffix})")
         else:
             self.write(str(result))
         if self.timing:
@@ -360,7 +457,105 @@ def demo_database() -> Database:
     return database
 
 
+def serve_main(argv: list[str]) -> int:
+    """``repro serve``: run the query server instead of the shell."""
+    from repro.server.server import QueryServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Multi-client query server (docs/SERVER.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="preload the paper's credit-card schema, data, and AST1",
+    )
+    parser.add_argument(
+        "--open",
+        dest="open_dir",
+        metavar="DIR",
+        help="serve a database saved with \\save DIR",
+    )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: queries allowed to run at once "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission control: bounded wait-queue depth",
+    )
+    parser.add_argument(
+        "--queue-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="admission control: max queue wait before QueryRejected",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="semantic result cache entries (LRU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the semantic result cache",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=32,
+        metavar="N",
+        help="execution thread-pool size (keep above --max-concurrent "
+        "so overload reaches admission control)",
+    )
+    args = parser.parse_args(argv)
+    if args.open_dir:
+        from repro.engine.persist import load_database, verify_database
+
+        database = load_database(args.open_dir)
+        report = verify_database(database)
+        if not report.clean:
+            print(report.describe(), file=sys.stderr)
+    elif args.demo:
+        database = demo_database()
+    else:
+        database = Database()
+    if args.max_concurrent is not None or args.queue is not None:
+        database.governor.admission.configure(
+            args.max_concurrent,
+            max_queue=args.queue,
+            queue_timeout_ms=args.queue_timeout_ms,
+        )
+    server = QueryServer(
+        database,
+        host=args.host,
+        port=args.port,
+        cache_enabled=not args.no_cache,
+        cache_size=args.cache_size,
+        max_workers=args.workers,
+    )
+    print(f"repro server listening on {args.host}:{args.port} "
+          "(Ctrl-C to stop)")
+    server.serve()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="SQL shell with automatic summary tables"
     )
@@ -370,6 +565,11 @@ def main(argv: list[str] | None = None) -> int:
         help="preload the paper's credit-card schema, data, and AST1",
     )
     parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="start connected to a repro serve server",
+    )
+    parser.add_argument(
         "script",
         nargs="?",
         help="SQL script to run instead of the interactive shell",
@@ -377,12 +577,23 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     database = demo_database() if args.demo else Database()
     shell = Shell(database)
-    if args.script:
-        with open(args.script) as handle:
-            shell.run(handle, interactive=False)
-        return 0
-    shell.run(sys.stdin, interactive=sys.stdin.isatty())
-    return 0
+    if args.connect:
+        shell.handle_line(f"\\connect {args.connect}")
+        if shell.remote is None:
+            return 2
+    try:
+        if args.script:
+            with open(args.script) as handle:
+                shell.run(handle, interactive=False)
+            # Non-interactive runs report failure through the exit code
+            # so scripts and CI can gate on it.
+            return 1 if shell.errors else 0
+        interactive = sys.stdin.isatty()
+        shell.run(sys.stdin, interactive=interactive)
+        return 1 if shell.errors and not interactive else 0
+    finally:
+        if shell.remote is not None:
+            shell.remote.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

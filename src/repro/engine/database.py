@@ -37,6 +37,7 @@ from repro.errors import (
 )
 from repro.governor import QueryGovernor
 from repro.governor import scope as governor_scope
+from repro.governor.governor import UNSET as _GOV_UNSET
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceBuffer
@@ -86,6 +87,16 @@ class Database:
         self._delta_log = DeltaLog()
         self._scheduler = RefreshScheduler(self, registry=self.metrics)
         self._maintenance_lock = threading.RLock()
+        # Coarse catalog lock: serializes DDL (CREATE/DROP TABLE and
+        # SUMMARY TABLE, full refreshes) against each other. Queries do
+        # NOT take it — the rewrite fast path stays lock-free and is
+        # kept safe by (a) capturing the decision-cache epoch before
+        # matching and bumping it only after a mutation completes, and
+        # (b) executing against a per-query snapshot of the table store
+        # plus the matched summaries' table objects (see execute_graph).
+        # Lock order where both are held: _catalog_lock, then
+        # _maintenance_lock.
+        self._catalog_lock = threading.RLock()
         self.refresh_age = RefreshAge.CURRENT
         #: last sandboxed rewrite failure (diagnostics; see
         #: :meth:`_rewrite_for_execution`)
@@ -119,8 +130,9 @@ class Database:
     # ------------------------------------------------------------------
     def add_table(self, schema: TableSchema) -> None:
         """Register a new base table (empty until loaded)."""
-        self.catalog.add_table(schema)
-        self.tables[schema.name.lower()] = Table.from_schema(schema)
+        with self._catalog_lock:
+            self.catalog.add_table(schema)
+            self.tables[schema.name.lower()] = Table.from_schema(schema)
 
     def load(self, table_name: str, rows: Iterable[Row]) -> int:
         """Append validated rows to a base table; returns the new count.
@@ -150,7 +162,8 @@ class Database:
 
     def execute(
         self, sql: str, use_summary_tables: bool = True, tolerance=None,
-        token=None,
+        token=None, timeout_ms=_GOV_UNSET, max_rows=_GOV_UNSET,
+        executor_parallel=_GOV_UNSET, client: str | None = None,
     ) -> Table:
         """Run a query, rewriting it over summary tables when possible.
 
@@ -160,14 +173,40 @@ class Database:
         summary may be and still serve this query. ``token`` is an
         optional :class:`repro.governor.CancellationToken` another
         thread may trigger to stop this query cooperatively.
+
+        ``timeout_ms`` / ``max_rows`` / ``executor_parallel`` override
+        the database-level governor and executor settings for this one
+        query — the query server passes each connection's ``SET`` state
+        through them, so per-client knobs never mutate shared state.
+        ``client`` tags slow-query-log entries with the submitting
+        connection's id.
         """
         return self._execute_select(
-            sql, sql, use_summary_tables, tolerance=tolerance, token=token
+            sql, sql, use_summary_tables, tolerance=tolerance, token=token,
+            timeout_ms=timeout_ms, max_rows=max_rows,
+            executor_parallel=executor_parallel, client=client,
+        )
+
+    def execute_statement(
+        self, statement, sql_text: str | None = None,
+        use_summary_tables: bool = True, tolerance=None, token=None,
+        timeout_ms=_GOV_UNSET, max_rows=_GOV_UNSET,
+        executor_parallel=_GOV_UNSET, client: str | None = None,
+    ) -> Table:
+        """:meth:`execute` for an already-parsed SELECT statement (the
+        query server parses once to fingerprint the query for its result
+        cache, then executes the same parse tree here)."""
+        return self._execute_select(
+            statement, sql_text, use_summary_tables, tolerance=tolerance,
+            token=token, timeout_ms=timeout_ms, max_rows=max_rows,
+            executor_parallel=executor_parallel, client=client,
         )
 
     def _execute_select(
         self, source, sql_text: str | None, use_summary_tables: bool,
-        tolerance=None, token=None,
+        tolerance=None, token=None, timeout_ms=_GOV_UNSET,
+        max_rows=_GOV_UNSET, executor_parallel=_GOV_UNSET,
+        client: str | None = None,
     ) -> Table:
         """Bind → rewrite → run, with phase timers (bind/match/execute,
         milliseconds) in the metrics registry, optional match tracing
@@ -180,15 +219,19 @@ class Database:
         and the governor scope — when any limit or ``token`` is set —
         stays active across bind, match, and execute."""
         with self.governor.admission.admit():
-            budget = self.governor.open_scope(token)
+            budget = self.governor.open_scope(
+                token, timeout_ms=timeout_ms, max_rows=max_rows
+            )
             with governor_scope.activate(budget):
                 return self._execute_governed(
-                    source, sql_text, use_summary_tables, tolerance
+                    source, sql_text, use_summary_tables, tolerance,
+                    executor_parallel=executor_parallel, client=client,
                 )
 
     def _execute_governed(
         self, source, sql_text: str | None, use_summary_tables: bool,
-        tolerance=None,
+        tolerance=None, executor_parallel=_GOV_UNSET,
+        client: str | None = None,
     ) -> Table:
         metrics = self.metrics
         total_start = time.perf_counter()
@@ -198,14 +241,17 @@ class Database:
             graph = build_graph(source, self.catalog)
             bind_ms = metrics.observe_ms("phase_bind_ms", started)
             match_ms = None
+            overlay = None
             if use_summary_tables and self.summary_tables:
                 started = time.perf_counter()
-                graph = self._rewrite_for_execution(
+                graph, overlay = self._rewrite_for_execution(
                     source, graph, tolerance=tolerance
                 )
                 match_ms = metrics.observe_ms("phase_match_ms", started)
             started = time.perf_counter()
-            result = self.execute_graph(graph)
+            result = self.execute_graph(
+                graph, overlay=overlay, parallel=executor_parallel
+            )
             execute_ms = metrics.observe_ms("phase_execute_ms", started)
         finally:
             if trace is not None:
@@ -220,31 +266,57 @@ class Database:
                 )
             trace.set_phase("execute", execute_ms)
             self._trace_buffer.append(trace)
-        self._note_slow_query(sql_text, total_ms)
+        self._note_slow_query(sql_text, total_ms, client=client)
         return result
 
-    def _note_slow_query(self, sql_text: str | None, total_ms: float) -> None:
+    def _note_slow_query(
+        self, sql_text: str | None, total_ms: float, client: str | None = None
+    ) -> None:
         threshold = self.slow_query_ms
         if threshold is None or total_ms < threshold:
             return
         self.metrics.counter(
             "slow_queries_total", "queries over the SET SLOW QUERY threshold"
         ).inc()
-        self.slow_queries.append(
-            {
-                "sql": sql_text if sql_text is not None else "(bound graph)",
-                "ms": round(total_ms, 3),
-                "threshold_ms": threshold,
-                "at": time.time(),
-            }
-        )
+        entry = {
+            "sql": sql_text if sql_text is not None else "(bound graph)",
+            "ms": round(total_ms, 3),
+            "threshold_ms": threshold,
+            "at": time.time(),
+        }
+        if client is not None:
+            entry["client"] = client
+        self.slow_queries.append(entry)
 
-    def execute_graph(self, graph: QueryGraph) -> Table:
+    def execute_graph(
+        self, graph: QueryGraph, overlay: dict | None = None,
+        parallel=_GOV_UNSET,
+    ) -> Table:
+        """Run a bound (possibly rewritten) graph.
+
+        The executor receives a *snapshot* of the table store, optionally
+        patched with ``overlay`` (the table objects of the summaries a
+        rewrite matched). Concurrent DDL — a ``DROP SUMMARY TABLE``
+        racing this query — therefore cannot yank a table out from under
+        the run: the query finishes against the objects it planned with.
+        ``parallel`` overrides the session's morsel-worker count for
+        this one run (the query server passes per-connection ``SET
+        EXECUTOR PARALLEL`` state through it).
+        """
+        tables = dict(self.tables)
+        if overlay:
+            tables.update(overlay)
+        if parallel is _GOV_UNSET:
+            workers, pool = self._executor_parallel, self._executor_pool
+        else:
+            # Per-query override: never borrow the shared pool — its
+            # size matches the database-level setting, not this one.
+            workers, pool = parallel, None
         executor = Executor(
-            self.tables,
+            tables,
             metrics=self.metrics,
-            parallel=self._executor_parallel,
-            pool=self._executor_pool,
+            parallel=workers,
+            pool=pool,
         )
         result = executor.run(graph)
         self.last_executor_stats = executor.stats
@@ -283,6 +355,22 @@ class Database:
         TABLE, CREATE SUMMARY TABLE, DROP SUMMARY TABLE, INSERT, DELETE,
         EXPLAIN). Returns a :class:`~repro.engine.table.Table` for
         SELECT/EXPLAIN, otherwise a status string."""
+        from repro.sql.statements import parse_statement
+
+        started = time.perf_counter()
+        statement = parse_statement(sql)
+        self.metrics.observe_ms("phase_parse_ms", started)
+        return self.run_statement(statement, sql, use_summary_tables)
+
+    def run_statement(
+        self, statement, sql: str, use_summary_tables: bool = True
+    ):
+        """Execute one already-parsed statement (see :meth:`run_sql`).
+
+        The query server parses each statement once — to classify it and
+        to fingerprint SELECTs for the result cache — and hands the same
+        tree here, so the parse cost is paid exactly once per request.
+        """
         from repro.sql.ast import SelectStatement, UnionAll
         from repro.sql.statements import (
             CreateSummaryTable,
@@ -297,12 +385,8 @@ class Database:
             SetQueryTimeout,
             SetRefreshAge,
             SetSlowQuery,
-            parse_statement,
         )
 
-        started = time.perf_counter()
-        statement = parse_statement(sql)
-        self.metrics.observe_ms("phase_parse_ms", started)
         if isinstance(statement, (SelectStatement, UnionAll)):
             return self._execute_select(statement, sql, use_summary_tables)
         if isinstance(statement, Explain):
@@ -404,12 +488,15 @@ class Database:
             del self.tables[statement.name.lower()]
             raise
 
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, tolerance=None) -> str:
         """EXPLAIN output: the QGM graph, the matching decision, and the
-        rewritten SQL/graph when a summary table applies."""
-        return self._explain(sql)
+        rewritten SQL/graph when a summary table applies. ``tolerance``
+        is a per-call freshness override (the query server passes the
+        connection's ``SET REFRESH AGE`` so remote EXPLAIN sees the same
+        staleness gate the session's queries would)."""
+        return self._explain(sql, tolerance=tolerance)
 
-    def _explain(self, sql: str):
+    def _explain(self, sql: str, tolerance=None):
         """EXPLAIN output: the QGM graph, the rewrite decision, and the
         matching fast-path counters for this statement. The SQL is bound
         exactly once: the graph is rendered first, then the same graph is
@@ -420,7 +507,7 @@ class Database:
         lines = ["-- query graph --", render_graph(graph)]
         before = self._rewrite_stats.snapshot()
         try:
-            result = self.rewrite(graph)
+            result = self.rewrite(graph, tolerance=tolerance)
         except Exception as error:
             # Same sandbox contract as execution: a broken rewrite path
             # downgrades to "no rewrite", it never fails the EXPLAIN.
@@ -498,8 +585,9 @@ class Database:
                     graph = build_graph(statement, self.catalog)
                 match_ms = metrics.observe_ms("phase_match_ms", started)
             exec_graph = result.graph if result is not None else graph
+            overlay = _summary_overlay(result) if result is not None else None
             started = time.perf_counter()
-            data = self.execute_graph(exec_graph)
+            data = self.execute_graph(exec_graph, overlay=overlay)
             execute_ms = metrics.observe_ms("phase_execute_ms", started)
         finally:
             _trace.finish()
@@ -565,7 +653,11 @@ class Database:
         return "\n".join(lines)
 
     def _rewrite_for_execution(self, source, graph: QueryGraph, tolerance=None):
-        """The rewrite *sandbox*: the graph to execute for ``source``.
+        """The rewrite *sandbox*: ``(graph, overlay)`` to execute for
+        ``source`` — ``overlay`` maps the matched summaries' table names
+        to their :class:`~repro.engine.table.Table` objects, pinning
+        them for the executor even if a concurrent ``DROP SUMMARY
+        TABLE`` removes them from the store before execution starts.
 
         Rewriting is an optimization — it may improve a query plan but
         must never fail or corrupt a query answer (the paper's engine
@@ -592,14 +684,16 @@ class Database:
             self._note_degradation(error)
             from repro.qgm.build import build_graph
 
-            return build_graph(source, self.catalog)
+            return build_graph(source, self.catalog), None
         except Exception as error:
             self._rewrite_stats.rewrite_errors += 1
             self.last_rewrite_error = f"{type(error).__name__}: {error}"
             from repro.qgm.build import build_graph
 
-            return build_graph(source, self.catalog)
-        return result.graph if result is not None else graph
+            return build_graph(source, self.catalog), None
+        if result is None:
+            return graph, None
+        return result.graph, _summary_overlay(result)
 
     def _note_degradation(self, error: MatchBudgetExceeded) -> None:
         """Record one match-phase budget exhaustion: mark the scope
@@ -677,8 +771,15 @@ class Database:
             budget.enter_match()
         stats = self._rewrite_stats
         stats.queries += 1
+        # Capture the decision-cache epoch BEFORE matching. Any catalog
+        # mutation that lands while this decision is in flight bumps the
+        # counter, so the entry stored below carries a stale epoch and is
+        # invalidated on its first lookup instead of replaying a rewrite
+        # against a dropped (or freshly altered) summary set.
+        epoch = self._rewrite_epoch
         summaries = filter_fresh(
-            self.enabled_summary_tables(), tolerance, stats=stats
+            self.enabled_summary_tables(), tolerance, stats=stats,
+            log=self._delta_log,
         )
         admissible = frozenset(s.name.lower() for s in summaries)
         use_cache = self._fast_path_cache and self._rewrite_cache.maxsize > 0
@@ -686,7 +787,7 @@ class Database:
         if use_cache:
             key = (fingerprint(graph), options_key(options), tolerance.key)
             entry = self._rewrite_cache.lookup(
-                key, self._rewrite_epoch, admissible, stats=stats
+                key, epoch, admissible, stats=stats
             )
             if entry is not None:
                 if entry.steps is None:
@@ -752,7 +853,7 @@ class Database:
                     for step in result.applied
                 )
             self._rewrite_cache.store(
-                key, CacheEntry(self._rewrite_epoch, admissible, steps)
+                key, CacheEntry(epoch, admissible, steps)
             )
             stats.cache_stores += 1
         return result
@@ -928,47 +1029,52 @@ class Database:
         from repro.asts.definition import SummaryTable
         from repro.refresh.policy import RefreshState
 
-        if self.catalog.has_table(name):
-            raise CatalogError(f"name {name!r} is already a table")
-        graph = self.bind(sql, label="A")
-        execution_graph = graph
-        if use_summary_tables and self.summary_tables:
-            # Rewrite the bound graph in place; only when a rewrite
-            # actually applied does the pristine definition graph need to
-            # be re-bound (the common no-match path binds exactly once).
-            # Sandboxed like query execution: a rewrite failure falls
-            # back to materializing from the base tables.
-            try:
-                rewritten = self.rewrite_graph(graph)
-            except Exception as error:
-                self._rewrite_stats.rewrite_errors += 1
-                self.last_rewrite_error = f"{type(error).__name__}: {error}"
-                rewritten = None
-                graph = self.bind(sql, label="A")
-                execution_graph = graph
-            if rewritten is not None:
-                execution_graph = rewritten
-                graph = self.bind(sql, label="A")
-        data = self.execute_graph(execution_graph)
-        schema = _schema_from_result(name, graph, data)
-        summary = SummaryTable(
-            name=name,
-            sql=sql,
-            graph=graph,
-            schema=schema,
-            table=Table(data.columns, data.rows),
-            refresh=RefreshState(
-                mode=refresh_mode, last_refresh_lsn=self._delta_log.lsn
-            ),
-        )
-        summary.stats["rows"] = float(len(data))
-        summary.stats["base_rows"] = float(
-            sum(len(self.tables[t]) for t in graph.base_tables() if t in self.tables)
-        )
-        self.catalog.add_table(schema)
-        self.tables[name.lower()] = summary.table
-        self._register_summary(summary)
-        return summary
+        with self._catalog_lock:
+            if self.catalog.has_table(name):
+                raise CatalogError(f"name {name!r} is already a table")
+            graph = self.bind(sql, label="A")
+            execution_graph = graph
+            if use_summary_tables and self.summary_tables:
+                # Rewrite the bound graph in place; only when a rewrite
+                # actually applied does the pristine definition graph need
+                # to be re-bound (the common no-match path binds exactly
+                # once). Sandboxed like query execution: a rewrite failure
+                # falls back to materializing from the base tables.
+                try:
+                    rewritten = self.rewrite_graph(graph)
+                except Exception as error:
+                    self._rewrite_stats.rewrite_errors += 1
+                    self.last_rewrite_error = f"{type(error).__name__}: {error}"
+                    rewritten = None
+                    graph = self.bind(sql, label="A")
+                    execution_graph = graph
+                if rewritten is not None:
+                    execution_graph = rewritten
+                    graph = self.bind(sql, label="A")
+            data = self.execute_graph(execution_graph)
+            schema = _schema_from_result(name, graph, data)
+            summary = SummaryTable(
+                name=name,
+                sql=sql,
+                graph=graph,
+                schema=schema,
+                table=Table(data.columns, data.rows),
+                refresh=RefreshState(
+                    mode=refresh_mode, last_refresh_lsn=self._delta_log.lsn
+                ),
+            )
+            summary.stats["rows"] = float(len(data))
+            summary.stats["base_rows"] = float(
+                sum(
+                    len(self.tables[t])
+                    for t in graph.base_tables()
+                    if t in self.tables
+                )
+            )
+            self.catalog.add_table(schema)
+            self.tables[name.lower()] = summary.table
+            self._register_summary(summary)
+            return summary
 
     def _register_summary(self, summary: "SummaryTable") -> None:
         """Register a materialized summary for matching: store it, index
@@ -979,15 +1085,23 @@ class Database:
         self._bump_rewrite_epoch()
 
     def drop_summary_table(self, name: str) -> None:
-        key = name.lower()
-        if key not in self.summary_tables:
-            raise CatalogError(f"no summary table named {name!r}")
-        del self.summary_tables[key]
-        del self.tables[key]
-        self.catalog.drop_table(name)
-        self._summary_index.unregister(name)
-        self._prune_delta_log()
-        self._bump_rewrite_epoch()
+        # The epoch bump happens strictly AFTER the structures change
+        # (and the decision path captures its epoch strictly BEFORE
+        # matching), so a concurrent query either sees the old epoch —
+        # and its cached decision is invalidated on the next lookup — or
+        # the new one with the summary already gone. Its executor runs
+        # against the pinned table objects either way (execute_graph's
+        # snapshot + overlay).
+        with self._catalog_lock:
+            key = name.lower()
+            if key not in self.summary_tables:
+                raise CatalogError(f"no summary table named {name!r}")
+            del self.summary_tables[key]
+            del self.tables[key]
+            self.catalog.drop_table(name)
+            self._summary_index.unregister(name)
+            self._prune_delta_log()
+            self._bump_rewrite_epoch()
 
     def refresh_summary_tables(self, names: Iterable[str] | None = None) -> None:
         """Recompute summary tables from the base data.
@@ -1005,7 +1119,7 @@ class Database:
         if names is not None:
             names = list(names)
         self._scheduler.interrupt(names)
-        with self._maintenance_lock:
+        with self._catalog_lock, self._maintenance_lock:
             if names is None:
                 targets = list(self.summary_tables.values())
             else:
@@ -1037,11 +1151,12 @@ class Database:
         cache validates the enabled set per query — but this entry point
         additionally bumps the epoch, keeping the invalidation explicit.)
         """
-        key = name.lower()
-        if key not in self.summary_tables:
-            raise CatalogError(f"no summary table named {name!r}")
-        self.summary_tables[key].enabled = enabled
-        self._bump_rewrite_epoch()
+        with self._catalog_lock:
+            key = name.lower()
+            if key not in self.summary_tables:
+                raise CatalogError(f"no summary table named {name!r}")
+            self.summary_tables[key].enabled = enabled
+            self._bump_rewrite_epoch()
 
     def quarantine_summary(self, name: str, reason: str) -> None:
         """Exclude a summary table from rewrite routing entirely.
@@ -1071,6 +1186,13 @@ class Database:
 
     def _bump_rewrite_epoch(self) -> None:
         self._rewrite_epoch += 1
+
+    @property
+    def rewrite_epoch(self) -> int:
+        """Monotonic counter bumped by every catalog mutation; anything
+        derived from binding against the catalog (rewrite decisions,
+        fingerprints) is valid only while this value is unchanged."""
+        return self._rewrite_epoch
 
     def enabled_summary_tables(self) -> list["SummaryTable"]:
         return [s for s in self.summary_tables.values() if s.enabled]
@@ -1143,6 +1265,10 @@ class Database:
             else:
                 report.unaffected.append(summary.name)
         if not affected:
+            # No batch to stage, but the change must still advance the
+            # table's high-water LSN: the staleness gate and the query
+            # server's result cache key their freshness checks on it.
+            self._delta_log.note_write(key)
             return []
         try:
             self._delta_log.append(key, rows, sign)
@@ -1284,6 +1410,17 @@ def _describe_fast_path(delta: dict[str, int]) -> str:
             "(query fell back to base tables)"
         )
     return "; ".join(parts)
+
+
+def _summary_overlay(result) -> dict[str, "Table"] | None:
+    """``{summary name: table}`` for the summaries a rewrite applied —
+    the executor's shield against a concurrent ``DROP SUMMARY TABLE``."""
+    if not result.applied:
+        return None
+    return {
+        step.summary.name.lower(): step.summary.table
+        for step in result.applied
+    }
 
 
 def _maintenance_status(prefix: str, report) -> str:

@@ -23,6 +23,10 @@ from repro.governor.budget import CancellationToken, Deadline, QueryBudget
 if False:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
+#: sentinel for "no per-query override; use the governor's session value"
+#: (None is a meaningful override — it means "limit off for this query")
+UNSET = object()
+
 
 class QueryGovernor:
     """Session-level governor configuration and per-query scope factory."""
@@ -98,22 +102,41 @@ class QueryGovernor:
         )
 
     def open_scope(
-        self, token: CancellationToken | None = None
+        self,
+        token: CancellationToken | None = None,
+        timeout_ms=UNSET,
+        max_rows=UNSET,
     ) -> QueryBudget | None:
         """Mint the budget for one query, or None when fully disarmed.
 
         A caller-supplied ``token`` forces a scope even with no limits
         set, so programmatic cancellation works without a timeout.
+        ``timeout_ms`` / ``max_rows`` are per-query overrides of the
+        governor's session limits — the query server passes each
+        connection's ``SET`` state here so one client's limits never
+        leak into another's queries (``None`` means "off for this
+        query"; leaving them :data:`UNSET` keeps the session values).
         """
-        if not self.enabled and token is None:
+        effective_timeout = (
+            self.timeout_ms if timeout_ms is UNSET else timeout_ms
+        )
+        effective_rows = self.max_rows if max_rows is UNSET else max_rows
+        if (
+            effective_timeout is None
+            and effective_rows is None
+            and self.match_budget is None
+            and token is None
+        ):
             return None
         deadline = (
-            Deadline(self.timeout_ms) if self.timeout_ms is not None else None
+            Deadline(effective_timeout)
+            if effective_timeout is not None
+            else None
         )
         return QueryBudget(
             deadline=deadline,
             token=token,
-            max_rows=self.max_rows,
+            max_rows=effective_rows,
             match_budget=self.match_budget,
             counters=self._budget_counters,
         )

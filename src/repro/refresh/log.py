@@ -12,6 +12,21 @@ The log keeps one global, monotonically increasing logical timestamp
 (:class:`repro.refresh.policy.RefreshState`); its pending work is exactly
 the batches with a later LSN that touch one of its base tables. Batches
 every dependent has consumed are pruned.
+
+Beyond the staged batches, the log keeps two cheap per-table maps that
+survive pruning:
+
+* :meth:`high_water` — the LSN of the most recent change to a table
+  (*any* change, whether or not a batch was staged for it; ingest into
+  tables with no deferred dependents advances it via :meth:`note_write`
+  without storing rows). This is the freshness oracle the staleness
+  gate (:func:`repro.rewrite.index.filter_fresh`) and the server's
+  semantic result cache (:mod:`repro.server.result_cache`) read —
+  an O(1) dict lookup instead of a pending-batch scan per query.
+* :meth:`change_count` — a monotonic count of changes per table, the
+  unit ``SET REFRESH AGE`` tolerances are expressed in (staged delta
+  batches); the result cache snapshots it to measure how far a cached
+  result has lagged behind.
 """
 
 from __future__ import annotations
@@ -48,6 +63,8 @@ class DeltaLog:
     def __init__(self) -> None:
         self._batches: list[DeltaBatch] = []
         self._lsn = 0
+        self._high_water: dict[str, int] = {}
+        self._change_counts: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._batches)
@@ -65,11 +82,48 @@ class DeltaLog:
         """
         faults.fire("delta.append")
         self._lsn += 1
+        key = table.lower()
         batch = DeltaBatch(
-            self._lsn, table.lower(), sign, tuple(tuple(row) for row in rows)
+            self._lsn, key, sign, tuple(tuple(row) for row in rows)
         )
         self._batches.append(batch)
+        self._high_water[key] = self._lsn
+        self._change_counts[key] = self._change_counts.get(key, 0) + 1
         return batch
+
+    def note_write(self, table: str) -> int:
+        """Record a base-table change that stages *no* batch (the table
+        has no deferred dependents, so there is nothing to replay later)
+        and return the LSN it consumed.
+
+        The change still advances the table's high-water LSN and change
+        count: freshness consumers — the staleness gate and the query
+        server's semantic result cache — must see every write, not just
+        the ones deferred maintenance happens to care about.
+        """
+        self._lsn += 1
+        key = table.lower()
+        self._high_water[key] = self._lsn
+        self._change_counts[key] = self._change_counts.get(key, 0) + 1
+        return self._lsn
+
+    def high_water(self, table: str) -> int:
+        """The LSN of the most recent change to ``table`` (0 if never
+        changed within this log's lifetime)."""
+        return self._high_water.get(table.lower(), 0)
+
+    def high_water_map(self, tables: Iterable[str]) -> dict[str, int]:
+        """``{table: high_water LSN}`` for each of ``tables``."""
+        return {name.lower(): self.high_water(name) for name in tables}
+
+    def change_count(self, table: str) -> int:
+        """Monotonic count of changes to ``table`` (batch-staging units,
+        the same unit ``SET REFRESH AGE <n>`` tolerances count in)."""
+        return self._change_counts.get(table.lower(), 0)
+
+    def change_counts(self, tables: Iterable[str]) -> dict[str, int]:
+        """``{table: change_count}`` for each of ``tables``."""
+        return {name.lower(): self.change_count(name) for name in tables}
 
     def pending_for(self, tables: set[str], after: int) -> list[DeltaBatch]:
         """Batches newer than ``after`` touching any of ``tables``, in
@@ -93,7 +147,23 @@ class DeltaLog:
         return list(self._batches)
 
     def restore(self, lsn: int, batches: Iterable[DeltaBatch]) -> None:
-        """Reset the log to a persisted state (see repro.engine.persist)."""
+        """Reset the log to a persisted state (see repro.engine.persist).
+
+        Per-table high-water marks are rebuilt from the surviving
+        batches. Marks that belonged to pruned batches are lost, which
+        is safe: every dependent refreshed past a pruned batch, so the
+        ``high_water <= last_refresh_lsn`` freshness test still answers
+        "fresh" — and change counts restart conservatively from the
+        surviving batches (the result cache starts empty after a reload,
+        so no cached snapshot predates the restored counts).
+        """
         self._batches = sorted(batches, key=lambda b: b.seq)
         top = self._batches[-1].seq if self._batches else 0
         self._lsn = max(lsn, top)
+        self._high_water = {}
+        self._change_counts = {}
+        for batch in self._batches:
+            self._high_water[batch.table] = batch.seq
+            self._change_counts[batch.table] = (
+                self._change_counts.get(batch.table, 0) + 1
+            )

@@ -119,6 +119,7 @@ def filter_fresh(
     summaries: list[SummaryTable],
     tolerance,
     stats=None,
+    log=None,
 ) -> list[SummaryTable]:
     """The subset of ``summaries`` fresh enough for ``tolerance``.
 
@@ -130,6 +131,16 @@ def filter_fresh(
     IMMEDIATE summary) always pass. ``tolerance=None`` disables the
     staleness gate (library callers driving :func:`rewrite_query` by
     hand).
+
+    ``log`` is the database's :class:`repro.refresh.log.DeltaLog`. When
+    given, freshness is decided by the log's per-table high-water LSNs:
+    a summary is fully fresh exactly when no base table it reads has
+    changed past its ``last_refresh_lsn`` — an O(base tables) dict
+    lookup against :meth:`~repro.refresh.log.DeltaLog.high_water`
+    instead of trusting (or recomputing) per-summary pending counters.
+    The per-summary ``pending_deltas`` counter is still what sizes the
+    lag for tolerance admission (it counts the same staged-batch units
+    ``SET REFRESH AGE <n>`` is expressed in).
 
     **Quarantined** summaries — ones the refresh pipeline gave up on
     (see :mod:`repro.refresh.scheduler`) or that recovery could not
@@ -160,7 +171,20 @@ def filter_fresh(
         if tolerance is None:
             kept.append(summary)
             continue
-        pending = state.pending_deltas if state is not None else 0
+        # REFRESH IMMEDIATE summaries are maintained synchronously with
+        # every base-table change — they are fresh by construction.
+        if state is None or not state.is_deferred:
+            kept.append(summary)
+            continue
+        if log is not None:
+            signature = summary_signature(summary)
+            fresh = all(
+                log.high_water(table) <= state.last_refresh_lsn
+                for table in signature.base_tables
+            )
+            pending = 0 if fresh else max(state.pending_deltas, 1)
+        else:
+            pending = state.pending_deltas
         if tolerance.admits(pending):
             kept.append(summary)
         else:

@@ -1,0 +1,25 @@
+"""Multi-client query server around one shared :class:`Database`.
+
+The paper's engine is a library; this package puts a wire in front of
+it. :mod:`repro.server.server` runs an asyncio TCP server speaking the
+line-delimited JSON protocol defined in :mod:`repro.server.protocol`;
+each connection gets a :class:`repro.server.session.Session` carrying
+its private ``SET`` state, queries execute on a thread pool so the
+event loop never blocks, and SELECT results flow through the semantic
+result cache (:mod:`repro.server.result_cache`) keyed on QGM
+fingerprints and invalidated by delta-log LSNs. See ``docs/SERVER.md``.
+"""
+
+from repro.server.client import QueryReply, ReproClient, ServerError
+from repro.server.result_cache import ResultCache
+from repro.server.server import QueryServer
+from repro.server.session import Session
+
+__all__ = [
+    "QueryReply",
+    "QueryServer",
+    "ReproClient",
+    "ResultCache",
+    "ServerError",
+    "Session",
+]

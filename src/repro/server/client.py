@@ -1,0 +1,118 @@
+"""A blocking client for the query server.
+
+:class:`ReproClient` speaks the protocol in :mod:`repro.server.
+protocol` over a plain TCP socket — one request line out, one response
+line back — and re-raises server-side failures as the same typed
+:mod:`repro.errors` exceptions the in-process library would raise
+(``QueryRejected`` from admission overflow, ``QueryTimeout`` from a
+session deadline, ...), so callers handle remote and local execution
+identically. Non-``repro`` server failures surface as
+:class:`ServerError`.
+
+The client is deliberately synchronous: the CLI's ``\\connect`` mode,
+the tests, and the benchmark drive one connection per thread, which is
+exactly the concurrency shape the server's admission control is meant
+to govern.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.engine.table import Table
+from repro.errors import ReproError
+from repro.server import protocol
+
+
+class ServerError(ReproError):
+    """The server reported a failure with no matching typed error."""
+
+
+class QueryReply:
+    """One decoded server response to ``query``/``set``/``explain``."""
+
+    def __init__(self, raw: dict):
+        self.raw = raw
+        self.table: Table | None = (
+            protocol.decode_table(raw["table"]) if "table" in raw else None
+        )
+        self.status: str | None = raw.get("status")
+        self.text: str | None = raw.get("text")
+        #: "hit" | "stale-hit" | "miss" | "bypass" | None (non-SELECT)
+        self.cache: str | None = raw.get("cache")
+        self.elapsed_ms: float = raw.get("elapsed_ms", 0.0)
+
+    @property
+    def value(self):
+        """The payload: a Table for SELECT/EXPLAIN, else the status."""
+        if self.table is not None:
+            return self.table
+        if self.text is not None:
+            return self.text
+        return self.status
+
+
+class ReproClient:
+    """One connection to a :class:`~repro.server.server.QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields) -> dict:
+        """Send one request, wait for its response; raises the typed
+        :mod:`repro.errors` exception on a failure response."""
+        self._next_id += 1
+        request = {"op": op, "id": self._next_id, **fields}
+        self._sock.sendall(protocol.encode_message(request))
+        line = self._reader.readline()
+        if not line:
+            raise ServerError("server closed the connection")
+        response = protocol.decode_message(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            cls = protocol.error_class(str(error.get("type", "")))
+            if cls is ReproError:
+                cls = ServerError
+            raise cls(error.get("message", "server error"))
+        return response
+
+    # ------------------------------------------------------------------
+    def query(self, sql: str, use_summary_tables: bool = True) -> QueryReply:
+        """Run any supported statement; SELECTs return a decoded table."""
+        fields = {}
+        if not use_summary_tables:
+            fields["use_summary_tables"] = False
+        return QueryReply(self.request("query", sql=sql, **fields))
+
+    def set(self, sql: str) -> str:
+        """Apply a session-scoped (or ``SLOW QUERY``: global) SET."""
+        return QueryReply(self.request("set", sql=sql)).status or ""
+
+    def explain(self, sql: str, analyze: bool = False) -> str:
+        fields = {"analyze": True} if analyze else {}
+        return self.request("explain", sql=sql, **fields)["text"]
+
+    def metrics(self) -> dict:
+        return self.request("metrics")["metrics"]
+
+    def governor(self) -> list[str]:
+        return self.request("governor")["governor"]
+
+    def ping(self) -> dict:
+        return self.request("ping")

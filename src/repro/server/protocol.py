@@ -1,0 +1,126 @@
+"""The wire protocol: one JSON object per line, bit-identical values.
+
+Requests and responses are single JSON objects terminated by ``\\n``
+(no embedded newlines — the standard library's serializer never emits
+them). A request carries an ``op`` plus op-specific fields and an
+optional client-chosen ``id`` that the response echoes back:
+
+``{"op": "query", "id": 7, "sql": "SELECT ..."}``
+
+Ops: ``query`` (any supported statement), ``set`` (a ``SET`` statement
+only), ``explain`` (with optional ``"analyze": true``), ``metrics``,
+``governor``, ``ping``. Responses always carry ``ok``; successful ones
+add ``table`` (SELECT/EXPLAIN results), ``status`` (DDL/DML/SET), or
+op-specific payloads, and failures add
+``{"error": {"type": "...", "message": "..."}}`` where ``type`` is the
+:mod:`repro.errors` class name (``QueryRejected``, ``QueryTimeout``,
+...) so clients re-raise the same typed exception the library would
+have raised in process.
+
+**Bit-identity.** The differential tests demand that a result served
+over the wire equals direct in-process execution exactly. JSON already
+round-trips ``int``, ``str``, ``bool``, ``None`` and — via Python's
+shortest-repr float serialization — every ``float`` bit-for-bit. The
+one engine value type JSON lacks is ``datetime.date``; it travels as a
+tagged object ``{"$date": "YYYY-MM-DD"}`` and is revived on decode.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from typing import Any
+
+from repro import errors as _errors
+from repro.engine.table import Table
+
+#: cap on one encoded message line; a line longer than this is a
+#: protocol error (keeps a hostile or buggy peer from ballooning the
+#: reader's buffer). Result tables are large — give them room.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+_DATE_TAG = "$date"
+
+
+class ProtocolError(_errors.ReproError):
+    """A malformed request or response line."""
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, datetime.date):
+        return {_DATE_TAG: value.isoformat()}
+    return value
+
+
+def _encode_row(row) -> list:
+    return [_encode_value(value) for value in row]
+
+
+def _revive(obj: dict) -> Any:
+    if len(obj) == 1 and _DATE_TAG in obj:
+        return datetime.date.fromisoformat(obj[_DATE_TAG])
+    return obj
+
+
+def encode_message(message: dict) -> bytes:
+    """One request/response as a newline-terminated JSON line."""
+    text = json.dumps(message, separators=(",", ":"), default=_encode_value)
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one line back into a message, reviving tagged values."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    try:
+        message = json.loads(line, object_hook=_revive)
+    except ValueError as error:
+        raise ProtocolError(f"bad message line: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message line must be a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+def encode_table(table: Table) -> dict:
+    """A result table as a JSON-ready payload."""
+    return {
+        "columns": list(table.columns),
+        "rows": [_encode_row(row) for row in table.rows],
+    }
+
+
+def decode_table(payload: dict) -> Table:
+    """Rebuild a :class:`Table` from :func:`encode_table` output.
+
+    Tagged values are revived here as well as in :func:`decode_message`
+    (a payload that came through the message layer has dates already
+    revived; one decoded straight from JSON has not)."""
+    try:
+        columns = payload["columns"]
+        rows = [
+            tuple(
+                _revive(value) if isinstance(value, dict) else value
+                for value in row
+            )
+            for row in payload["rows"]
+        ]
+    except (KeyError, TypeError) as error:
+        raise ProtocolError(f"bad table payload: {error}") from None
+    return Table(columns, rows)
+
+
+# ----------------------------------------------------------------------
+def error_payload(error: BaseException) -> dict:
+    """The ``error`` field for a failure response."""
+    return {"type": type(error).__name__, "message": str(error)}
+
+
+def error_class(name: str) -> type:
+    """The :mod:`repro.errors` class for a wire error ``type`` — falls
+    back to :class:`~repro.errors.ReproError` for unknown names (a newer
+    server may grow error types an older client has never heard of)."""
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, _errors.ReproError):
+        return cls
+    return _errors.ReproError

@@ -1,0 +1,228 @@
+"""The semantic result cache: fingerprint keys, LSN invalidation.
+
+A wall-clock TTL cache answers "how old is this entry"; the paper's
+deferred-maintenance machinery lets us answer the question that
+actually matters: **has any data this result was computed from changed
+since?** Each cached SELECT result remembers, per referenced base
+table, the delta log's change count at the moment execution started
+(see :meth:`repro.refresh.log.DeltaLog.change_count`). A lookup
+recomputes the lag — the maximum number of changes any referenced
+table has absorbed since the snapshot — and serves the entry only when
+
+* ``lag == 0`` — nothing changed: a **fresh hit**, guaranteed equal to
+  re-execution; or
+* ``tolerance.admits(lag)`` — the session's ``SET REFRESH AGE``
+  explicitly tolerates that much staleness: a **stale hit**, labeled
+  ``"stale-hit"`` in the response and counted separately in metrics.
+
+The cache key is the query's structural fingerprint
+(:func:`repro.qgm.fingerprint.fingerprint` — stable across sessions,
+processes, and persist/reload) combined with the session knobs that can
+change the *answer*: the freshness tolerance and the
+``use_summary_tables`` flag. Knobs that only change *resource limits*
+(timeout, maxrows, executor parallelism) are deliberately not in the
+key — equal queries under different limits produce equal rows (the
+server re-checks ``MAXROWS`` against a hit's row count before serving
+it, mirroring what governed execution would have done).
+
+Invalidation is behavioral first: base-table writes advance change
+counts, so fresh lookups simply miss — no scan, no lock on the write
+path. Entries the counters have *permanently* killed (the key's
+tolerance no longer admits the lag, and counters are monotonic) are
+evicted on sight. :meth:`invalidate_table` does the same sweep eagerly
+after a write so dead weight never waits for a lookup, and
+:meth:`evict_tables` unconditionally drops entries for operations that
+change answers without touching base tables — ``REFRESH SUMMARY
+TABLE`` and ``DROP SUMMARY TABLE`` make previously-stale summaries
+disappear from the plan, so results cached under a stale-tolerant key
+may no longer match re-execution. Entries keyed at tolerance 0 are
+exempt from that sweep: they were necessarily computed from fully
+fresh summaries, so refreshing or dropping a summary cannot change
+them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.table import Table
+from repro.refresh.policy import RefreshAge
+
+
+def cache_key(fingerprint_key: tuple, tolerance: RefreshAge,
+              use_summary_tables: bool) -> tuple:
+    """The full cache key for one (query, session-knobs) pair."""
+    return (fingerprint_key, tolerance.key, use_summary_tables)
+
+
+@dataclass
+class CachedResult:
+    """One cached SELECT result and its freshness snapshot."""
+
+    table: Table
+    base_tables: tuple[str, ...]
+    #: per-base-table change counts at the moment execution *started*
+    #: (conservative: a write landing mid-execution makes the entry look
+    #: staler than it is, never fresher)
+    snapshot: dict[str, int]
+    tolerance: RefreshAge
+
+
+class ResultCache:
+    """LRU semantic result cache over one database's delta log."""
+
+    def __init__(self, log, metrics=None, max_entries: int = 256,
+                 max_cached_rows: int = 1_000_000):
+        self._log = log
+        self._entries: OrderedDict[tuple, CachedResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        #: results wider than this are executed but never cached (one
+        #: giant result must not evict the whole working set)
+        self.max_cached_rows = max_cached_rows
+        if metrics is not None:
+            self.hits = metrics.counter(
+                "cache.hits", "Result-cache fresh hits (lag 0)"
+            )
+            self.stale_hits = metrics.counter(
+                "cache.stale_hits",
+                "Result-cache hits served stale under SET REFRESH AGE",
+            )
+            self.misses = metrics.counter(
+                "cache.misses", "Result-cache misses (executed and cached)"
+            )
+            self.evictions = metrics.counter(
+                "cache.evictions",
+                "Entries dropped: LRU overflow or permanently dead",
+            )
+            self.invalidations = metrics.counter(
+                "cache.invalidations",
+                "Entries dropped by explicit eviction (writes/REFRESH/DROP)",
+            )
+            self.entries_gauge = metrics.gauge(
+                "cache.entries", "Result-cache entries currently resident"
+            )
+        else:
+            self.hits = self.stale_hits = self.misses = None
+            self.evictions = self.invalidations = self.entries_gauge = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _count(self, counter, amount: int = 1) -> None:
+        if counter is not None:
+            counter.inc(amount)
+
+    def _update_gauge(self) -> None:
+        if self.entries_gauge is not None:
+            self.entries_gauge.set(len(self._entries))
+
+    def _lag(self, entry: CachedResult) -> int:
+        return max(
+            (
+                self._log.change_count(table) - entry.snapshot.get(table, 0)
+                for table in entry.base_tables
+            ),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: tuple) -> tuple[Table, str] | None:
+        """``(table, "hit" | "stale-hit")`` when servable, else None.
+
+        A permanently dead entry — its own tolerance no longer admits
+        the lag, which monotonic counters can only grow — is evicted on
+        the spot.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._count(self.misses)
+                return None
+            lag = self._lag(entry)
+            if lag == 0:
+                self._entries.move_to_end(key)
+                self._count(self.hits)
+                return entry.table, "hit"
+            if entry.tolerance.admits(lag):
+                self._entries.move_to_end(key)
+                self._count(self.stale_hits)
+                return entry.table, "stale-hit"
+            del self._entries[key]
+            self._count(self.evictions)
+            self._count(self.misses)
+            self._update_gauge()
+            return None
+
+    def store(self, key: tuple, table: Table, base_tables, snapshot: dict,
+              tolerance: RefreshAge) -> bool:
+        """Cache one executed result; returns False when it is too big
+        to cache. ``snapshot`` must have been taken *before* execution
+        started."""
+        if len(table.rows) > self.max_cached_rows:
+            return False
+        entry = CachedResult(
+            table,
+            tuple(name.lower() for name in base_tables),
+            dict(snapshot),
+            tolerance,
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._count(self.evictions)
+            self._update_gauge()
+        return True
+
+    # ------------------------------------------------------------------
+    def invalidate_table(self, table: str) -> int:
+        """Eagerly drop entries a write to ``table`` has permanently
+        killed (their own tolerance no longer admits the new lag);
+        stale-tolerant entries stay warm and will serve labeled stale
+        hits. Returns how many entries were dropped."""
+        name = table.lower()
+        with self._lock:
+            dead = [
+                key
+                for key, entry in self._entries.items()
+                if name in entry.base_tables
+                and not entry.tolerance.admits(self._lag(entry))
+            ]
+            for key in dead:
+                del self._entries[key]
+            self._count(self.invalidations, len(dead))
+            self._update_gauge()
+        return len(dead)
+
+    def evict_tables(self, tables) -> int:
+        """Unconditionally drop entries referencing any of ``tables``,
+        except tolerance-0 entries (provably computed from fully fresh
+        summaries, so summary-side changes cannot affect them). Used by
+        ``REFRESH SUMMARY TABLE`` and ``DROP SUMMARY TABLE``. Returns
+        how many entries were dropped."""
+        wanted = {name.lower() for name in tables}
+        with self._lock:
+            dead = [
+                key
+                for key, entry in self._entries.items()
+                if wanted & set(entry.base_tables)
+                and entry.tolerance.max_pending != 0
+            ]
+            for key in dead:
+                del self._entries[key]
+            self._count(self.invalidations, len(dead))
+            self._update_gauge()
+        return len(dead)
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._count(self.invalidations, dropped)
+            self._update_gauge()
+        return dropped

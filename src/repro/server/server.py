@@ -1,0 +1,398 @@
+"""The asyncio query server: many clients, one shared ``Database``.
+
+One :class:`QueryServer` wraps one :class:`~repro.engine.database.
+Database`. Connections are handled on the event loop — framing, JSON,
+dispatch — but every statement executes on a thread pool via
+``run_in_executor``, so a long scan never blocks another client's
+``ping``. Real concurrency control is the engine's own query governor:
+the pool is sized *above* the admission limit on purpose, so overload
+reaches :class:`~repro.governor.admission.AdmissionController` and
+sheds load as typed ``QueryRejected`` errors instead of silently
+queueing in the pool.
+
+Request routing (see :mod:`repro.server.protocol` for the wire format):
+
+* SELECT / UNION ALL — through the semantic result cache; on a miss the
+  statement executes with the session's knobs passed as per-query
+  overrides (never mutating shared state) and the result is cached
+  with a pre-execution change-count snapshot.
+* session-scoped SET — recorded on the connection's
+  :class:`~repro.server.session.Session` only.
+* INSERT / DELETE — executed, then the cache eagerly drops entries the
+  write permanently killed.
+* CREATE SUMMARY TABLE — executes; no eviction (a freshly built
+  summary is exactly current, so answers are unchanged).
+* DROP / REFRESH SUMMARY TABLE — executes, then stale-tolerant entries
+  over the affected base tables are evicted (see
+  :mod:`repro.server.result_cache`).
+* EXPLAIN [ANALYZE] — runs with the session's freshness tolerance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.database import Database
+from repro.errors import BudgetExhausted, ReproError
+from repro.qgm.build import build_graph
+from repro.qgm.fingerprint import fingerprint
+from repro.server import protocol
+from repro.server.result_cache import ResultCache, cache_key
+from repro.server.session import SESSION_SET_TYPES, Session
+from repro.sql.ast import SelectStatement, UnionAll
+from repro.sql.statements import (
+    DeleteValues,
+    DropSummaryTable,
+    Explain,
+    InsertValues,
+    RefreshSummaryTables,
+    SetSlowQuery,
+    parse_statement,
+)
+
+
+class QueryServer:
+    """Line-delimited JSON query server around one shared database."""
+
+    def __init__(
+        self,
+        db: Database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_enabled: bool = True,
+        cache_size: int = 256,
+        max_workers: int = 32,
+    ):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.address: tuple[str, int] | None = None
+        metrics = db.metrics
+        self.cache_enabled = cache_enabled
+        self.cache = ResultCache(
+            db.delta_log, metrics=metrics, max_entries=cache_size
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-server"
+        )
+        # Two hot-path memos, both keyed by raw SQL text. Parsing and
+        # binding the same text are deterministic, so on the
+        # repeat-heavy path their cost is paid once per unique
+        # statement (per catalog epoch for the fingerprint) instead of
+        # once per request. Memoized ASTs are shared across threads for
+        # read-only dispatch and fingerprinting ONLY — anything that
+        # executes re-parses a private copy.
+        self._parse_memo: dict = {}
+        self._fingerprint_memo: dict = {}
+        self._memo_lock = threading.Lock()
+        self._next_client = 0
+        self._client_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self.connections = metrics.gauge(
+            "server.connections", "Client connections currently open"
+        )
+        self.connections_total = metrics.counter(
+            "server.connections_total", "Client connections accepted"
+        )
+        self.requests = metrics.counter(
+            "server.requests", "Requests received (all ops)"
+        )
+        self.errors = metrics.counter(
+            "server.errors", "Requests answered with an error response"
+        )
+        self.request_ms = metrics.histogram(
+            "server.request_ms", "Wall-clock per request, milliseconds"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    async def _main(self, started: threading.Event | None = None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.address = server.sockets[0].getsockname()[:2]
+        if started is not None:
+            started.set()
+        async with server:
+            await self._stop_event.wait()
+        # Graceful drain: closing each transport makes the handler's
+        # pending readline() return EOF, so the handlers finish on their
+        # own instead of being cancelled mid-await by asyncio.run().
+        for writer in list(self._writers):
+            writer.close()
+        if self._tasks:
+            await asyncio.wait(self._tasks, timeout=5)
+
+    def serve(self) -> None:
+        """Run the server on the calling thread until interrupted
+        (``repro serve``)."""
+        try:
+            asyncio.run(self._main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+
+    def start_in_thread(self) -> tuple[str, int]:
+        """Run the server on a daemon thread; returns ``(host, port)``
+        once it is accepting connections (tests, benchmarks, and the
+        CLI's embedded mode)."""
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main(started)),
+            name="repro-server-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        if not started.wait(timeout=10):
+            raise RuntimeError("server failed to start within 10 s")
+        assert self.address is not None
+        return self.address
+
+    def stop(self) -> None:
+        """Stop a :meth:`start_in_thread` server and join its thread."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    def _new_client_id(self) -> str:
+        with self._client_lock:
+            self._next_client += 1
+            return f"client-{self._next_client}"
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = Session(self._new_client_id())
+        self.connections.inc()
+        self.connections_total.inc()
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError):
+                    # ValueError: a line exceeded the stream limit — the
+                    # peer is buggy or hostile; drop the connection.
+                    break
+                if not line:
+                    break
+                if len(line) > protocol.MAX_LINE_BYTES:
+                    break
+                response = await self._handle_request(session, line)
+                writer.write(protocol.encode_message(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            self.connections.dec()
+            self._writers.discard(writer)
+            if task is not None:
+                self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_request(self, session: Session, line: bytes) -> dict:
+        started = time.perf_counter()
+        self.requests.inc()
+        request_id = None
+        try:
+            request = protocol.decode_message(line)
+            request_id = request.get("id")
+            op = request.get("op")
+            if op == "ping":
+                response = {"ok": True, "pong": True,
+                            "session": session.describe()}
+            elif op == "metrics":
+                response = {"ok": True, "metrics": self.db.metrics.to_dict()}
+            elif op == "governor":
+                response = {
+                    "ok": True,
+                    "governor": self.db.governor.describe_lines(),
+                }
+            elif op in ("query", "set", "explain"):
+                sql = request.get("sql")
+                if not isinstance(sql, str):
+                    raise protocol.ProtocolError(
+                        f"op {op!r} requires a string 'sql' field"
+                    )
+                response = await self._run_blocking(
+                    self._execute_request, session, op, sql, request
+                )
+            else:
+                raise protocol.ProtocolError(f"unknown op {op!r}")
+        except ReproError as error:
+            self.errors.inc()
+            response = {"ok": False, "error": protocol.error_payload(error)}
+        except Exception as error:  # noqa: BLE001 - wire boundary
+            self.errors.inc()
+            response = {"ok": False, "error": protocol.error_payload(error)}
+        response.setdefault("ok", True)
+        if request_id is not None:
+            response["id"] = request_id
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.request_ms.observe(elapsed_ms)
+        response["elapsed_ms"] = elapsed_ms
+        return response
+
+    async def _run_blocking(self, fn, *args):
+        assert self._loop is not None
+        return await self._loop.run_in_executor(self._pool, fn, *args)
+
+    # ------------------------------------------------------------------
+    # statement execution (thread-pool side)
+    def _cached_parse(self, sql: str):
+        with self._memo_lock:
+            statement = self._parse_memo.get(sql)
+        if statement is None:
+            statement = parse_statement(sql)
+            with self._memo_lock:
+                if len(self._parse_memo) >= 4096:
+                    self._parse_memo.clear()
+                self._parse_memo[sql] = statement
+        return statement
+
+    def _execute_request(
+        self, session: Session, op: str, sql: str, request: dict
+    ) -> dict:
+        statement = self._cached_parse(sql)
+        if op == "set" and not isinstance(
+            statement, SESSION_SET_TYPES + (SetSlowQuery,)
+        ):
+            raise protocol.ProtocolError("op 'set' accepts only SET statements")
+        if op == "explain" or isinstance(statement, Explain):
+            if isinstance(statement, Explain):
+                inner, analyze = statement.sql, statement.analyze
+            else:
+                inner, analyze = sql, bool(request.get("analyze"))
+            if analyze:
+                text = self.db.explain_analyze(inner)
+            else:
+                text = self.db.explain(
+                    inner, tolerance=session.effective_tolerance(self.db)
+                )
+            return {"ok": True, "text": text}
+        status = session.apply_set(statement)
+        if status is not None:
+            return {"ok": True, "status": status}
+        if isinstance(statement, (SelectStatement, UnionAll)):
+            session.queries += 1
+            use_summaries = bool(request.get("use_summary_tables", True))
+            table, label = self._execute_select(
+                session, statement, sql, use_summaries
+            )
+            return {
+                "ok": True,
+                "table": protocol.encode_table(table),
+                "cache": label,
+            }
+        return self._execute_mutation(statement, sql)
+
+    def _execute_select(self, session: Session, statement, sql: str,
+                        use_summaries: bool):
+        db = self.db
+        tolerance = session.effective_tolerance(db)
+        if not self.cache_enabled:
+            table = self._run_select(session, statement, sql, use_summaries,
+                                     tolerance)
+            return table, "bypass"
+        fp_key, base_tables = self._fingerprint_for(
+            statement, sql, use_summaries
+        )
+        key = cache_key(fp_key, tolerance, use_summaries)
+        hit = self.cache.lookup(key)
+        if hit is not None:
+            table, label = hit
+            max_rows = session.effective_max_rows(db)
+            if max_rows is not None and len(table.rows) > max_rows:
+                # Governed execution would have stopped at the cap;
+                # serving the oversized cached result would bypass it.
+                raise BudgetExhausted(
+                    f"result has {len(table.rows)} rows, exceeds "
+                    f"QUERY MAXROWS {max_rows}"
+                )
+            return table, label
+        # Snapshot BEFORE execution: a write landing mid-query makes the
+        # entry look staler than it is — the safe direction.
+        snapshot = db.delta_log.change_counts(base_tables)
+        table = self._run_select(session, statement, sql, use_summaries,
+                                 tolerance)
+        self.cache.store(key, table, base_tables, snapshot, tolerance)
+        return table, "miss"
+
+    def _fingerprint_for(self, statement, sql: str, use_summaries: bool):
+        db = self.db
+        memo_key = (sql, use_summaries)
+        epoch = db.rewrite_epoch
+        with self._memo_lock:
+            entry = self._fingerprint_memo.get(memo_key)
+            if entry is not None and entry[0] == epoch:
+                return entry[1], entry[2]
+        graph = build_graph(statement, db.catalog)
+        fp_key = fingerprint(graph).key
+        base_tables = sorted(graph.base_tables())
+        with self._memo_lock:
+            if len(self._fingerprint_memo) >= 4096:
+                self._fingerprint_memo.clear()
+            self._fingerprint_memo[memo_key] = (epoch, fp_key, base_tables)
+        return fp_key, base_tables
+
+    def _run_select(self, session: Session, statement, sql: str,
+                    use_summaries: bool, tolerance):
+        # a private parse: the dispatched statement may be a memoized
+        # AST shared with concurrent requests
+        return self.db.execute_statement(
+            parse_statement(sql),
+            sql,
+            use_summary_tables=use_summaries,
+            tolerance=tolerance,
+            timeout_ms=session.timeout_ms,
+            max_rows=session.max_rows,
+            executor_parallel=session.executor_parallel,
+            client=session.client_id,
+        )
+
+    def _execute_mutation(self, statement, sql: str) -> dict:
+        db = self.db
+        evict_base: set[str] = set()
+        if isinstance(statement, DropSummaryTable):
+            summary = db.summary_tables.get(statement.name.lower())
+            if summary is not None:
+                evict_base = set(summary.base_tables())
+        elif isinstance(statement, RefreshSummaryTables):
+            names = statement.names or tuple(db.summary_tables)
+            for name in names:
+                summary = db.summary_tables.get(name.lower())
+                if summary is not None:
+                    evict_base |= set(summary.base_tables())
+        status = db.run_statement(parse_statement(sql), sql)
+        if isinstance(statement, (InsertValues, DeleteValues)):
+            if self.cache_enabled:
+                self.cache.invalidate_table(statement.table)
+        elif evict_base and self.cache_enabled:
+            self.cache.evict_tables(evict_base)
+        if not isinstance(status, str):
+            status = str(status)
+        return {"ok": True, "status": status}

@@ -1,0 +1,107 @@
+"""Per-connection session state: ``SET`` knobs that never leak.
+
+Every server connection owns one :class:`Session`. ``SET`` statements
+that tune *query behavior* — ``REFRESH AGE``, ``QUERY TIMEOUT``,
+``QUERY MAXROWS``, ``EXECUTOR PARALLEL`` — are intercepted here and
+recorded on the session instead of mutating the shared
+:class:`~repro.engine.database.Database`; at query time the recorded
+values flow through ``Database.execute_statement``'s per-query override
+parameters (see the :data:`~repro.governor.governor.UNSET` sentinel),
+so two clients with different knobs never observe each other's limits.
+
+Knobs start *inherited*: until a connection issues its own ``SET``, it
+sees the database-level defaults (whatever the operator configured the
+shared engine with). ``SET SLOW QUERY`` is deliberately **not**
+session-scoped — the slow-query log is a shared observability surface,
+so the statement applies database-wide (the one documented exception).
+"""
+
+from __future__ import annotations
+
+from repro.governor.governor import UNSET
+from repro.refresh.policy import RefreshAge
+from repro.sql.statements import (
+    SetExecutorParallel,
+    SetQueryMaxRows,
+    SetQueryTimeout,
+    SetRefreshAge,
+)
+
+#: session-scoped SET statement types (everything else falls through to
+#: ``Database.run_statement`` and applies globally)
+SESSION_SET_TYPES = (
+    SetRefreshAge,
+    SetQueryTimeout,
+    SetQueryMaxRows,
+    SetExecutorParallel,
+)
+
+
+class Session:
+    """One connection's private ``SET`` state."""
+
+    def __init__(self, client_id: str):
+        self.client_id = client_id
+        #: None ⇒ inherit the database's session-level ``refresh_age``
+        self.refresh_age: RefreshAge | None = None
+        # UNSET ⇒ inherit; None ⇒ explicitly OFF for this session
+        self.timeout_ms = UNSET
+        self.max_rows = UNSET
+        self.executor_parallel = UNSET
+        #: queries answered for this connection (ping/metrics excluded)
+        self.queries = 0
+
+    # ------------------------------------------------------------------
+    def effective_tolerance(self, db) -> RefreshAge:
+        """The freshness tolerance this connection's queries run under."""
+        return self.refresh_age if self.refresh_age is not None else db.refresh_age
+
+    def effective_max_rows(self, db):
+        """The row cap a cache hit must respect (``None`` ⇒ uncapped)."""
+        if self.max_rows is UNSET:
+            return db.governor.max_rows
+        return self.max_rows
+
+    # ------------------------------------------------------------------
+    def apply_set(self, statement) -> str | None:
+        """Record a session-scoped ``SET``; returns the status message,
+        or ``None`` when the statement is not session-scoped (the caller
+        should route it to the shared database instead)."""
+        if isinstance(statement, SetRefreshAge):
+            self.refresh_age = RefreshAge(statement.max_pending)
+            return f"refresh age set to {self.refresh_age.describe()}"
+        if isinstance(statement, SetQueryTimeout):
+            self.timeout_ms = statement.timeout_ms
+            if statement.timeout_ms is None:
+                return "query timeout disabled"
+            return f"query timeout set to {statement.timeout_ms:g} ms"
+        if isinstance(statement, SetQueryMaxRows):
+            self.max_rows = statement.max_rows
+            if statement.max_rows is None:
+                return "query maxrows disabled"
+            return f"query maxrows set to {statement.max_rows}"
+        if isinstance(statement, SetExecutorParallel):
+            self.executor_parallel = statement.workers
+            if statement.workers is None:
+                return "executor parallelism disabled"
+            return f"executor parallelism set to {statement.workers} worker(s)"
+        return None
+
+    def describe(self) -> dict:
+        """The session's knobs as a JSON-ready dict (``ping`` payload)."""
+
+        def show(value):
+            return "inherit" if value is UNSET else value
+
+        return {
+            "client_id": self.client_id,
+            "refresh_age": (
+                "inherit"
+                if self.refresh_age is None
+                else self.refresh_age.describe()
+            ),
+            "timeout_ms": show(self.timeout_ms),
+            "max_rows": show(self.max_rows),
+            "executor_parallel": show(self.executor_parallel),
+            "queries": self.queries,
+        }

@@ -95,3 +95,55 @@ class TestRefreshState:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError):
             RefreshState(mode="lazy")
+
+
+class TestHighWater:
+    def test_append_advances_high_water_and_change_count(self):
+        log = DeltaLog()
+        log.append("Trans", [(1,)], +1)  # lsn 1
+        log.append("Loc", [(2,)], +1)  # lsn 2
+        log.append("Trans", [(3,)], -1)  # lsn 3
+        assert log.high_water("trans") == 3
+        assert log.high_water("Trans") == 3  # case-insensitive
+        assert log.high_water("loc") == 2
+        assert log.change_count("trans") == 2
+        assert log.change_count("loc") == 1
+
+    def test_unchanged_table_reads_zero(self):
+        log = DeltaLog()
+        assert log.high_water("never") == 0
+        assert log.change_count("never") == 0
+
+    def test_note_write_consumes_lsn_without_staging(self):
+        log = DeltaLog()
+        lsn = log.note_write("Trans")
+        assert lsn == 1
+        assert log.lsn == 1
+        assert len(log) == 0  # no batch stored
+        assert log.high_water("trans") == 1
+        assert log.change_count("trans") == 1
+        # batches appended later keep the shared clock monotone
+        batch = log.append("Trans", [(1,)], +1)
+        assert batch.seq == 2
+        assert log.high_water("trans") == 2
+        assert log.change_count("trans") == 2
+
+    def test_bulk_accessors(self):
+        log = DeltaLog()
+        log.note_write("A")
+        log.note_write("B")
+        assert log.high_water_map(["A", "B", "C"]) == {"a": 1, "b": 2, "c": 0}
+        assert log.change_counts(["A", "C"]) == {"a": 1, "c": 0}
+
+    def test_restore_rebuilds_marks_from_batches(self):
+        log = DeltaLog()
+        batches = [
+            DeltaBatch(3, "trans", +1, ((1,),)),
+            DeltaBatch(5, "loc", +1, ((2,),)),
+        ]
+        log.restore(9, batches)
+        assert log.high_water("trans") == 3
+        assert log.high_water("loc") == 5
+        assert log.change_count("trans") == 1
+        # marks from pruned batches are gone — the documented-safe loss
+        assert log.high_water("cust") == 0

@@ -208,7 +208,10 @@ class TestReadmission:
             "Trans", [(104, 2, 3, 20, D(1991, 8, 1), 1, 50.0, 0.2)]
         )
         # No staging for a quarantined summary: re-admission recomputes,
-        # so deltas would only pin the log.
+        # so delta rows would only pin the log. The write still advances
+        # the table's high-water LSN (note_write) so freshness consumers
+        # — the staleness gate, the server's result cache — see it.
         assert "S1" in report.unaffected
-        assert fast_db.delta_log.lsn == before
+        assert fast_db.delta_log.lsn > before
+        assert fast_db.delta_log.high_water("trans") == fast_db.delta_log.lsn
         assert len(fast_db.delta_log) == 0

@@ -1,0 +1,87 @@
+"""Wire-protocol unit tests: framing, bit-identity, error mapping."""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+import pytest
+
+from repro.engine.table import Table
+from repro.errors import QueryRejected, QueryTimeout, ReproError
+from repro.server import protocol
+
+
+class TestMessageRoundTrip:
+    def test_simple_message(self):
+        message = {"op": "query", "id": 7, "sql": "SELECT 1"}
+        line = protocol.encode_message(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert protocol.decode_message(line) == message
+
+    def test_dates_survive_tagged(self):
+        day = datetime.date(1996, 2, 29)
+        line = protocol.encode_message({"value": day})
+        assert protocol.decode_message(line) == {"value": day}
+
+    def test_floats_bit_identical(self):
+        values = [0.1, 1 / 3, 1e308, 5e-324, -0.0, 123456789.987654321]
+        decoded = protocol.decode_message(
+            protocol.encode_message({"values": values})
+        )["values"]
+        for sent, got in zip(values, decoded):
+            assert math.copysign(1.0, sent) == math.copysign(1.0, got)
+            assert sent == got and sent.hex() == got.hex()
+
+    def test_unicode_and_null(self):
+        message = {"s": "naïve — ünïcödé", "n": None, "b": True}
+        assert protocol.decode_message(protocol.encode_message(message)) == message
+
+    def test_bad_lines_raise_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"not json\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"[1, 2, 3]\n")
+
+
+class TestTableRoundTrip:
+    def test_values_and_order_preserved(self):
+        table = Table(
+            ["id", "day", "price", "name"],
+            [
+                (1, datetime.date(1990, 1, 15), 110.25, "tv"),
+                (2, None, -0.0, None),
+                (3, datetime.date(2000, 12, 31), 1 / 3, "radio"),
+            ],
+        )
+        restored = protocol.decode_table(protocol.encode_table(table))
+        assert list(restored.columns) == list(table.columns)
+        assert list(restored.rows) == list(table.rows)
+        for left, right in zip(restored.rows, table.rows):
+            for a, b in zip(left, right):
+                assert type(a) is type(b)
+
+    def test_rows_are_tuples(self):
+        restored = protocol.decode_table({"columns": ["a"], "rows": [[1]]})
+        assert restored.rows[0] == (1,)
+        assert isinstance(restored.rows[0], tuple)
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_table({"columns": ["a"]})
+
+
+class TestErrorMapping:
+    def test_payload_carries_type_and_message(self):
+        payload = protocol.error_payload(QueryRejected("too busy"))
+        assert payload == {"type": "QueryRejected", "message": "too busy"}
+
+    def test_known_types_map_back(self):
+        assert protocol.error_class("QueryRejected") is QueryRejected
+        assert protocol.error_class("QueryTimeout") is QueryTimeout
+
+    def test_unknown_types_fall_back(self):
+        assert protocol.error_class("SomethingNew") is ReproError
+        assert protocol.error_class("ValueError") is ReproError
+        assert protocol.error_class("") is ReproError
