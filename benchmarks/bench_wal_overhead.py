@@ -1,0 +1,263 @@
+"""Write-ahead journal overhead: what durability costs the ingest path.
+
+Three servers over the same TPC-D database take the same concurrent
+insert storm (loopback TCP, real wire protocol):
+
+* **unjournaled** — the baseline: mutations apply in memory only;
+* **wal-os** — journal-before-ACK with ``sync=os`` (SIGKILL-durable:
+  the bytes reach the OS page cache before the reply);
+* **wal-fsync** — journal-before-ACK with ``sync=fsync`` (power-loss
+  durable: one ``fsync`` per group-commit batch before any reply).
+
+Concurrent writers matter: group commit amortizes the flush across
+every mutation staged while the previous batch was syncing, which is
+exactly how the server calls the journal. The gate — journaled ingest
+costs no more than **1.25x** the unjournaled baseline (overhead ratio
+= baseline QPS / journaled QPS) — is enforced for ``wal-os`` in every
+mode and for ``wal-fsync`` in full mode only (fsync latency on shared
+CI runners is pure noise).
+
+A warm-cache read phase also runs against the unjournaled and
+journaled servers: SELECTs never touch the journal, so the gate there
+is QPS >= **0.95x** the baseline (full mode only).
+
+Emits ``BENCH_wal.json`` for the CI artifact.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_wal_overhead.py [--fast]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.replication import WriteAheadLog  # noqa: E402
+from repro.server.client import ReproClient  # noqa: E402
+from repro.server.server import QueryServer  # noqa: E402
+from repro.workloads import tpcd  # noqa: E402
+
+INGEST_TEMPLATE = (
+    "INSERT INTO Lineitem VALUES ({key}, 99, 3, 500.0, 0.04, 0.02, "
+    "'N', 'O', DATE '1997-05-{day:02d}')"
+)
+
+
+def ingest_storm(
+    address: tuple[str, int], clients: int, inserts_per_client: int,
+    key_base: int,
+) -> dict:
+    """Concurrent tokened inserts; returns wall time and QPS."""
+    host, port = address
+    barrier = threading.Barrier(clients + 1)
+    errors = [0] * clients
+
+    def worker(worker_id: int) -> None:
+        with ReproClient(host, port) as client:
+            barrier.wait()
+            for i in range(inserts_per_client):
+                key = key_base + worker_id * 1_000_000 + i
+                sql = INGEST_TEMPLATE.format(key=key, day=(key % 28) + 1)
+                try:
+                    client.query(sql)
+                except Exception:  # noqa: BLE001
+                    errors[worker_id] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    total = clients * inserts_per_client
+    return {
+        "inserts": total,
+        "wall_s": wall,
+        "qps": total / wall,
+        "errors": sum(errors),
+    }
+
+
+def warm_reads(
+    address: tuple[str, int], clients: int, requests_per_client: int
+) -> dict:
+    """Warm-cache SELECT replay; returns QPS and median latency."""
+    host, port = address
+    queries = list(tpcd.QUERIES.values())
+    with ReproClient(host, port) as warmer:  # one cold pass fills the cache
+        for sql in queries:
+            warmer.query(sql)
+    barrier = threading.Barrier(clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+
+    def worker(worker_id: int) -> None:
+        with ReproClient(host, port) as client:
+            barrier.wait()
+            for request_no in range(requests_per_client):
+                sql = queries[(worker_id + request_no) % len(queries)]
+                started = time.perf_counter()
+                client.query(sql)
+                latencies[worker_id].append(time.perf_counter() - started)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+    flat = [sample for bucket in latencies for sample in bucket]
+    return {
+        "requests": len(flat),
+        "wall_s": wall,
+        "qps": len(flat) / wall,
+        "p50_ms": statistics.median(flat) * 1e3,
+    }
+
+
+def fresh_server(orders: int, wal_dir: Path | None, sync: str) -> QueryServer:
+    db = tpcd.build_tpcd_db(orders=orders)
+    tpcd.install_asts(db)
+    wal = None
+    if wal_dir is not None:
+        wal = WriteAheadLog(wal_dir, sync=sync)
+        wal.begin(db)
+    server = QueryServer(db, wal=wal)
+    server.start_in_thread()
+    return server
+
+
+def stop_server(server: QueryServer) -> None:
+    server.stop()
+    if server.wal is not None:
+        server.wal.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="CI smoke mode: small db, few requests; the "
+                        "fsync and read gates are printed, not enforced")
+    parser.add_argument("--orders", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--inserts", type=int, default=None,
+                        help="inserts per client per configuration")
+    parser.add_argument("--reads", type=int, default=None,
+                        help="warm reads per client per configuration")
+    parser.add_argument("--max-overhead", type=float, default=1.25)
+    parser.add_argument("--min-read-ratio", type=float, default=0.95)
+    parser.add_argument("--json", type=Path, default=Path("BENCH_wal.json"))
+    args = parser.parse_args(argv)
+
+    orders = args.orders or (200 if args.fast else 1000)
+    inserts = args.inserts or (25 if args.fast else 150)
+    reads = args.reads or (15 if args.fast else 60)
+    scratch = Path(tempfile.mkdtemp(prefix="bench-wal-"))
+
+    print(f"WAL overhead benchmark (TPC-D orders={orders}, "
+          f"{args.clients} writers x {inserts} inserts)")
+    ingest: dict[str, dict] = {}
+    read: dict[str, dict] = {}
+    try:
+        configs = [
+            ("unjournaled", None, "os"),
+            ("wal-os", scratch / "wal-os", "os"),
+            ("wal-fsync", scratch / "wal-fsync", "fsync"),
+        ]
+        for label, wal_dir, sync in configs:
+            server = fresh_server(orders, wal_dir, sync)
+            try:
+                ingest[label] = ingest_storm(
+                    server.address, args.clients, inserts, key_base=900_000
+                )
+                if label in ("unjournaled", "wal-fsync"):
+                    read[label] = warm_reads(
+                        server.address, args.clients, reads
+                    )
+            finally:
+                stop_server(server)
+            point = ingest[label]
+            print(f"  {label:<12} {point['qps']:>8.1f} inserts/s   "
+                  f"errors {point['errors']}")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    base_qps = ingest["unjournaled"]["qps"]
+    overhead = {
+        label: base_qps / ingest[label]["qps"]
+        for label in ("wal-os", "wal-fsync")
+    }
+    read_ratio = read["wal-fsync"]["qps"] / read["unjournaled"]["qps"]
+    for label, ratio in overhead.items():
+        print(f"  {label} overhead {ratio:.2f}x "
+              f"(gate: <= {args.max_overhead:g}x)")
+    print(f"  warm-read qps ratio {read_ratio:.2f}x "
+          f"(gate: >= {args.min_read_ratio:g}x)")
+
+    payload = {
+        "workload": {
+            "orders": orders,
+            "clients": args.clients,
+            "inserts_per_client": inserts,
+            "reads_per_client": reads,
+            "fast": args.fast,
+        },
+        "ingest": ingest,
+        "read": read,
+        "overhead": overhead,
+        "read_ratio": read_ratio,
+        "gates": {
+            "max_overhead": args.max_overhead,
+            "min_read_ratio": args.min_read_ratio,
+        },
+    }
+    args.json.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.json}")
+
+    if any(point["errors"] for point in ingest.values()):
+        print("FAIL: ingest produced errors")
+        return 1
+    failures = []
+    if overhead["wal-os"] > args.max_overhead:
+        failures.append(
+            f"wal-os ingest overhead {overhead['wal-os']:.2f}x above "
+            f"{args.max_overhead:g}x"
+        )
+    if overhead["wal-fsync"] > args.max_overhead:
+        failures.append(
+            f"wal-fsync ingest overhead {overhead['wal-fsync']:.2f}x above "
+            f"{args.max_overhead:g}x"
+        )
+    if read_ratio < args.min_read_ratio:
+        failures.append(
+            f"journaled warm-read qps ratio {read_ratio:.2f}x below "
+            f"{args.min_read_ratio:g}x"
+        )
+    for message in failures:
+        # fsync latency and cache-read jitter are runner noise in fast
+        # mode; the wal-os gate is load-bearing everywhere
+        enforced = not args.fast or message.startswith("wal-os")
+        print(("FAIL: " if enforced else "note (not enforced in --fast): ")
+              + message)
+    if any(not args.fast or m.startswith("wal-os") for m in failures):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

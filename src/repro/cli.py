@@ -520,8 +520,103 @@ def serve_main(argv: list[str]) -> int:
         help="execution thread-pool size (keep above --max-concurrent "
         "so overload reaches admission control)",
     )
+    parser.add_argument(
+        "--wal",
+        metavar="DIR",
+        help="journal every mutation to DIR before acknowledging it; an "
+        "existing journal is recovered (checkpoint + replay) at startup",
+    )
+    parser.add_argument(
+        "--sync",
+        choices=("fsync", "os"),
+        default="fsync",
+        help="journal durability: fsync survives OS crashes, os only "
+        "process crashes (default: fsync)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=512,
+        metavar="N",
+        help="compact the journal into a snapshot every N records",
+    )
+    parser.add_argument(
+        "--standby-of",
+        metavar="HOST:PORT",
+        help="run as a read-only warm standby of the given primary "
+        "(bootstraps over the wire, tails its journal; --wal makes the "
+        "standby itself durable and promotable across restarts)",
+    )
+    parser.add_argument(
+        "--repl-ack",
+        type=int,
+        default=0,
+        metavar="N",
+        help="semi-sync: wait for N standby acks before acknowledging "
+        "a mutation (0 = asynchronous replication)",
+    )
     args = parser.parse_args(argv)
-    if args.open_dir:
+
+    # Crash-matrix chaos runs arm fault points inside this process via
+    # the environment — the only channel that reaches a subprocess that
+    # will be SIGKILLed (see repro.testing.faults.arm_from_env).
+    from repro.testing import faults as _faults
+
+    armed = _faults.arm_from_env()
+    if armed:
+        print(f"fault injection armed: {', '.join(armed)}", file=sys.stderr)
+
+    import signal
+    import threading
+
+    shutdown = threading.Event()
+
+    def _graceful(signum, frame):  # noqa: ARG001
+        shutdown.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, _graceful)
+
+    if args.standby_of:
+        from repro.replication.standby import StandbyServer
+
+        standby = StandbyServer(
+            args.standby_of,
+            host=args.host,
+            port=args.port,
+            wal_dir=args.wal,
+            sync=args.sync,
+            checkpoint_every=args.checkpoint_every,
+            cache_enabled=not args.no_cache,
+            cache_size=args.cache_size,
+            max_workers=args.workers,
+        )
+        host, port = standby.start()
+        if standby.recovery is not None:
+            print(standby.recovery.describe(), file=sys.stderr)
+        print(f"repro standby listening on {host}:{port} "
+              f"(replicating {args.standby_of}; Ctrl-C to stop)",
+              flush=True)
+        shutdown.wait()
+        standby.stop()
+        print("standby stopped (journal flushed)", flush=True)
+        return 0
+
+    wal = None
+    if args.wal:
+        from repro.replication.wal import WriteAheadLog
+
+        wal = WriteAheadLog(
+            args.wal, sync=args.sync, checkpoint_every=args.checkpoint_every
+        )
+    recovery = None
+    if wal is not None and wal.exists():
+        # The journal is the authoritative state: recovery wins over
+        # --demo/--open (those only seed a FRESH journal directory).
+        recovery = wal.recover()
+        database = recovery.database
+        print(recovery.describe(), file=sys.stderr)
+    elif args.open_dir:
         from repro.engine.persist import load_database, verify_database
 
         database = load_database(args.open_dir)
@@ -532,6 +627,8 @@ def serve_main(argv: list[str]) -> int:
         database = demo_database()
     else:
         database = Database()
+    if wal is not None and not wal.exists():
+        wal.begin(database)
     if args.max_concurrent is not None or args.queue is not None:
         database.governor.admission.configure(
             args.max_concurrent,
@@ -545,10 +642,23 @@ def serve_main(argv: list[str]) -> int:
         cache_enabled=not args.no_cache,
         cache_size=args.cache_size,
         max_workers=args.workers,
+        wal=wal,
+        repl_ack=args.repl_ack,
     )
-    print(f"repro server listening on {args.host}:{args.port} "
-          "(Ctrl-C to stop)")
-    server.serve()
+    if recovery is not None:
+        # the rebuilt token window: a client retrying a pre-crash
+        # mutation must still dedup after the restart
+        server.dedup.seed(recovery.tokens)
+    host, port = server.start_in_thread()
+    print(f"repro server listening on {host}:{port} (Ctrl-C to stop)",
+          flush=True)
+    shutdown.wait()
+    # Graceful drain: stop accepting, finish in-flight handlers, then
+    # flush and close the journal so every applied write is durable.
+    server.stop()
+    if wal is not None:
+        wal.close()
+    print("server stopped (journal flushed)", flush=True)
     return 0
 
 

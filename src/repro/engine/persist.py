@@ -514,6 +514,165 @@ def _read_delta_log(
 
 
 # ----------------------------------------------------------------------
+# Wire snapshots (replication bootstrap)
+# ----------------------------------------------------------------------
+def database_state_payload(database: Database) -> dict[str, Any]:
+    """The complete database state as one JSON-ready dict.
+
+    Same content as a :func:`save_database` directory — schemas, rows,
+    summary definitions with refresh state, the staged delta log — in a
+    single payload instead of files, so a standby can bootstrap over the
+    wire (op ``repl.snapshot``) without sharing a filesystem with the
+    primary. Round-trips through :func:`database_from_payload`.
+    """
+    summaries = {
+        summary.name: summary for summary in database.summary_tables.values()
+    }
+    return {
+        "format_version": FORMAT_VERSION,
+        "tables": [
+            _schema_to_json(schema)
+            for schema in database.catalog.tables.values()
+        ],
+        "foreign_keys": [
+            {
+                "child_table": fk.child_table,
+                "child_columns": list(fk.child_columns),
+                "parent_table": fk.parent_table,
+                "parent_columns": list(fk.parent_columns),
+            }
+            for fk in database.catalog.foreign_keys
+        ],
+        "summary_tables": [
+            {
+                "name": summary.name,
+                "sql": summary.sql,
+                "refresh_mode": summary.refresh.mode,
+                "pending_deltas": summary.refresh.pending_deltas,
+                "last_refresh_lsn": summary.refresh.last_refresh_lsn,
+                "quarantined": summary.refresh.quarantined,
+                "quarantine_reason": summary.refresh.quarantine_reason,
+            }
+            for summary in summaries.values()
+        ],
+        "refresh_lsn": database.delta_log.lsn,
+        "rows": {
+            schema.name: [
+                [_encode(value) for value in row]
+                for row in database.tables[key].rows
+            ]
+            for key, schema in database.catalog.tables.items()
+        },
+        "deltas": [
+            {
+                "seq": batch.seq,
+                "table": batch.table,
+                "sign": batch.sign,
+                "rows": [
+                    [_encode(value) for value in row] for row in batch.rows
+                ],
+            }
+            for batch in database.delta_log.batches()
+        ],
+    }
+
+
+def database_from_payload(payload: dict[str, Any]) -> Database:
+    """Reconstruct a database from :func:`database_state_payload`.
+
+    The payload comes off the wire already CRC-protected by the line
+    framing, so unlike :func:`load_database` there is no torn-tail /
+    generation-mismatch handling: anything malformed raises.
+    """
+    from repro.asts.definition import SummaryTable
+    from repro.refresh.log import DeltaBatch
+    from repro.refresh.policy import RefreshState
+
+    version = payload.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ReproError(f"unsupported snapshot format {version!r}")
+    catalog = Catalog()
+    schemas: dict[str, TableSchema] = {}
+    for entry in payload["tables"]:
+        schema = _schema_from_json(entry)
+        catalog.add_table(schema)
+        schemas[schema.name] = schema
+    for entry in payload["foreign_keys"]:
+        catalog.add_foreign_key(
+            ForeignKeyConstraint(
+                entry["child_table"],
+                tuple(entry["child_columns"]),
+                entry["parent_table"],
+                tuple(entry["parent_columns"]),
+            )
+        )
+    database = Database(catalog)
+    rows_by_table = payload.get("rows", {})
+    for name, schema in schemas.items():
+        decoders = [_decoder(column.dtype) for column in schema.columns]
+        rows = [
+            tuple(
+                None if value is None else decode(value)
+                for decode, value in zip(decoders, raw)
+            )
+            for raw in rows_by_table.get(name, [])
+        ]
+        database.tables[name.lower()] = Table(schema.column_names, rows)
+    for entry in payload["summary_tables"]:
+        name = _require(entry, "name", "snapshot summary entry")
+        sql = _require(entry, "sql", f"snapshot summary {name!r}")
+        schema = schemas.get(name)
+        if schema is None or name.lower() not in database.tables:
+            raise ReproError(
+                f"snapshot summary table {name!r} has no schema or rows"
+            )
+        graph = database.bind(sql, label="A")
+        table = database.tables[name.lower()]
+        summary = SummaryTable(
+            name=name,
+            sql=sql,
+            graph=graph,
+            schema=schema,
+            table=table,
+            refresh=RefreshState(
+                mode=entry.get("refresh_mode", "immediate"),
+                pending_deltas=entry.get("pending_deltas", 0),
+                last_refresh_lsn=entry.get("last_refresh_lsn", 0),
+                quarantined=entry.get("quarantined", False),
+                quarantine_reason=entry.get("quarantine_reason", ""),
+            ),
+        )
+        summary.stats["rows"] = float(len(table))
+        database._register_summary(summary)
+    batches = []
+    by_key = {schema.name.lower(): schema for schema in schemas.values()}
+    for entry in payload.get("deltas", []):
+        schema = by_key.get(entry["table"])
+        if schema is None:
+            raise ReproError(
+                f"snapshot delta batch references unknown table "
+                f"{entry['table']!r}"
+            )
+        decoders = [_decoder(column.dtype) for column in schema.columns]
+        batches.append(
+            DeltaBatch(
+                entry["seq"],
+                entry["table"],
+                entry["sign"],
+                tuple(
+                    tuple(
+                        None if value is None else decode(value)
+                        for decode, value in zip(decoders, raw)
+                    )
+                    for raw in entry["rows"]
+                ),
+            )
+        )
+    database.delta_log.restore(payload.get("refresh_lsn", 0), batches)
+    return database
+
+
+# ----------------------------------------------------------------------
 # Startup verification / recovery
 # ----------------------------------------------------------------------
 @dataclass

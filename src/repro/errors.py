@@ -96,3 +96,26 @@ class MatchBudgetExceeded(BudgetExhausted):
 
 class MaintenanceError(ReproError):
     """A summary table could not be incrementally maintained."""
+
+
+class ReplicationError(ReproError):
+    """Base class for durability/replication failures (see
+    :mod:`repro.replication`): journal write failures, standby
+    restrictions, and replication-lag rejections derive from this."""
+
+
+class WalError(ReplicationError):
+    """The write-ahead journal could not accept or replay a record."""
+
+
+class ReadOnlyError(ReplicationError):
+    """A mutation reached a read-only (standby) server. Clients with
+    failover enabled treat this as a redirect hint and retry against
+    the other address; a promoted standby stops raising it."""
+
+
+class ReplicaLagExceeded(ReplicationError):
+    """A standby's replication lag exceeds the session's ``SET REFRESH
+    AGE`` tolerance, so serving the read would silently violate the
+    freshness the client asked for. Lower the tolerance requirement
+    (``SET REFRESH AGE ANY | <n>``) or read from the primary."""

@@ -26,6 +26,30 @@ Request routing (see :mod:`repro.server.protocol` for the wire format):
   over the affected base tables are evicted (see
   :mod:`repro.server.result_cache`).
 * EXPLAIN [ANALYZE] — runs with the session's freshness tolerance.
+
+Durability and replication (see docs/ROBUSTNESS.md, "Durability &
+failover") are opt-in per server:
+
+* With a :class:`~repro.replication.wal.WriteAheadLog` attached, every
+  journaled mutation is applied, staged under the mutation lock (so
+  journal order equals apply order), and group-committed durable
+  *before* its reply is sent. If the journal refuses the record, the
+  in-memory mutation is rolled back and the client gets the error —
+  the ACKed set is always a subset of the journal.
+* Mutations carrying an ``idempotency token`` dedup against the
+  :class:`~repro.replication.wal.DedupWindow`: a retried request whose
+  original ACK was lost replays the recorded status instead of applying
+  twice.
+* ``repl.*`` ops serve a warm standby: ``repl.snapshot`` bootstraps it
+  with the full database state, ``repl.stream`` tails the journal over
+  the same line-delimited JSON wire (backlog, then live records and
+  heartbeats, with optional acks flowing back for semi-sync), and
+  ``repl.promote`` flips a read-only standby into a primary.
+* A ``read_only=True`` server (the standby role) rejects mutations with
+  :class:`~repro.errors.ReadOnlyError` and gates reads on replication
+  lag through the session's ``SET REFRESH AGE`` tolerance — a read that
+  would silently violate the requested freshness raises
+  :class:`~repro.errors.ReplicaLagExceeded` instead.
 """
 
 from __future__ import annotations
@@ -36,14 +60,27 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.database import Database
-from repro.errors import BudgetExhausted, ReproError
+from repro.errors import (
+    BudgetExhausted,
+    ReadOnlyError,
+    ReplicaLagExceeded,
+    ReproError,
+)
 from repro.qgm.build import build_graph
 from repro.qgm.fingerprint import fingerprint
+from repro.replication.wal import (
+    DedupWindow,
+    WalRecord,
+    WriteAheadLog,
+    mutation_kind,
+)
 from repro.server import protocol
 from repro.server.result_cache import ResultCache, cache_key
 from repro.server.session import SESSION_SET_TYPES, Session
 from repro.sql.ast import SelectStatement, UnionAll
 from repro.sql.statements import (
+    CreateSummaryTable,
+    CreateTable,
     DeleteValues,
     DropSummaryTable,
     Explain,
@@ -52,6 +89,7 @@ from repro.sql.statements import (
     SetSlowQuery,
     parse_statement,
 )
+from repro.testing import faults
 
 
 class QueryServer:
@@ -65,12 +103,55 @@ class QueryServer:
         cache_enabled: bool = True,
         cache_size: int = 256,
         max_workers: int = 32,
+        wal: WriteAheadLog | None = None,
+        read_only: bool = False,
+        primary: str | None = None,
+        repl_ack: int = 0,
+        repl_ack_timeout_ms: float = 5000.0,
+        dedup_tokens: int = 4096,
     ):
         self.db = db
         self.host = host
         self.port = port
         self.address: tuple[str, int] | None = None
         metrics = db.metrics
+        # ---- durability & replication ----
+        self.wal = wal
+        self.dedup = DedupWindow(dedup_tokens)
+        #: standby role: mutations rejected, reads gated on lag
+        self.read_only = read_only
+        #: ``host:port`` of the primary (the redirect hint a standby
+        #: attaches to ReadOnlyError replies)
+        self.primary = primary
+        #: semi-sync: standby acks a mutation waits for before replying
+        #: (0 = fully asynchronous replication)
+        self.repl_ack = repl_ack
+        self.repl_ack_timeout_ms = repl_ack_timeout_ms
+        #: serializes mutations so apply order == journal order
+        self._mutation_lock = threading.Lock()
+        #: highest LSN applied locally (standby tracker; a primary's is
+        #: implied by wal.durable_lsn)
+        self.applied_lsn = wal.durable_lsn if wal is not None else 0
+        #: the primary's durable LSN as last heard (standby, heartbeats)
+        self._primary_durable = self.applied_lsn
+        #: called by the repl.promote op when a standby wrapper (see
+        #: repro.replication.standby) needs to stop its tailer first
+        self.on_promote = None
+        self._subscribers: dict[int, asyncio.Queue] = {}
+        self._subscriber_lock = threading.Lock()
+        self._next_subscriber = 0
+        self._ack_cond = threading.Condition()
+        self._standby_acks: dict[object, int] = {}
+        #: set by stop(): wakes semi-sync ack waiters so a graceful
+        #: drain is not held hostage by the ack timeout (the records
+        #: are already durable locally — availability over strictness)
+        self._draining = threading.Event()
+        #: tokens whose mutation is mid-flight: a concurrent retry of
+        #: the same token parks on the event instead of double-applying
+        self._inflight: dict[str, threading.Event] = {}
+        self._inflight_lock = threading.Lock()
+        if wal is not None:
+            wal.on_durable = self._on_durable
         self.cache_enabled = cache_enabled
         self.cache = ResultCache(
             db.delta_log, metrics=metrics, max_entries=cache_size
@@ -109,6 +190,15 @@ class QueryServer:
         )
         self.request_ms = metrics.histogram(
             "server.request_ms", "Wall-clock per request, milliseconds"
+        )
+        self.wal_records = metrics.counter(
+            "server.wal_records", "Mutations journaled before their ACK"
+        )
+        self.deduped = metrics.counter(
+            "server.deduped", "Mutations answered from the dedup window"
+        )
+        self.repl_lag = metrics.gauge(
+            "server.repl_lag", "Standby: journal records behind the primary"
         )
 
     # ------------------------------------------------------------------
@@ -160,13 +250,25 @@ class QueryServer:
         return self.address
 
     def stop(self) -> None:
-        """Stop a :meth:`start_in_thread` server and join its thread."""
+        """Stop a :meth:`start_in_thread` server and join its thread.
+
+        Drains connections, then flushes the journal — on a graceful
+        shutdown every acknowledged (and even every applied-but-not-yet
+        -fsynced) mutation is durable before the process exits."""
+        self._draining.set()
+        with self._ack_cond:
+            self._ack_cond.notify_all()
         if self._loop is not None and self._stop_event is not None:
             self._loop.call_soon_threadsafe(self._stop_event.set)
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
         self._pool.shutdown(wait=False)
+        if self.wal is not None:
+            try:
+                self.wal.flush()
+            except ReproError:  # pragma: no cover - best-effort drain
+                pass
 
     # ------------------------------------------------------------------
     # connection handling
@@ -198,11 +300,22 @@ class QueryServer:
                 if len(line) > protocol.MAX_LINE_BYTES:
                     break
                 response = await self._handle_request(session, line)
+                stream_after = response.pop("_stream", None)
                 writer.write(protocol.encode_message(response))
                 try:
                     await writer.drain()
                 except ConnectionError:
                     break
+                if stream_after is not None:
+                    # The connection now belongs to the replication
+                    # stream; when it ends (standby gone, injected
+                    # fault, shutdown), the connection closes.
+                    await self._stream_journal(reader, writer, stream_after)
+                    break
+        except asyncio.CancelledError:
+            # shutdown cancelled this handler mid-request: the drain is
+            # deliberate, not an error worth a traceback in the logs
+            pass
         finally:
             self.connections.dec()
             self._writers.discard(writer)
@@ -232,6 +345,29 @@ class QueryServer:
                     "ok": True,
                     "governor": self.db.governor.describe_lines(),
                 }
+            elif op == "repl.status":
+                response = {"ok": True, "replication": self.repl_status()}
+            elif op == "repl.snapshot":
+                response = await self._run_blocking(self._snapshot_response)
+            elif op == "repl.stream":
+                if self.wal is None:
+                    raise protocol.ProtocolError(
+                        "this server has no journal to stream"
+                    )
+                after = int(request.get("after", 0))
+                response = {
+                    "ok": True,
+                    "streaming": True,
+                    "after": after,
+                    "durable_lsn": self.wal.durable_lsn,
+                    "_stream": after,
+                }
+            elif op == "repl.ack":
+                lsn = int(request.get("lsn", 0))
+                self._note_ack(f"conn-{session.client_id}", lsn)
+                response = {"ok": True, "acked": lsn}
+            elif op == "repl.promote":
+                response = await self._run_blocking(self._promote_response)
             elif op in ("query", "set", "explain"):
                 sql = request.get("sql")
                 if not isinstance(sql, str):
@@ -308,12 +444,24 @@ class QueryServer:
                 "table": protocol.encode_table(table),
                 "cache": label,
             }
-        return self._execute_mutation(statement, sql)
+        return self._execute_mutation(statement, sql, request)
 
     def _execute_select(self, session: Session, statement, sql: str,
                         use_summaries: bool):
         db = self.db
         tolerance = session.effective_tolerance(db)
+        if self.read_only:
+            # The standby serves reads only when its lag fits the
+            # session's freshness tolerance — the same contract SET
+            # REFRESH AGE gives stale summary tables, applied to the
+            # whole replica: N records behind is admissible iff the
+            # session tolerates N pending changes.
+            lag = self.replication_lag()
+            if not tolerance.admits(lag):
+                raise ReplicaLagExceeded(
+                    f"standby is {lag} record(s) behind the primary; "
+                    f"SET REFRESH AGE {lag} (or ANY) to read at this lag"
+                )
         if not self.cache_enabled:
             table = self._run_select(session, statement, sql, use_summaries,
                                      tolerance)
@@ -374,7 +522,110 @@ class QueryServer:
             client=session.client_id,
         )
 
-    def _execute_mutation(self, statement, sql: str) -> dict:
+    def _execute_mutation(self, statement, sql: str, request: dict) -> dict:
+        db = self.db
+        if self.read_only:
+            hint = f" (primary: {self.primary})" if self.primary else ""
+            raise ReadOnlyError(
+                f"this server is a read-only standby{hint}; "
+                "send mutations to the primary"
+            )
+        kind = mutation_kind(statement)
+        token = request.get("token") if kind is not None else None
+        if token is not None:
+            deduped = self._claim_token(token)
+            if deduped is not None:
+                # A retry of a mutation we already applied (its ACK was
+                # lost in flight): replay the original status, apply
+                # nothing — exactly-once from the client's view.
+                self.deduped.inc()
+                return {"ok": True, "status": deduped, "deduped": True}
+            try:
+                return self._execute_claimed(statement, sql, kind, token)
+            finally:
+                self._release_token(token)
+        return self._execute_claimed(statement, sql, kind, token)
+
+    def _claim_token(self, token: str) -> str | None:
+        """Claim ``token`` for this request, or return the recorded
+        status when it already completed. A retry that races the
+        original request (the client gave up waiting, the server is
+        still executing) parks here until the original finishes —
+        without this, dedup-on-completion alone would double-apply."""
+        while True:
+            prior = self.dedup.get(token)
+            if prior is not None:
+                return prior
+            with self._inflight_lock:
+                pending = self._inflight.get(token)
+                if pending is None:
+                    self._inflight[token] = threading.Event()
+                    return None
+            pending.wait(timeout=60)
+
+    def _release_token(self, token: str) -> None:
+        with self._inflight_lock:
+            pending = self._inflight.pop(token, None)
+        if pending is not None:
+            pending.set()
+
+    def _execute_claimed(
+        self, statement, sql: str, kind: str | None, token: str | None
+    ) -> dict:
+        db = self.db
+        evict_base = self._evict_targets(statement)
+        if self.wal is None or kind is None:
+            status = str(db.run_statement(parse_statement(sql), sql))
+            self._invalidate_for(statement, evict_base)
+            return {"ok": True, "status": status}
+        # Journaled path: apply, stage under the mutation lock (journal
+        # order == apply order), then group-commit OUTSIDE the lock so
+        # concurrent mutations share one fsync. A journal failure rolls
+        # the in-memory apply back — an unjournaled mutation is never
+        # acknowledged, so ACKed writes are always a subset of the log.
+        with self._mutation_lock:
+            undo = self._prepare_undo(statement)
+            status = str(db.run_statement(parse_statement(sql), sql))
+            try:
+                lsn = self.wal.stage(kind, sql, token=token, status=status)
+            except BaseException:
+                self._apply_undo(undo)
+                raise
+            if kind in ("ddl", "refresh"):
+                # DDL commits while still holding the lock: its undo is
+                # only safe before any later mutation builds on the new
+                # catalog state. Rare enough that serializing is fine.
+                try:
+                    self.wal.commit(lsn)
+                except BaseException:
+                    self._apply_undo(undo)
+                    raise
+                committed = True
+            else:
+                committed = False
+        if not committed:
+            try:
+                self.wal.commit(lsn)
+            except BaseException:
+                # The whole failed batch rolls back (each committer
+                # undoes its own record); value-based inserts/deletes
+                # commute, so the order of undos does not matter.
+                with self._mutation_lock:
+                    self._apply_undo(undo)
+                raise
+        self.wal_records.inc()
+        if token is not None:
+            self.dedup.put(token, status)
+        self.applied_lsn = max(self.applied_lsn, lsn)
+        self._invalidate_for(statement, evict_base)
+        acks = self._await_acks(lsn)
+        self._maybe_checkpoint()
+        response = {"ok": True, "status": status, "lsn": lsn}
+        if self.repl_ack > 0:
+            response["repl_acks"] = acks
+        return response
+
+    def _evict_targets(self, statement) -> set[str]:
         db = self.db
         evict_base: set[str] = set()
         if isinstance(statement, DropSummaryTable):
@@ -387,12 +638,290 @@ class QueryServer:
                 summary = db.summary_tables.get(name.lower())
                 if summary is not None:
                     evict_base |= set(summary.base_tables())
-        status = db.run_statement(parse_statement(sql), sql)
+        return evict_base
+
+    def _invalidate_for(self, statement, evict_base: set[str]) -> None:
+        if not self.cache_enabled:
+            return
         if isinstance(statement, (InsertValues, DeleteValues)):
-            if self.cache_enabled:
-                self.cache.invalidate_table(statement.table)
-        elif evict_base and self.cache_enabled:
+            self.cache.invalidate_table(statement.table)
+        elif evict_base:
             self.cache.evict_tables(evict_base)
-        if not isinstance(status, str):
-            status = str(status)
-        return {"ok": True, "status": status}
+
+    def _prepare_undo(self, statement):
+        """The inverse operation for ``statement``, captured BEFORE it
+        applies (a DROP's undo needs the summary's definition while it
+        still exists). REFRESH has no undo — recomputation is
+        content-idempotent, so a journal failure after it leaves the
+        database consistent either way."""
+        db = self.db
+        if isinstance(statement, InsertValues):
+            return ("delete_rows", statement.table, statement.rows)
+        if isinstance(statement, DeleteValues):
+            return ("insert_rows", statement.table, statement.rows)
+        if isinstance(statement, CreateTable):
+            return ("drop_table", statement.name)
+        if isinstance(statement, CreateSummaryTable):
+            return ("drop_summary", statement.name)
+        if isinstance(statement, DropSummaryTable):
+            summary = db.summary_tables.get(statement.name.lower())
+            if summary is not None:
+                return (
+                    "recreate_summary",
+                    summary.name,
+                    summary.sql,
+                    summary.refresh.mode,
+                )
+        return None
+
+    def _apply_undo(self, undo) -> None:
+        """Best-effort rollback of an applied-but-unjournaled mutation.
+        A failing undo is swallowed: the original journal error is
+        already propagating, and the journal (not memory) is the
+        durability source of truth."""
+        if undo is None:
+            return
+        db = self.db
+        try:
+            action = undo[0]
+            if action == "delete_rows":
+                db.delete_rows(undo[1], undo[2])
+            elif action == "insert_rows":
+                db.insert_rows(undo[1], undo[2])
+            elif action == "drop_table":
+                with db._catalog_lock:
+                    db.catalog.drop_table(undo[1])
+                    db.tables.pop(undo[1].lower(), None)
+                    db._bump_rewrite_epoch()
+            elif action == "drop_summary":
+                db.drop_summary_table(undo[1])
+            elif action == "recreate_summary":
+                db.create_summary_table(undo[1], undo[2], refresh_mode=undo[3])
+        except Exception:  # noqa: BLE001 - rollback is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # replication: status, snapshot, streaming, promotion
+    def replication_lag(self) -> int:
+        """Standby: durable journal records this replica has not applied
+        yet (0 on a primary, and on a standby that is fully caught up as
+        of the last heartbeat)."""
+        return max(0, self._primary_durable - self.applied_lsn)
+
+    def note_primary_durable(self, lsn: int) -> None:
+        """Standby tailer: record the primary's durable LSN (from a
+        heartbeat or a shipped batch) so lag is observable even while
+        no records are flowing."""
+        self._primary_durable = max(self._primary_durable, lsn)
+        self.repl_lag.set(self.replication_lag())
+
+    def repl_status(self) -> dict:
+        wal = self.wal
+        status = {
+            "role": "standby" if self.read_only else "primary",
+            "read_only": self.read_only,
+            "applied_lsn": self.applied_lsn,
+            "lag": self.replication_lag(),
+            "dedup_tokens": len(self.dedup),
+        }
+        if self.primary:
+            status["primary"] = self.primary
+        if wal is not None:
+            status.update(
+                durable_lsn=wal.durable_lsn,
+                checkpoint_lsn=wal.checkpoint_lsn,
+                checkpoints=wal.checkpoints,
+                sync=wal.sync,
+            )
+        with self._subscriber_lock:
+            status["subscribers"] = len(self._subscribers)
+        return status
+
+    def _snapshot_response(self) -> dict:
+        """A consistent full-state snapshot for standby bootstrap: built
+        under the mutation lock, so it corresponds exactly to
+        ``applied_lsn`` / the journal prefix up to it."""
+        from repro.engine.persist import database_state_payload
+
+        with self._mutation_lock:
+            lsn = (
+                self.wal.durable_lsn if self.wal is not None
+                else self.applied_lsn
+            )
+            state = database_state_payload(self.db)
+            tokens = self.dedup.snapshot()
+        return {"ok": True, "state": state, "lsn": lsn, "tokens": tokens}
+
+    def promote(self) -> dict:
+        """Flip this standby into a primary: mutations are accepted (and
+        journaled, when a journal is attached) from here on."""
+        self.read_only = False
+        self._primary_durable = self.applied_lsn
+        self.repl_lag.set(0)
+        return {"role": "primary", "applied_lsn": self.applied_lsn}
+
+    def _promote_response(self) -> dict:
+        if not self.read_only:
+            raise ReproError("this server is already a primary")
+        if self.on_promote is not None:
+            promoted = self.on_promote()
+        else:
+            promoted = self.promote()
+        return {"ok": True, "promoted": promoted}
+
+    def apply_replicated(self, record: WalRecord) -> None:
+        """Standby: apply one shipped journal record — execute its SQL,
+        journal it locally under the primary's LSN, remember its token.
+        Called by the standby's tailer thread, in LSN order."""
+        statement = parse_statement(record.sql)
+        evict_base = self._evict_targets(statement)
+        with self._mutation_lock:
+            self.db.run_statement(statement, record.sql)
+            if self.wal is not None:
+                self.wal.stage_record(record)
+            self.applied_lsn = max(self.applied_lsn, record.lsn)
+        if self.wal is not None:
+            self.wal.commit(record.lsn)
+        if record.token is not None:
+            self.dedup.put(record.token, record.status)
+        self._invalidate_for(statement, evict_base)
+        self.repl_lag.set(self.replication_lag())
+        self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        wal = self.wal
+        if wal is None or not wal.should_checkpoint():
+            return
+        with self._mutation_lock:
+            if not wal.should_checkpoint():  # another thread beat us
+                return
+            # The maintenance lock parks the background refresh worker,
+            # so the snapshot sees no concurrent summary rewrites.
+            with self.db._maintenance_lock:
+                wal.checkpoint(self.db, self.dedup.snapshot())
+
+    # ---- journal streaming (primary side) ----
+    def _subscribe(self) -> tuple[int, asyncio.Queue]:
+        queue: asyncio.Queue = asyncio.Queue()
+        with self._subscriber_lock:
+            self._next_subscriber += 1
+            sid = self._next_subscriber
+            self._subscribers[sid] = queue
+        return sid, queue
+
+    def _unsubscribe(self, sid: int) -> None:
+        with self._subscriber_lock:
+            self._subscribers.pop(sid, None)
+        with self._ack_cond:
+            self._standby_acks.pop(sid, None)
+            self._ack_cond.notify_all()
+
+    def _on_durable(self, records: list[WalRecord]) -> None:
+        """WriteAheadLog callback (pool thread): fan a durable batch out
+        to every streaming subscriber on the event loop."""
+        loop = self._loop
+        if loop is None:
+            return
+        with self._subscriber_lock:
+            queues = list(self._subscribers.values())
+        for queue in queues:
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait, records)
+            except RuntimeError:  # loop already closed (shutdown race)
+                return
+
+    def _note_ack(self, who, lsn: int) -> None:
+        with self._ack_cond:
+            if lsn > self._standby_acks.get(who, 0):
+                self._standby_acks[who] = lsn
+                self._ack_cond.notify_all()
+
+    def _await_acks(self, lsn: int) -> int:
+        """Semi-sync wait: block until ``repl_ack`` standbys acked
+        ``lsn`` or the timeout passes (availability wins over strictness
+        — the record is already durable locally)."""
+        if self.repl_ack <= 0:
+            return 0
+        deadline = time.monotonic() + self.repl_ack_timeout_ms / 1000.0
+        with self._ack_cond:
+            while True:
+                count = sum(
+                    1 for acked in self._standby_acks.values()
+                    if acked >= lsn
+                )
+                if count >= self.repl_ack:
+                    return count
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._draining.is_set():
+                    return count
+                self._ack_cond.wait(remaining)
+
+    async def _stream_journal(self, reader, writer, after: int) -> None:
+        """Serve one ``repl.stream`` subscription: durable backlog
+        first, then live batches as they fsync, with heartbeats while
+        idle. Acks (`repl.ack` lines) flow back on the same connection
+        for semi-sync. Any error — including an injected
+        ``repl.stream`` fault — drops the connection; the standby
+        reconnects and resumes from its applied LSN."""
+        assert self.wal is not None
+        sid, queue = self._subscribe()
+        ack_task = asyncio.ensure_future(self._read_stream_acks(reader, sid))
+        try:
+            backlog = await self._run_blocking(self.wal.records_after, after)
+            sent = await self._send_records(writer, backlog, after)
+            while not self._stop_event.is_set():
+                try:
+                    batch = await asyncio.wait_for(queue.get(), timeout=0.5)
+                except asyncio.TimeoutError:
+                    writer.write(protocol.encode_message({
+                        "repl": "heartbeat",
+                        "durable_lsn": self.wal.durable_lsn,
+                    }))
+                    await writer.drain()
+                    continue
+                sent = await self._send_records(writer, batch, sent)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        except Exception:  # noqa: BLE001 - injected faults drop the link
+            pass
+        finally:
+            ack_task.cancel()
+            self._unsubscribe(sid)
+
+    async def _send_records(self, writer, records, sent: int) -> int:
+        fresh = [r for r in records if r.lsn > sent]
+        if not fresh:
+            return sent
+        for _ in fresh:
+            faults.fire("repl.stream")
+        writer.write(protocol.encode_message({
+            "repl": "records",
+            "records": [
+                {
+                    "lsn": r.lsn,
+                    "kind": r.kind,
+                    "sql": r.sql,
+                    "token": r.token,
+                    "status": r.status,
+                }
+                for r in fresh
+            ],
+            "durable_lsn": self.wal.durable_lsn,
+        }))
+        await writer.drain()
+        return fresh[-1].lsn
+
+    async def _read_stream_acks(self, reader, sid: int) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionError, ValueError):
+                return
+            if not line:
+                return
+            try:
+                message = protocol.decode_message(line)
+            except Exception:  # noqa: BLE001 - ignore junk on the wire
+                continue
+            if message.get("op") == "repl.ack":
+                self._note_ack(sid, int(message.get("lsn", 0)))

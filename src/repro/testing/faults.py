@@ -20,6 +20,16 @@ Injection points (see docs/ROBUSTNESS.md for the failure each models)::
     governor.admit       before admission control considers a query
     executor.tick        at each governed executor row-batch checkpoint
                          (fires only while a governor scope is active)
+    wal.append           before a mutation record is staged in the
+                         write-ahead journal (models a full journal)
+    wal.fsync            after a journal batch is written, before it is
+                         made durable (models torn tails / fsync errors)
+    repl.stream          before each record is shipped to a standby
+                         (models mid-stream replica disconnects)
+    client.send          in the client after a request's bytes left the
+                         socket, before the reply is read (models a
+                         lost ACK: the server processed the request but
+                         the client never saw the response)
 
 Three firing modes, all deterministic:
 
@@ -58,6 +68,10 @@ POINTS = frozenset(
         "rewrite.match",
         "governor.admit",
         "executor.tick",
+        "wal.append",
+        "wal.fsync",
+        "repl.stream",
+        "client.send",
     }
 )
 
@@ -211,3 +225,48 @@ def fire(point: str) -> None:
     armed anywhere in the process."""
     if INJECTOR._specs:
         INJECTOR.fire(point)
+
+
+#: environment variable read by :func:`arm_from_env`
+ENV_VAR = "REPRO_FAULTS"
+
+
+def arm_from_env(value: str | None = None) -> list[str]:
+    """Arm injection points from an environment-variable spec.
+
+    The crash-matrix suite launches real server subprocesses and kills
+    them with SIGKILL; the only way to arm faults *inside* those
+    processes is at startup, so ``repro serve`` calls this with the
+    value of :data:`ENV_VAR`. The spec is a comma-separated list of
+    ``point:mode=value`` entries (mode defaults to ``times=1``)::
+
+        REPRO_FAULTS="wal.fsync:every=5,persist.write:times=1"
+        REPRO_FAULTS="wal.append:probability=0.1:seed=7"
+
+    Returns the list of points armed. A malformed spec raises
+    ``ValueError`` — a typo silently arming nothing would make a chaos
+    run vacuous.
+    """
+    import os
+
+    if value is None:
+        value = os.environ.get(ENV_VAR, "")
+    armed: list[str] = []
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        point = parts[0]
+        config: dict = {}
+        for part in parts[1:]:
+            key, _, raw = part.partition("=")
+            if key == "probability":
+                config[key] = float(raw)
+            elif key in ("times", "every", "seed"):
+                config[key] = int(raw)
+            else:
+                raise ValueError(f"unknown fault option {key!r} in {entry!r}")
+        INJECTOR.arm(point, **config)
+        armed.append(point)
+    return armed
