@@ -108,6 +108,14 @@ class WalError(ReplicationError):
     """The write-ahead journal could not accept or replay a record."""
 
 
+class WalGapError(ReplicationError):
+    """The journal no longer holds a contiguous backlog after the
+    requested LSN (checkpoint compaction deleted it, and the in-memory
+    ring does not reach back that far). Streaming from here would
+    silently skip mutations — the subscriber must bootstrap from a
+    fresh snapshot instead."""
+
+
 class ReadOnlyError(ReplicationError):
     """A mutation reached a read-only (standby) server. Clients with
     failover enabled treat this as a redirect hint and retry against

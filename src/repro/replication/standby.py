@@ -35,7 +35,7 @@ import socket
 import threading
 import time
 
-from repro.errors import ReplicationError
+from repro.errors import ReplicationError, WalGapError
 from repro.server import protocol
 from repro.server.server import QueryServer
 
@@ -89,6 +89,9 @@ class StandbyServer:
         self._stop = threading.Event()
         self._promoted = threading.Event()
         self._tailer: threading.Thread | None = None
+        #: the tailer's live stream socket — promote()/stop() close it
+        #: to unblock a readline() parked in its socket timeout
+        self._tail_sock: socket.socket | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +151,7 @@ class StandbyServer:
 
     def stop(self) -> None:
         self._stop.set()
+        self._close_tail_sock()
         if self._tailer is not None:
             self._tailer.join(timeout=10)
             self._tailer = None
@@ -155,8 +159,16 @@ class StandbyServer:
             self.server.stop()
 
     def promote(self) -> dict:
-        """Stop following the primary and start accepting mutations."""
+        """Stop following the primary and start accepting mutations.
+
+        The flag is set *and the stream socket is closed* before the
+        join: the tailer may be parked in ``readline()`` for its whole
+        socket timeout, and must not apply records it already read
+        after the promotion decision — closing the socket fails its
+        read immediately, and :meth:`_tail_once` re-checks the flag
+        before every apply."""
         self._promoted.set()
+        self._close_tail_sock()
         if (
             self._tailer is not None
             and self._tailer is not threading.current_thread()
@@ -165,6 +177,19 @@ class StandbyServer:
             self._tailer = None
         assert self.server is not None
         return self.server.promote()
+
+    def _close_tail_sock(self) -> None:
+        sock = self._tail_sock
+        if sock is None:
+            return
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -197,6 +222,16 @@ class StandbyServer:
             try:
                 self._tail_once()
                 failures = 0
+            except WalGapError:
+                # The primary compacted past our position (long outage,
+                # or a primary restart emptied its backlog ring): the
+                # stream cannot resume gap-free, so bootstrap again from
+                # a fresh snapshot and resume tailing from there.
+                try:
+                    self._rebootstrap()
+                    failures = 0
+                except Exception:  # noqa: BLE001 - retry with backoff
+                    failures += 1
             except Exception:  # noqa: BLE001 - reconnect on any failure
                 failures += 1
             if self._stop.is_set() or self._promoted.is_set():
@@ -206,6 +241,17 @@ class StandbyServer:
             )
             self._stop.wait(delay)
 
+    def _rebootstrap(self) -> None:
+        """Fetch a fresh snapshot and swap it into the running server,
+        re-anchoring the local journal at the snapshot's LSN (see
+        :meth:`QueryServer.reset_database`)."""
+        from repro.engine.persist import database_from_payload
+
+        assert self.server is not None
+        state, lsn, tokens = self._fetch_snapshot()
+        db = database_from_payload(state)
+        self.server.reset_database(db, lsn=lsn, tokens=tokens)
+
     def _tail_once(self) -> None:
         """One streaming session: subscribe after the applied LSN, apply
         records and note heartbeats until the connection drops."""
@@ -214,43 +260,60 @@ class StandbyServer:
         with socket.create_connection(
             self.primary, timeout=self.connect_timeout
         ) as sock:
-            # The read timeout doubles as a liveness check: heartbeats
-            # arrive every ~0.5 s, so several missed intervals mean the
-            # primary (or the path to it) is gone.
-            sock.settimeout(max(5.0, self.connect_timeout))
-            reader = sock.makefile("rb")
-            sock.sendall(protocol.encode_message({
-                "op": "repl.stream", "after": server.applied_lsn,
-            }))
-            opened = protocol.decode_message(self._read_line(reader))
-            if not opened.get("ok"):
-                error = (opened.get("error") or {}).get("message", "stream")
-                raise ReplicationError(f"stream rejected: {error}")
-            while not (self._stop.is_set() or self._promoted.is_set()):
-                message = protocol.decode_message(self._read_line(reader))
-                if "durable_lsn" in message:
-                    server.note_primary_durable(int(message["durable_lsn"]))
-                if message.get("repl") != "records":
-                    continue
-                from repro.replication.wal import WalRecord
+            self._tail_sock = sock
+            try:
+                self._tail_stream(server, sock)
+            finally:
+                self._tail_sock = None
 
-                applied = 0
-                for entry in message["records"]:
-                    record = WalRecord(
-                        lsn=int(entry["lsn"]),
-                        kind=entry["kind"],
-                        sql=entry["sql"],
-                        token=entry.get("token"),
-                        status=entry.get("status", ""),
-                    )
-                    if record.lsn <= server.applied_lsn:
-                        continue  # overlap after a reconnect
-                    server.apply_replicated(record)
-                    applied += 1
-                if applied and self.ack:
-                    sock.sendall(protocol.encode_message({
-                        "op": "repl.ack", "lsn": server.applied_lsn,
-                    }))
+    def _tail_stream(self, server: QueryServer, sock: socket.socket) -> None:
+        # The read timeout doubles as a liveness check: heartbeats
+        # arrive every ~0.5 s, so several missed intervals mean the
+        # primary (or the path to it) is gone.
+        sock.settimeout(max(5.0, self.connect_timeout))
+        reader = sock.makefile("rb")
+        sock.sendall(protocol.encode_message({
+            "op": "repl.stream", "after": server.applied_lsn,
+        }))
+        opened = protocol.decode_message(self._read_line(reader))
+        if not opened.get("ok"):
+            error = opened.get("error") or {}
+            message = error.get("message", "stream")
+            if error.get("type") == WalGapError.__name__:
+                # typed refusal: the backlog we need is gone — the
+                # caller falls back to a fresh snapshot bootstrap
+                raise WalGapError(message)
+            raise ReplicationError(f"stream rejected: {message}")
+        while not (self._stop.is_set() or self._promoted.is_set()):
+            message = protocol.decode_message(self._read_line(reader))
+            if "durable_lsn" in message:
+                server.note_primary_durable(int(message["durable_lsn"]))
+            if message.get("repl") != "records":
+                continue
+            from repro.replication.wal import WalRecord
+
+            applied = 0
+            for entry in message["records"]:
+                if self._stop.is_set() or self._promoted.is_set():
+                    # promotion may have landed while this batch was in
+                    # flight — applying the rest would race the new
+                    # primary's own mutations for LSNs
+                    return
+                record = WalRecord(
+                    lsn=int(entry["lsn"]),
+                    kind=entry["kind"],
+                    sql=entry["sql"],
+                    token=entry.get("token"),
+                    status=entry.get("status", ""),
+                )
+                if record.lsn <= server.applied_lsn:
+                    continue  # overlap after a reconnect
+                server.apply_replicated(record)
+                applied += 1
+            if applied and self.ack:
+                sock.sendall(protocol.encode_message({
+                    "op": "repl.ack", "lsn": server.applied_lsn,
+                }))
 
     @staticmethod
     def _read_line(reader) -> bytes:

@@ -48,7 +48,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import ReproError, WalError
+from repro.errors import ReproError, WalError, WalGapError
 from repro.testing import faults
 
 #: journal segment file name pattern; the number is the lowest LSN the
@@ -248,6 +248,13 @@ class WriteAheadLog:
         #: called with a list[WalRecord] after each durable flush — the
         #: replication feed's ship signal (never called under the lock)
         self.on_durable = None
+        #: durable batches awaiting on_durable delivery, in LSN order;
+        #: delivery is serialized by _notify_lock so two leaders that
+        #: finish back-to-back cannot ship their batches out of order
+        #: (a subscriber seeing the later batch first would skip the
+        #: earlier one as reconnect overlap and lose records)
+        self._notify_queue: list[list[WalRecord]] = []
+        self._notify_lock = threading.Lock()
         #: records kept in memory since open, for cheap backlog reads
         self._recent: list[WalRecord] = []
         self._recent_cap = 4096
@@ -369,10 +376,8 @@ class WriteAheadLog:
         with self._cond:
             if self._closed:
                 return
-            top = self._next_lsn - 1
         try:
-            if top > self._durable_lsn:
-                self.commit(top)
+            self.flush()
         finally:
             with self._cond:
                 self._closed = True
@@ -433,54 +438,89 @@ class WriteAheadLog:
         touches the file while ``_flushing`` is set; ``checkpoint`` and
         ``close`` drain through this same protocol before rotating or
         closing the handle."""
-        notify: list[WalRecord] = []
-        with self._cond:
-            while True:
-                # Failure must be checked before the durable watermark: a
-                # later batch can advance _durable_lsn past an lsn whose
-                # own batch failed, and returning then would acknowledge
-                # a record that was never written.
-                error = self._failed.pop(lsn, None)
-                if error is not None:
-                    raise WalError(f"journal write failed: {error}") from error
-                if self._broken is not None:
-                    raise WalError(self._broken)
-                if self._durable_lsn >= lsn:
-                    break
-                if self._flushing or not self._pending:
-                    self._cond.wait()
-                    continue
-                batch = self._pending
-                self._pending = []
-                self._flushing = True
-                flush_error: BaseException | None = None
-                self._cond.release()
-                try:
-                    try:
-                        self._flush_batch(batch)
-                    except BaseException as error:  # noqa: BLE001
-                        flush_error = error
-                finally:
-                    self._cond.acquire()
-                self._flushing = False
-                if flush_error is None:
-                    self._durable_lsn = max(self._durable_lsn, batch[-1][0])
-                    notify = [
-                        r
-                        for r in self._recent
-                        if batch[0][0] <= r.lsn <= batch[-1][0]
-                    ]
-                else:
-                    failed = {failed_lsn for failed_lsn, _ in batch}
-                    for failed_lsn in failed:
-                        self._failed[failed_lsn] = flush_error
-                    # the ring must only ever serve durable records
-                    self._recent = [
-                        r for r in self._recent if r.lsn not in failed
-                    ]
-                self._cond.notify_all()
-        if notify and self.on_durable is not None:
-            self.on_durable(notify)
+        try:
+            with self._cond:
+                while True:
+                    # Failure must be checked before the durable
+                    # watermark: a later batch can advance _durable_lsn
+                    # past an lsn whose own batch failed, and returning
+                    # then would acknowledge a record that was never
+                    # written.
+                    error = self._failed.pop(lsn, None)
+                    if error is not None:
+                        raise WalError(
+                            f"journal write failed: {error}"
+                        ) from error
+                    if self._broken is not None:
+                        raise WalError(self._broken)
+                    if self._durable_lsn >= lsn:
+                        break
+                    if self._flushing or not self._pending:
+                        self._cond.wait()
+                        continue
+                    self._lead_flush()
+        finally:
+            self._drain_notifications()
+
+    def _lead_flush(self) -> BaseException | None:
+        """Become the group-commit leader for the current pending batch.
+
+        Called with the lock held, no flush in flight, and records
+        pending; releases the lock for the disk work and reacquires it
+        to publish the outcome. On success the durable records are
+        queued for ordered ``on_durable`` delivery (see
+        :meth:`_drain_notifications`); on failure the error is parked
+        in ``_failed`` for each record's own committer and returned."""
+        batch = self._pending
+        self._pending = []
+        self._flushing = True
+        flush_error: BaseException | None = None
+        self._cond.release()
+        try:
+            try:
+                self._flush_batch(batch)
+            except BaseException as error:  # noqa: BLE001
+                flush_error = error
+        finally:
+            self._cond.acquire()
+        self._flushing = False
+        if flush_error is None:
+            self._durable_lsn = max(self._durable_lsn, batch[-1][0])
+            notify = [
+                r
+                for r in self._recent
+                if batch[0][0] <= r.lsn <= batch[-1][0]
+            ]
+            if notify:
+                self._notify_queue.append(notify)
+        else:
+            failed = {failed_lsn for failed_lsn, _ in batch}
+            for failed_lsn in failed:
+                self._failed[failed_lsn] = flush_error
+            # the ring must only ever serve durable records
+            self._recent = [
+                r for r in self._recent if r.lsn not in failed
+            ]
+        self._cond.notify_all()
+        return flush_error
+
+    def _drain_notifications(self) -> None:
+        """Deliver queued durable batches to ``on_durable`` in LSN
+        order. Any thread may drain; ``_notify_lock`` serializes
+        delivery so batches never reach subscribers out of order, and
+        the queue (always popped from the front) preserves the
+        leaders' completion order."""
+        while True:
+            with self._notify_lock:
+                with self._cond:
+                    if not self._notify_queue:
+                        return
+                    if self.on_durable is None:
+                        self._notify_queue.clear()
+                        return
+                    batch = self._notify_queue.pop(0)
+                    callback = self.on_durable
+                callback(batch)
 
     def append(
         self, kind: str, sql: str, token: str | None = None, status: str = ""
@@ -491,11 +531,30 @@ class WriteAheadLog:
         return lsn
 
     def flush(self) -> None:
-        """Make everything staged so far durable."""
-        with self._cond:
-            top = self._next_lsn - 1
-        if top > 0:
-            self.commit(top)
+        """Make everything currently staged durable; raises when records
+        this call flushed could not be written.
+
+        Drains the pending buffer directly instead of waiting on one
+        specific LSN — ``commit(top)`` would hang forever on a record
+        whose own committer already consumed its failure and rolled the
+        mutation back (the LSN can then never become durable)."""
+        try:
+            while True:
+                with self._cond:
+                    if self._broken is not None:
+                        raise WalError(self._broken)
+                    if self._flushing:
+                        self._cond.wait()
+                        continue
+                    if not self._pending:
+                        break
+                    error = self._lead_flush()
+                    if error is not None:
+                        raise WalError(
+                            f"journal write failed: {error}"
+                        ) from error
+        finally:
+            self._drain_notifications()
 
     def _flush_batch(self, batch: list[tuple[int, str]]) -> None:
         """Write one group-commit batch to disk. Called WITHOUT the
@@ -570,6 +629,42 @@ class WriteAheadLog:
         self._cleanup(lsn)
         return lsn
 
+    def rebase(
+        self,
+        database,
+        tokens: dict[str, str] | None = None,
+        base_lsn: int = 0,
+    ) -> None:
+        """Re-anchor the journal at ``base_lsn`` around a database that
+        did NOT come from this journal.
+
+        A standby re-bootstrapping from a fresh primary snapshot (the
+        primary compacted past the standby's position) jumps forward
+        over records it never saw; its local journal must not keep the
+        pre-gap tail, or a later local recovery would replay post-gap
+        records on a base that is missing the gap. Writes a checkpoint
+        of ``database`` at ``base_lsn``, rotates to a new segment, and
+        drops everything older — including the in-memory ring."""
+        self.flush()
+        with self._cond:
+            self._check_writable()
+            if base_lsn < self._next_lsn - 1:
+                raise WalError(
+                    f"cannot rebase backwards: journal is at lsn "
+                    f"{self._next_lsn - 1}, rebase target is {base_lsn} "
+                    "(this replica has applied records the snapshot "
+                    "source does not have)"
+                )
+            self._next_lsn = base_lsn + 1
+            self._durable_lsn = base_lsn
+            self._recent = []
+        self._write_checkpoint(database, tokens or {}, base_lsn)
+        self._open_segment(base_lsn + 1)
+        with self._cond:
+            self._checkpoint_lsn = base_lsn
+            self.checkpoints += 1
+        self._cleanup(base_lsn)
+
     def _write_checkpoint(
         self, database, tokens: dict[str, str], lsn: int
     ) -> None:
@@ -633,15 +728,40 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------------
     # reading
+    def covers(self, lsn: int) -> bool:
+        """Can :meth:`records_after` serve a gap-free backlog from
+        ``lsn``? True when every later record is still held — on disk
+        past the checkpoint, or in the in-memory ring. False means
+        checkpoint compaction deleted part of the backlog and a
+        subscriber at ``lsn`` must bootstrap from a snapshot."""
+        with self._cond:
+            if lsn >= self._checkpoint_lsn:
+                return True
+            return bool(self._recent) and self._recent[0].lsn <= lsn + 1
+
     def records_after(self, lsn: int) -> list[WalRecord]:
         """Durable records with an LSN greater than ``lsn``, in order —
         the replication backlog a (re)connecting standby needs. Served
-        from the in-memory ring when possible, from disk otherwise."""
+        from the in-memory ring when possible, from disk otherwise.
+
+        Raises :class:`WalGapError` when ``lsn`` predates the
+        checkpoint and the ring does not reach back to it: the on-disk
+        journal only starts after the checkpoint (compaction deleted the
+        older segments), so the backlog would silently skip the records
+        in between — the standby's overlap filter cannot detect that,
+        and it would diverge."""
         with self._cond:
             durable = self._durable_lsn
             recent = list(self._recent)
+            checkpoint = self._checkpoint_lsn
         if recent and recent[0].lsn <= lsn + 1:
             return [r for r in recent if lsn < r.lsn <= durable]
+        if lsn < checkpoint:
+            raise WalGapError(
+                f"journal backlog after lsn {lsn} is gone (checkpoint "
+                f"compacted through lsn {checkpoint}); bootstrap from a "
+                "fresh snapshot"
+            )
         anomalies: list[str] = []
         return [
             record

@@ -139,7 +139,22 @@ class ReproClient:
                 )
                 self._reader = self._sock.makefile("rb")
                 for sql in self._session_sets:
-                    self._send_one({"op": "set", "sql": sql})
+                    # A replay that fails (rejected, or the connection
+                    # died mid-replay) must fail the whole connection:
+                    # silently dropping a knob (REFRESH AGE, a timeout)
+                    # would change query semantics behind the caller's
+                    # back. OSError keeps the rotation going.
+                    try:
+                        reply = self._send_one({"op": "set", "sql": sql})
+                    except ConnectionLost as error:
+                        raise OSError(str(error)) from error
+                    if not reply.get("ok"):
+                        message = (reply.get("error") or {}).get(
+                            "message", "rejected"
+                        )
+                        raise OSError(
+                            f"session SET replay failed ({message})"
+                        )
                 return
             except OSError as error:
                 last_error = error

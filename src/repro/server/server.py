@@ -64,7 +64,9 @@ from repro.errors import (
     BudgetExhausted,
     ReadOnlyError,
     ReplicaLagExceeded,
+    ReplicationError,
     ReproError,
+    WalGapError,
 )
 from repro.qgm.build import build_graph
 from repro.qgm.fingerprint import fingerprint
@@ -355,6 +357,16 @@ class QueryServer:
                         "this server has no journal to stream"
                     )
                 after = int(request.get("after", 0))
+                if not self.wal.covers(after):
+                    # Checkpoint compaction deleted part of the backlog
+                    # this subscriber needs; a typed refusal here sends
+                    # the standby back to a fresh snapshot bootstrap
+                    # instead of letting it consume a gapped stream.
+                    raise WalGapError(
+                        f"journal backlog after lsn {after} is gone "
+                        f"(checkpoint at {self.wal.checkpoint_lsn}); "
+                        "bootstrap from a fresh snapshot"
+                    )
                 response = {
                     "ok": True,
                     "streaming": True,
@@ -577,6 +589,11 @@ class QueryServer:
         if self.wal is None or kind is None:
             status = str(db.run_statement(parse_statement(sql), sql))
             self._invalidate_for(statement, evict_base)
+            if token is not None:
+                # No journal does not mean no dedup: a retry after a
+                # lost ACK must still replay the recorded status instead
+                # of applying twice.
+                self.dedup.put(token, status)
             return {"ok": True, "status": status}
         # Journaled path: apply, stage under the mutation lock (journal
         # order == apply order), then group-commit OUTSIDE the lock so
@@ -739,15 +756,31 @@ class QueryServer:
 
     def _snapshot_response(self) -> dict:
         """A consistent full-state snapshot for standby bootstrap: built
-        under the mutation lock, so it corresponds exactly to
-        ``applied_lsn`` / the journal prefix up to it."""
+        under the mutation lock, so it corresponds exactly to the
+        journal prefix up to the reported LSN."""
         from repro.engine.persist import database_state_payload
 
         with self._mutation_lock:
-            lsn = (
-                self.wal.durable_lsn if self.wal is not None
-                else self.applied_lsn
-            )
+            if self.wal is not None:
+                # Drain the journal while holding the lock: the state we
+                # are about to capture includes every applied+staged
+                # mutation, including ones whose group-commit fsync is
+                # still in flight outside the lock. Reporting a durable
+                # LSN below those would make the stream re-ship them and
+                # the standby double-apply. After the drain every staged
+                # record is durable, so durable_lsn IS the state's
+                # watermark. (A staged record whose flush failed — it
+                # rolls back once we release the lock — aborts the
+                # snapshot instead of leaking its effect to the standby.)
+                self.wal.flush()
+                lsn = self.wal.durable_lsn
+                if lsn < self.wal.last_lsn:
+                    raise ReplicationError(
+                        "snapshot aborted: a journal flush failed with "
+                        "mutations in flight; retry"
+                    )
+            else:
+                lsn = self.applied_lsn
             state = database_state_payload(self.db)
             tokens = self.dedup.snapshot()
         return {"ok": True, "state": state, "lsn": lsn, "tokens": tokens}
@@ -768,6 +801,32 @@ class QueryServer:
         else:
             promoted = self.promote()
         return {"ok": True, "promoted": promoted}
+
+    def reset_database(
+        self, db: Database, lsn: int, tokens: dict[str, str] | None = None
+    ) -> None:
+        """Replace the served database wholesale (standby re-bootstrap:
+        the primary's journal no longer covers our position, so the
+        tailer fetched a fresh snapshot at ``lsn``). Re-anchors the
+        local journal at ``lsn`` and drops caches built over the old
+        database."""
+        with self._mutation_lock:
+            if self.wal is not None:
+                self.wal.rebase(db, tokens=tokens or {}, base_lsn=lsn)
+            self.db = db
+            self.cache = ResultCache(
+                db.delta_log,
+                metrics=db.metrics,
+                max_entries=self.cache.max_entries,
+            )
+            with self._memo_lock:
+                # fingerprints are epoch-keyed per database; the new
+                # database restarts its epoch counter
+                self._fingerprint_memo.clear()
+            self.dedup.seed(tokens or {})
+            self.applied_lsn = lsn
+            self._primary_durable = max(self._primary_durable, lsn)
+        self.repl_lag.set(self.replication_lag())
 
     def apply_replicated(self, record: WalRecord) -> None:
         """Standby: apply one shipped journal record — execute its SQL,
