@@ -111,6 +111,8 @@ class Shell:
             return self._handle_slowlog(parts)
         if name == "\\governor":
             return self._handle_governor(parts)
+        if name == "\\status":
+            return self._handle_status(parts)
         if name == "\\connect":
             return self._handle_connect(parts)
         if name == "\\disconnect":
@@ -122,8 +124,8 @@ class Shell:
         self.write(
             f"unknown command {name} "
             "(try \\d, \\timing, \\noast, \\stats, \\refresh, \\trace, "
-            "\\metrics, \\slowlog, \\governor, \\connect HOST:PORT, "
-            "\\disconnect, \\save DIR, \\open DIR, \\q)"
+            "\\metrics, \\slowlog, \\governor, \\status, "
+            "\\connect HOST:PORT, \\disconnect, \\save DIR, \\open DIR, \\q)"
         )
         return True
 
@@ -250,6 +252,12 @@ class Shell:
                 count = entry["count"]
                 mean = entry["sum"] / count if count else 0.0
                 value = f"count={count} mean={mean:.3f}"
+                # quantiles (absent from dumps made by older servers)
+                p50, p95, p99 = (
+                    entry.get("p50"), entry.get("p95"), entry.get("p99")
+                )
+                if None not in (p50, p95, p99):
+                    value += f" p50={p50:.3f} p95={p95:.3f} p99={p99:.3f}"
             else:
                 value = f"{entry['value']:g}"
             self.write(f"  {name:<{width}} {value}")
@@ -270,7 +278,10 @@ class Shell:
             sql = " ".join(entry["sql"].split())
             if len(sql) > 60:
                 sql = sql[:57] + "..."
-            self.write(f"  {entry['ms']:>10.3f} ms  {sql}")
+            line = f"  {entry['ms']:>10.3f} ms  {sql}"
+            if "trace_id" in entry:
+                line += f"  [trace {entry['trace_id'][:8]}]"
+            self.write(line)
         return True
 
     def _handle_governor(self, parts: list[str]) -> bool:
@@ -294,6 +305,160 @@ class Shell:
         if event is not None:
             self.write(f"  last event: {event}")
         return True
+
+    def _handle_status(self, parts: list[str]) -> bool:
+        if len(parts) != 1:
+            self.write("usage: \\status")
+            return True
+        if self.remote is not None:
+            try:
+                status = self.remote.status()
+            except ReproError as error:
+                self.write(f"error: {error}")
+                return True
+            self._render_status(status, remote=True)
+            return True
+        self._render_status(self._local_status(), remote=False)
+        return True
+
+    def _local_status(self) -> dict:
+        """The in-process subset of the server's ``status`` op: no wire,
+        no WAL, no result cache — governor, refresh, tracing, and live
+        histogram quantiles still apply."""
+        from repro.obs import spans as _spans
+        from repro.obs.metrics import Histogram
+
+        db = self.database
+        scheduler = db.refresh_scheduler
+        latency = {}
+        for name in db.metrics.names():
+            metric = db.metrics.get(name)
+            if isinstance(metric, Histogram):
+                described = metric.describe()
+                if described["count"]:
+                    latency[name] = {
+                        "count": described["count"],
+                        "p50": described["p50"],
+                        "p95": described["p95"],
+                        "p99": described["p99"],
+                    }
+        tracer = _spans.TRACER
+        tracing: dict = {"enabled": tracer is not None}
+        if tracer is not None:
+            tracing.update(
+                sample_rate=tracer.sample_rate,
+                spans=len(tracer.buffer),
+                dropped=tracer.buffer.dropped,
+            )
+        return {
+            "role": "local",
+            "governor": {
+                "admission": db.governor.admission.snapshot(),
+                "breaker": db.governor.breaker.snapshot(),
+            },
+            "refresh": {
+                "queued": scheduler.queued,
+                "pending_retries": scheduler.pending_retries,
+                "quarantined": sorted(
+                    s.name for s in db.quarantined_summary_tables()
+                ),
+            },
+            "latency_ms": latency,
+            "tracing": tracing,
+        }
+
+    def _render_status(self, status: dict, remote: bool) -> None:
+        where = "remote" if remote else "local"
+        line = f"status ({where}): role={status.get('role', '?')}"
+        if "address" in status:
+            line += f" address={status['address']}"
+        if "uptime_s" in status:
+            line += f" uptime={status['uptime_s']:.1f}s"
+        self.write(line)
+        if "connections" in status:
+            self.write(
+                f"  requests: {status.get('requests', 0)} "
+                f"({status.get('errors', 0)} errors), "
+                f"{status['connections']} connection(s) open"
+            )
+        replication = status.get("replication")
+        if replication:
+            line = (
+                f"  replication: lag {replication.get('lag', 0)} record(s)"
+                f" / {replication.get('lag_seconds', 0.0):g}s, "
+                f"applied lsn {replication.get('applied_lsn', 0)}"
+            )
+            if "subscribers" in replication:
+                line += f", {replication['subscribers']} subscriber(s)"
+            self.write(line)
+        wal = status.get("wal")
+        if wal:
+            self.write(
+                f"  wal: {wal.get('depth_since_checkpoint', 0)} record(s) "
+                f"since checkpoint (durable lsn {wal.get('durable_lsn', 0)}, "
+                f"checkpoint lsn {wal.get('checkpoint_lsn', 0)}, "
+                f"{wal.get('checkpoints', 0)} checkpoint(s), "
+                f"sync={wal.get('sync', '?')})"
+            )
+        cache = status.get("cache")
+        if cache:
+            rate = cache.get("hit_rate")
+            rate_text = f"{rate:.1%}" if rate is not None else "n/a"
+            self.write(
+                f"  cache: {cache.get('entries', 0)} entries, "
+                f"hit rate {rate_text} "
+                f"({cache.get('hits', 0)} hits / "
+                f"{cache.get('stale_hits', 0)} stale / "
+                f"{cache.get('misses', 0)} misses)"
+            )
+        governor = status.get("governor")
+        if governor:
+            admission = governor.get("admission", {})
+            breaker = governor.get("breaker", {})
+            self.write(
+                f"  governor: {admission.get('running', 0)} running, "
+                f"{admission.get('waiting', 0)} queued; breaker "
+                f"{breaker.get('open', 0)} open / "
+                f"{breaker.get('half_open_due', 0)} half-open "
+                f"({breaker.get('tracked', 0)} tracked)"
+            )
+        refresh = status.get("refresh")
+        if refresh:
+            line = (
+                f"  refresh: {refresh.get('queued', 0)} queued, "
+                f"{refresh.get('pending_retries', 0)} retry(ies) pending"
+            )
+            quarantined = refresh.get("quarantined") or []
+            if quarantined:
+                line += f", quarantined: {', '.join(quarantined)}"
+            self.write(line)
+        tracing = status.get("tracing")
+        if tracing:
+            if tracing.get("enabled"):
+                self.write(
+                    f"  tracing: on (sample rate "
+                    f"{tracing.get('sample_rate', 1.0):g}, "
+                    f"{tracing.get('spans', 0)} span(s) buffered)"
+                )
+            else:
+                self.write(
+                    "  tracing: off (SET TRACE SAMPLE <rate> enables it)"
+                )
+        latency = status.get("latency_ms")
+        if latency:
+            self.write("  latency (ms):")
+            width = max(len(name) for name in latency)
+            for name in sorted(latency):
+                entry = latency[name]
+                p50 = entry.get("p50")
+                p95 = entry.get("p95")
+                p99 = entry.get("p99")
+                self.write(
+                    f"    {name:<{width}} count={entry.get('count', 0)}"
+                    f" p50={p50:.3f} p95={p95:.3f} p99={p99:.3f}"
+                    if None not in (p50, p95, p99)
+                    else f"    {name:<{width}} count={entry.get('count', 0)}"
+                )
 
     def _handle_connect(self, parts: list[str]) -> bool:
         if len(parts) != 2:
@@ -399,9 +564,20 @@ class Shell:
                 result = reply.value
                 cache_label = reply.cache
             else:
-                result = self.database.run_sql(
-                    sql, use_summary_tables=self.use_summary_tables
+                # local statements mint their own trace root (the remote
+                # path gets one from ReproClient.query)
+                from repro.obs import spans as _spans
+
+                tracer = _spans.TRACER
+                root = (
+                    tracer.start_trace("shell.statement", sql=sql[:200])
+                    if tracer is not None
+                    else _spans.NOOP
                 )
+                with root:
+                    result = self.database.run_sql(
+                        sql, use_summary_tables=self.use_summary_tables
+                    )
         except ReproError as error:
             self.write(f"error: {error}")
             self.errors += 1
@@ -555,7 +731,31 @@ def serve_main(argv: list[str]) -> int:
         help="semi-sync: wait for N standby acks before acknowledging "
         "a mutation (0 = asynchronous replication)",
     )
+    parser.add_argument(
+        "--events-log",
+        metavar="PATH",
+        help="append ops lifecycle events (start/drain, promote, "
+        "quarantine, checkpoint, breaker) to PATH as JSONL (bounded)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="enable request tracing at head-sampling RATE in (0, 1] "
+        "(default: off; runtime: SET TRACE SAMPLE <rate>|OFF)",
+    )
     args = parser.parse_args(argv)
+
+    from repro.obs import events as _ob_events
+    from repro.obs import spans as _ob_spans
+
+    if args.events_log:
+        _ob_events.configure(args.events_log)
+    if args.trace_sample is not None:
+        if not 0.0 < args.trace_sample <= 1.0:
+            parser.error("--trace-sample must be in (0, 1]")
+        _ob_spans.set_sample_rate(args.trace_sample)
 
     # Crash-matrix chaos runs arm fault points inside this process via
     # the environment — the only channel that reaches a subprocess that

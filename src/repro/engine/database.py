@@ -38,6 +38,8 @@ from repro.errors import (
 from repro.governor import QueryGovernor
 from repro.governor import scope as governor_scope
 from repro.governor.governor import UNSET as _GOV_UNSET
+from repro.obs import events as _events
+from repro.obs import spans as _spans
 from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceBuffer
@@ -218,7 +220,9 @@ class Database:
         (:class:`~repro.errors.QueryRejected`) before any work happens,
         and the governor scope — when any limit or ``token`` is set —
         stays active across bind, match, and execute."""
+        admit_pc = time.perf_counter()
         with self.governor.admission.admit():
+            _spans.record("admission.wait", admit_pc)
             budget = self.governor.open_scope(
                 token, timeout_ms=timeout_ms, max_rows=max_rows
             )
@@ -240,6 +244,7 @@ class Database:
             started = time.perf_counter()
             graph = build_graph(source, self.catalog)
             bind_ms = metrics.observe_ms("phase_bind_ms", started)
+            _spans.record("db.bind", started)
             match_ms = None
             overlay = None
             if use_summary_tables and self.summary_tables:
@@ -248,11 +253,19 @@ class Database:
                     source, graph, tolerance=tolerance
                 )
                 match_ms = metrics.observe_ms("phase_match_ms", started)
+                if _spans.TRACER is not None:
+                    rewrite_attrs = {"rewritten": overlay is not None}
+                    if trace is not None:
+                        # join the request span to the match tracer's
+                        # per-query record (\trace N)
+                        rewrite_attrs["match_trace"] = trace.trace_id
+                    _spans.record("db.rewrite", started, **rewrite_attrs)
             started = time.perf_counter()
             result = self.execute_graph(
                 graph, overlay=overlay, parallel=executor_parallel
             )
             execute_ms = metrics.observe_ms("phase_execute_ms", started)
+            _spans.record("db.execute", started)
         finally:
             if trace is not None:
                 _trace.finish()
@@ -286,6 +299,10 @@ class Database:
         }
         if client is not None:
             entry["client"] = client
+        trace_id = _spans.current_trace_id()
+        if trace_id is not None:
+            # join key into the span ring and the server session
+            entry["trace_id"] = trace_id
         self.slow_queries.append(entry)
 
     def execute_graph(
@@ -385,6 +402,7 @@ class Database:
             SetQueryTimeout,
             SetRefreshAge,
             SetSlowQuery,
+            SetTraceSample,
         )
 
         if isinstance(statement, (SelectStatement, UnionAll)):
@@ -447,6 +465,11 @@ class Database:
             if statement.workers is None:
                 return "executor parallelism disabled"
             return f"executor parallelism set to {statement.workers} worker(s)"
+        if isinstance(statement, SetTraceSample):
+            _spans.set_sample_rate(statement.rate)
+            if statement.rate is None:
+                return "request tracing disabled"
+            return f"trace sample rate set to {statement.rate:g}"
         if isinstance(statement, RefreshSummaryTables):
             names = statement.names or None
             self.refresh_summary_tables(names)
@@ -600,7 +623,12 @@ class Database:
         self._trace_buffer.append(trace)
         self._note_slow_query(sql, total_ms)
 
-        lines = [f"-- EXPLAIN ANALYZE (trace #{trace.trace_id}) --"]
+        span_trace = _spans.current_trace_id()
+        lines = [
+            f"-- EXPLAIN ANALYZE (trace #{trace.trace_id}"
+            + (f", trace_id {span_trace}" if span_trace is not None else "")
+            + ") --"
+        ]
         lines.append("-- phases --")
         phase_rows = [
             ("parse", parse_ms),
@@ -1140,6 +1168,7 @@ class Database:
                 # failure history restarts from zero.
                 if summary.refresh.quarantined:
                     summary.refresh.release_quarantine()
+                    _events.emit("summary.readmit", summary=summary.name)
                 self._scheduler.reset_attempts(summary.name)
             self._prune_delta_log()
             self._bump_rewrite_epoch()
@@ -1174,6 +1203,8 @@ class Database:
             if summary is None:
                 return
             summary.refresh.quarantine(reason)
+            _events.emit("summary.quarantine", summary=summary.name,
+                         reason=reason)
             # Batches staged only for this summary are now dead weight —
             # re-admission recomputes from base tables.
             self._prune_delta_log()

@@ -39,11 +39,13 @@ Execution model (docs/EXECUTOR.md):
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from itertools import chain
 from typing import Mapping
 
 from repro.engine import aggregates as _agg
+from repro.obs import spans as _spans
 from repro.engine.table import Table
 from repro.errors import ExecutionError
 from repro.expr.vector import compile_vector, conjuncts
@@ -246,6 +248,7 @@ class Executor:
         cap.  Ungoverned serial runs take whole-column batches with no
         instrumentation in the hot loops.
         """
+        run_pc = time.perf_counter()
         budget = governor_scope.current()
         workers = self._parallel
         pool = self._pool if workers else None
@@ -305,6 +308,12 @@ class Executor:
                     "executor_batch_parallel_tasks",
                     "morsels executed on worker threads",
                 ).inc(stats.parallel_tasks)
+        if _spans.TRACER is not None:
+            _spans.record(
+                "executor.run", run_pc, boxes=len(memo),
+                batches=stats.batches, rows=len(result),
+                workers=stats.workers,
+            )
         return result
 
     # ------------------------------------------------------------------

@@ -24,6 +24,8 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.obs import events as _events
+
 
 class CircuitBreaker:
     """Tracks consecutive match timeouts per query fingerprint.
@@ -70,6 +72,10 @@ class CircuitBreaker:
                 # concurrent second arrival also runs — acceptable: the
                 # probe is best-effort, not a strict singleton.
                 entry[1] = None
+                _events.emit(
+                    "breaker.half_open", fingerprint=str(fingerprint),
+                    failures=entry[0],
+                )
                 return False
             return True
 
@@ -85,13 +91,23 @@ class CircuitBreaker:
                 counter = self._metrics.get("tripped")
                 if counter is not None:
                     counter.inc()
+                _events.emit(
+                    "breaker.open", fingerprint=str(fingerprint),
+                    failures=entry[0], cooldown_s=self.cooldown_s,
+                )
 
     def record_success(self, fingerprint) -> None:
         """A match phase for this shape completed: close the circuit."""
         if fingerprint is None or not self._entries:
             return
         with self._lock:
-            self._entries.pop(fingerprint, None)
+            entry = self._entries.pop(fingerprint, None)
+        if entry is not None and entry[0] >= self.threshold:
+            # only shapes that actually opened get a close event; a
+            # sub-threshold success is just the counter resetting
+            _events.emit(
+                "breaker.close", fingerprint=str(fingerprint),
+            )
 
     def reset(self) -> None:
         with self._lock:

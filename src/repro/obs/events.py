@@ -1,0 +1,153 @@
+"""Structured ops event log: lifecycle transitions as JSONL.
+
+Metrics answer "how much"; spans answer "where did this request spend
+its time"; the event log answers "what *happened* to the system" —
+server start/drain, connection open/close, client failover redirects,
+standby promote/reconnect/gap-rebootstrap, summary quarantine and
+re-admit, checkpoint compaction, circuit breaker open/half-open/close.
+Each entry is one JSON object::
+
+    {"ts": 1722988800.123, "event": "standby.promote",
+     "trace_id": "9f2c...", "applied_lsn": 42, ...}
+
+``ts`` is the UNIX wall clock, ``event`` is a dotted
+``subsystem.transition`` name, ``trace_id`` is stamped automatically
+from the active span (:func:`repro.obs.spans.current_trace_id`) when
+one is in scope, and every remaining key is emitter-supplied context.
+
+Storage is an always-on bounded in-memory ring (cheap enough to never
+turn off) plus an optional JSONL file: :meth:`EventLog.configure` (or
+``repro-serve --events-log PATH``) opens the file in append mode, and
+when it exceeds ``max_file_lines`` it is rewritten from the in-memory
+ring — a bounded file, not an unbounded audit trail.
+
+Subsystems emit through the module-level :func:`emit` so the process
+shares one log; tests swap :data:`LOG` or :meth:`~EventLog.clear` it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+from repro.obs import spans as _spans
+
+
+class EventLog:
+    """A bounded in-memory ring of ops events with an optional bounded
+    JSONL file behind it."""
+
+    def __init__(self, path=None, capacity: int = 512,
+                 max_file_lines: int = 10_000):
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self.max_file_lines = max_file_lines
+        self._path = None
+        self._file = None
+        self._file_lines = 0
+        self.emitted = 0
+        if path is not None:
+            self.configure(path)
+
+    # ------------------------------------------------------------------
+    def configure(self, path) -> None:
+        """Attach (or switch) the JSONL file; existing lines count
+        toward the rewrite threshold."""
+        with self._lock:
+            self._close_file_locked()
+            self._path = str(path)
+            lines = 0
+            try:
+                with open(self._path, "r", encoding="utf-8") as handle:
+                    for _ in handle:
+                        lines += 1
+            except OSError:
+                lines = 0
+            self._file = open(self._path, "a", encoding="utf-8")
+            self._file_lines = lines
+
+    def emit(self, event: str, *, trace_id: str | None = None,
+             **fields) -> dict:
+        """Record one event; returns the entry. ``trace_id`` defaults to
+        the thread's active span's trace (None → omitted)."""
+        if trace_id is None:
+            trace_id = _spans.current_trace_id()
+        entry: dict = {"ts": time.time(), "event": event}
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
+        entry.update(fields)
+        with self._lock:
+            self.emitted += 1
+            self._ring.append(entry)
+            if self._file is not None:
+                try:
+                    self._file.write(
+                        json.dumps(entry, default=str) + "\n"
+                    )
+                    self._file.flush()
+                    self._file_lines += 1
+                    if self._file_lines > self.max_file_lines:
+                        self._rewrite_file_locked()
+                except OSError:  # pragma: no cover - disk failure
+                    self._close_file_locked()
+        return entry
+
+    def _rewrite_file_locked(self) -> None:
+        """Truncate the file down to the in-memory ring (keeps the file
+        bounded at roughly ``capacity`` recent events)."""
+        self._file.close()
+        self._file = open(self._path, "w", encoding="utf-8")
+        for entry in self._ring:
+            self._file.write(json.dumps(entry, default=str) + "\n")
+        self._file.flush()
+        self._file_lines = len(self._ring)
+
+    def _close_file_locked(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._file = None
+        self._path = None
+        self._file_lines = 0
+
+    # ------------------------------------------------------------------
+    def tail(self, n: int = 50) -> list[dict]:
+        """The most recent ``n`` events, oldest first."""
+        with self._lock:
+            events = list(self._ring)
+        return events[-n:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_file_locked()
+
+
+#: The process-wide event log (in-memory only until configured).
+LOG = EventLog()
+
+
+def emit(event: str, *, trace_id: str | None = None, **fields) -> dict:
+    """Emit onto the process-wide log."""
+    return LOG.emit(event, trace_id=trace_id, **fields)
+
+
+def tail(n: int = 50) -> list[dict]:
+    return LOG.tail(n)
+
+
+def configure(path) -> None:
+    """Attach the process-wide log to a JSONL file."""
+    LOG.configure(path)

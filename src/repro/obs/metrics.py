@@ -161,7 +161,8 @@ class Histogram:
 
     @property
     def mean(self) -> float | None:
-        return self._sum / self._count if self._count else None
+        with self._lock:
+            return self._sum / self._count if self._count else None
 
     def reset(self) -> None:
         with self._lock:
@@ -174,14 +175,7 @@ class Histogram:
     def swap(self) -> dict:
         """Atomically capture-and-zero (see :meth:`Counter.swap`)."""
         with self._lock:
-            snapshot = {
-                "type": self.kind,
-                "count": self._count,
-                "sum": self._sum,
-                "min": self._min,
-                "max": self._max,
-                "mean": self._sum / self._count if self._count else None,
-            }
+            snapshot = self._describe_locked()
             self._counts = [0] * (len(self.buckets) + 1)
             self._count = 0
             self._sum = 0.0
@@ -189,25 +183,82 @@ class Histogram:
             self._max = None
         return snapshot
 
-    def describe(self) -> dict:
+    def _describe_locked(self) -> dict:
         return {
             "type": self.kind,
             "count": self._count,
             "sum": self._sum,
             "min": self._min,
             "max": self._max,
-            "mean": self.mean,
+            "mean": self._sum / self._count if self._count else None,
+            "p50": self._quantile_locked(0.50),
+            "p95": self._quantile_locked(0.95),
+            "p99": self._quantile_locked(0.99),
         }
+
+    def describe(self) -> dict:
+        # One lock acquisition for the whole snapshot: reading the
+        # fields bare would let a concurrent observe() land between
+        # count and sum and hand callers a torn pair.
+        with self._lock:
+            return self._describe_locked()
+
+    def _quantile_locked(self, q: float) -> float | None:
+        if self._count == 0:
+            return None
+        rank = q * self._count
+        running = 0
+        previous_bound = 0.0
+        for bound, count in zip(self.buckets, self._counts):
+            if count:
+                if running + count >= rank:
+                    # Linear interpolation within the bucket, clamped to
+                    # the observed range so a single observation reports
+                    # itself rather than a bucket boundary.
+                    fraction = (rank - running) / count
+                    value = previous_bound + fraction * (bound - previous_bound)
+                    return min(max(value, self._min), self._max)
+                running += count
+            previous_bound = bound
+        # Landed in the +Inf bucket: the best bounded answer is the max.
+        return self._max
+
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate for ``0 < q <= 1``
+        (None while empty). Resolution is bucket-width; exact for the
+        min/max endpoints."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        with self._lock:
+            return self._quantile_locked(q)
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """(upper bound, cumulative count) pairs, ending with +Inf."""
+        with self._lock:
+            counts = list(self._counts)
         out = []
         running = 0
-        for bound, count in zip(self.buckets, self._counts):
+        for bound, count in zip(self.buckets, counts):
             running += count
             out.append((bound, running))
-        out.append((float("inf"), running + self._counts[-1]))
+        out.append((float("inf"), running + counts[-1]))
         return out
+
+    def expose(self) -> tuple[list[tuple[float, int]], float, int]:
+        """One consistent ``(cumulative buckets, sum, count)`` snapshot
+        for the Prometheus exporter — taken under a single lock so the
+        ``+Inf`` bucket always equals ``_count``."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        out = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out, total_sum, total_count
 
 
 class MetricsRegistry:
@@ -313,14 +364,15 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, metric in metrics:
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
-                for bound, cumulative in metric.cumulative_buckets():
+                buckets, total_sum, total_count = metric.expose()
+                for bound, cumulative in buckets:
                     label = "+Inf" if bound == float("inf") else _format(bound)
                     lines.append(f'{name}_bucket{{le="{label}"}} {cumulative}')
-                lines.append(f"{name}_sum {_format(metric.sum)}")
-                lines.append(f"{name}_count {metric.count}")
+                lines.append(f"{name}_sum {_format(total_sum)}")
+                lines.append(f"{name}_count {total_count}")
             else:
                 lines.append(f"{name} {_format(metric.value)}")
         return "\n".join(lines) + "\n"
@@ -333,3 +385,8 @@ def _format(value: float) -> str:
     if float(value).is_integer():
         return str(int(value))
     return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP string per the exposition format (0.0.4)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")

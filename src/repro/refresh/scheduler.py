@@ -54,6 +54,7 @@ from collections import deque
 from repro.errors import QueryCancelled, ReproError
 from repro.governor import scope as governor_scope
 from repro.governor.budget import CancellationToken, QueryBudget
+from repro.obs import spans as _spans
 from repro.testing import faults
 
 
@@ -439,9 +440,19 @@ class RefreshScheduler:
         with self._condition:
             self._inflight_token = token
             self._inflight_name = name
+        tracer = _spans.TRACER
+        span = (
+            tracer.root_for(
+                "refresh.apply", summary=name,
+                lsn=database.delta_log.lsn,
+            )
+            if tracer is not None
+            else _spans.NOOP
+        )
         try:
-            with governor_scope.activate(QueryBudget(token=token)):
-                self._refresh_one_locked(name, apply_pending, database)
+            with span:
+                with governor_scope.activate(QueryBudget(token=token)):
+                    self._refresh_one_locked(name, apply_pending, database)
         finally:
             with self._condition:
                 self._inflight_token = None

@@ -36,6 +36,7 @@ import threading
 import time
 
 from repro.errors import ReplicationError, WalGapError
+from repro.obs import events as _events
 from repro.server import protocol
 from repro.server.server import QueryServer
 
@@ -227,13 +228,23 @@ class StandbyServer:
                 # or a primary restart emptied its backlog ring): the
                 # stream cannot resume gap-free, so bootstrap again from
                 # a fresh snapshot and resume tailing from there.
+                _events.emit(
+                    "standby.rebootstrap",
+                    applied_lsn=(
+                        self.server.applied_lsn if self.server else 0
+                    ),
+                )
                 try:
                     self._rebootstrap()
                     failures = 0
                 except Exception:  # noqa: BLE001 - retry with backoff
                     failures += 1
-            except Exception:  # noqa: BLE001 - reconnect on any failure
+            except Exception as error:  # noqa: BLE001 - reconnect on any failure
                 failures += 1
+                _events.emit(
+                    "standby.reconnect", failures=failures,
+                    reason=f"{type(error).__name__}: {error}",
+                )
             if self._stop.is_set() or self._promoted.is_set():
                 return
             delay = min(
@@ -308,7 +319,7 @@ class StandbyServer:
                 )
                 if record.lsn <= server.applied_lsn:
                     continue  # overlap after a reconnect
-                server.apply_replicated(record)
+                server.apply_replicated(record, trace_id=entry.get("trace"))
                 applied += 1
             if applied and self.ack:
                 sock.sendall(protocol.encode_message({

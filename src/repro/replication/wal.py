@@ -43,12 +43,15 @@ import json
 import os
 import shutil
 import threading
+import time
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ReproError, WalError, WalGapError
+from repro.obs import events as _events
+from repro.obs import spans as _spans
 from repro.testing import faults
 
 #: journal segment file name pattern; the number is the lowest LSN the
@@ -397,6 +400,7 @@ class WriteAheadLog:
         :meth:`commit` it before acknowledging the mutation. Called
         under the server's mutation lock so journal order equals apply
         order."""
+        stage_pc = time.perf_counter()
         with self._cond:
             self._check_writable()
             faults.fire("wal.append")
@@ -405,11 +409,13 @@ class WriteAheadLog:
             record = WalRecord(lsn, kind, sql, token, status)
             self._pending.append((lsn, _frame(record.payload()) + "\n"))
             self._stash_recent(record)
-            return lsn
+        _spans.record("wal.stage", stage_pc, lsn=lsn, kind=kind)
+        return lsn
 
     def stage_record(self, record: WalRecord) -> int:
         """Stage an already-numbered record (a standby appending a
         shipped primary record keeps the primary's LSN)."""
+        stage_pc = time.perf_counter()
         with self._cond:
             self._check_writable()
             faults.fire("wal.append")
@@ -423,7 +429,8 @@ class WriteAheadLog:
                 (record.lsn, _frame(record.payload()) + "\n")
             )
             self._stash_recent(record)
-            return record.lsn
+        _spans.record("wal.stage", stage_pc, lsn=record.lsn, kind=record.kind)
+        return record.lsn
 
     def commit(self, lsn: int) -> None:
         """Block until ``lsn`` is durable (group commit: the first
@@ -438,6 +445,7 @@ class WriteAheadLog:
         touches the file while ``_flushing`` is set; ``checkpoint`` and
         ``close`` drain through this same protocol before rotating or
         closing the handle."""
+        fsync_pc = time.perf_counter()
         try:
             with self._cond:
                 while True:
@@ -459,6 +467,7 @@ class WriteAheadLog:
                         self._cond.wait()
                         continue
                     self._lead_flush()
+            _spans.record("wal.fsync", fsync_pc, lsn=lsn)
         finally:
             self._drain_notifications()
 
@@ -627,6 +636,7 @@ class WriteAheadLog:
             self._checkpoint_lsn = lsn
             self.checkpoints += 1
         self._cleanup(lsn)
+        _events.emit("wal.checkpoint", lsn=lsn, checkpoints=self.checkpoints)
         return lsn
 
     def rebase(

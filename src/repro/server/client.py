@@ -42,6 +42,8 @@ import uuid
 
 from repro.engine.table import Table
 from repro.errors import ReadOnlyError, ReproError
+from repro.obs import events as _events
+from repro.obs import spans as _spans
 from repro.server import protocol
 from repro.testing import faults
 
@@ -202,30 +204,62 @@ class ReproClient:
         token (the same one across all attempts), transport failures
         reconnect and retry with backoff, and ``ReadOnlyError`` rotates
         to the next address.
+
+        When the process tracer is installed (``repro.obs.spans``), the
+        request is a trace root: every attempt is a child span, and the
+        sampled trace context rides the wire in a ``trace`` field so the
+        server's spans join the same trace.
         """
         if self.retries > 0 and op == "query" and "token" not in fields:
             fields["token"] = uuid.uuid4().hex
+        tracer = _spans.TRACER
+        root = (
+            tracer.start_trace("client.request", op=op)
+            if tracer is not None
+            else _spans.NOOP
+        )
+        if root:
+            # one context across every attempt: retries stay one trace
+            fields["trace"] = root.context()
         attempts = self.retries + 1
         last_error: Exception | None = None
-        for attempt in range(attempts):
-            if attempt > 0:
-                self.retried += 1
-                self._sleep_backoff(attempt)
-            try:
-                return self._request_once(op, fields)
-            except ConnectionLost as error:
-                last_error = error
-                self._disconnect()
-                self._rotate()
-            except ReadOnlyError:
-                # Redirect hint: this address is a standby. With no
-                # alternative address the caller needs to know.
-                if len(self._addresses) == 1 or attempt == attempts - 1:
-                    raise
-                self._disconnect()
-                self._rotate()
-        assert last_error is not None
-        raise last_error
+        with root:
+            for attempt in range(attempts):
+                if attempt > 0:
+                    self.retried += 1
+                    self._sleep_backoff(attempt)
+                attempt_span = root.child(
+                    "client.attempt", attempt=attempt,
+                    address=f"{self.address[0]}:{self.address[1]}",
+                )
+                try:
+                    with attempt_span:
+                        return self._request_once(op, fields)
+                except ConnectionLost as error:
+                    last_error = error
+                    self._disconnect()
+                    self._rotate()
+                    if attempt < attempts - 1:
+                        _events.emit(
+                            "client.failover",
+                            trace_id=root.trace_id,
+                            reason=str(error),
+                            next=f"{self.address[0]}:{self.address[1]}",
+                        )
+                except ReadOnlyError:
+                    # Redirect hint: this address is a standby. With no
+                    # alternative address the caller needs to know.
+                    if len(self._addresses) == 1 or attempt == attempts - 1:
+                        raise
+                    self._disconnect()
+                    self._rotate()
+                    _events.emit(
+                        "client.redirect",
+                        trace_id=root.trace_id,
+                        next=f"{self.address[0]}:{self.address[1]}",
+                    )
+            assert last_error is not None
+            raise last_error
 
     def _request_once(self, op: str, fields: dict) -> dict:
         if self._sock is None:
@@ -313,6 +347,10 @@ class ReproClient:
 
     def metrics(self) -> dict:
         return self.request("metrics")["metrics"]
+
+    def status(self) -> dict:
+        """The server's aggregated health view (the ``status`` op)."""
+        return self.request("status")["status"]
 
     def governor(self) -> list[str]:
         return self.request("governor")["governor"]

@@ -9,13 +9,23 @@ optional client-chosen ``id`` that the response echoes back:
 
 Ops: ``query`` (any supported statement), ``set`` (a ``SET`` statement
 only), ``explain`` (with optional ``"analyze": true``), ``metrics``,
-``governor``, ``ping``. Responses always carry ``ok``; successful ones
+``governor``, ``status`` (the aggregated cluster-health view),
+``ping``. Responses always carry ``ok``; successful ones
 add ``table`` (SELECT/EXPLAIN results), ``status`` (DDL/DML/SET), or
 op-specific payloads, and failures add
 ``{"error": {"type": "...", "message": "..."}}`` where ``type`` is the
 :mod:`repro.errors` class name (``QueryRejected``, ``QueryTimeout``,
 ...) so clients re-raise the same typed exception the library would
 have raised in process.
+
+**Trace propagation.** Any request may carry an optional
+``"trace": {"trace_id": "...", "parent": "..."}`` field — the span
+context minted by a traced :class:`~repro.server.client.ReproClient`
+(see :mod:`repro.obs.spans`). The server continues the trace into its
+own child spans; requests without the field (tracing off, or the trace
+was head-sampled away) cost nothing. On the replication stream, shipped
+journal records may carry a ``"trace"`` string (the originating
+trace_id) so the standby's apply span joins the same trace.
 
 **Bit-identity.** The differential tests demand that a result served
 over the wire equals direct in-process execution exactly. JSON already

@@ -60,6 +60,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.engine.database import Database
+from repro.obs import events as _events
+from repro.obs import spans as _spans
+from repro.obs.metrics import Histogram
 from repro.errors import (
     BudgetExhausted,
     ReadOnlyError,
@@ -89,6 +92,7 @@ from repro.sql.statements import (
     InsertValues,
     RefreshSummaryTables,
     SetSlowQuery,
+    SetTraceSample,
     parse_statement,
 )
 from repro.testing import faults
@@ -116,6 +120,7 @@ class QueryServer:
         self.host = host
         self.port = port
         self.address: tuple[str, int] | None = None
+        self.started_at = time.time()
         metrics = db.metrics
         # ---- durability & replication ----
         self.wal = wal
@@ -152,6 +157,14 @@ class QueryServer:
         #: the same token parks on the event instead of double-applying
         self._inflight: dict[str, threading.Event] = {}
         self._inflight_lock = threading.Lock()
+        #: wall-clock when nonzero replication lag first appeared (for
+        #: the status surface's lag-in-seconds; None while caught up)
+        self._lag_since: float | None = None
+        #: LSN → originating trace_id for journaled mutations, so the
+        #: replication stream can link the standby's apply span to the
+        #: client's trace (bounded; only populated while tracing is on)
+        self._trace_by_lsn: dict[int, str] = {}
+        self._trace_lock = threading.Lock()
         if wal is not None:
             wal.on_durable = self._on_durable
         self.cache_enabled = cache_enabled
@@ -215,6 +228,11 @@ class QueryServer:
             limit=protocol.MAX_LINE_BYTES,
         )
         self.address = server.sockets[0].getsockname()[:2]
+        _events.emit(
+            "server.start",
+            host=self.address[0], port=self.address[1],
+            role="standby" if self.read_only else "primary",
+        )
         if started is not None:
             started.set()
         async with server:
@@ -258,6 +276,11 @@ class QueryServer:
         shutdown every acknowledged (and even every applied-but-not-yet
         -fsynced) mutation is durable before the process exits."""
         self._draining.set()
+        _events.emit(
+            "server.drain",
+            connections=int(self.connections.value),
+            requests=self.requests.value,
+        )
         with self._ack_cond:
             self._ack_cond.notify_all()
         if self._loop is not None and self._stop_event is not None:
@@ -285,6 +308,7 @@ class QueryServer:
         session = Session(self._new_client_id())
         self.connections.inc()
         self.connections_total.inc()
+        _events.emit("conn.open", client=session.client_id)
         task = asyncio.current_task()
         if task is not None:
             self._tasks.add(task)
@@ -320,6 +344,10 @@ class QueryServer:
             pass
         finally:
             self.connections.dec()
+            _events.emit(
+                "conn.close", client=session.client_id,
+                queries=session.queries,
+            )
             self._writers.discard(writer)
             if task is not None:
                 self._tasks.discard(task)
@@ -333,13 +361,34 @@ class QueryServer:
         started = time.perf_counter()
         self.requests.inc()
         request_id = None
+        req_span = None
         try:
             request = protocol.decode_message(line)
             request_id = request.get("id")
             op = request.get("op")
+            tracer = _spans.TRACER
+            if tracer is not None:
+                # Continue the client's trace; when the request carried
+                # no context (an untraced or unsampled caller) the
+                # server flips its own sampling coin, so --trace-sample
+                # works without client cooperation.
+                span = tracer.continue_trace(
+                    "server.request", request.get("trace"),
+                    op=op, client=session.client_id,
+                )
+                if not span:
+                    span = tracer.start_trace(
+                        "server.request", op=op, client=session.client_id,
+                    )
+                if span:
+                    req_span = span
             if op == "ping":
                 response = {"ok": True, "pong": True,
                             "session": session.describe()}
+            elif op == "status":
+                response = await self._run_blocking(
+                    lambda: {"ok": True, "status": self.status()}
+                )
             elif op == "metrics":
                 response = {"ok": True, "metrics": self.db.metrics.to_dict()}
             elif op == "governor":
@@ -387,7 +436,8 @@ class QueryServer:
                         f"op {op!r} requires a string 'sql' field"
                     )
                 response = await self._run_blocking(
-                    self._execute_request, session, op, sql, request
+                    self._execute_request, session, op, sql, request,
+                    req_span,
                 )
             else:
                 raise protocol.ProtocolError(f"unknown op {op!r}")
@@ -403,6 +453,11 @@ class QueryServer:
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.request_ms.observe(elapsed_ms)
         response["elapsed_ms"] = elapsed_ms
+        if req_span is not None:
+            if not response["ok"]:
+                error_info = response.get("error") or {}
+                req_span.set("error", error_info.get("type", "error"))
+            req_span.finish(ok=response["ok"])
         return response
 
     async def _run_blocking(self, fn, *args):
@@ -423,11 +478,23 @@ class QueryServer:
         return statement
 
     def _execute_request(
+        self, session: Session, op: str, sql: str, request: dict,
+        req_span=None,
+    ) -> dict:
+        # The request span was created on the event loop; re-attach it
+        # on this pool thread so child spans (parse, admission, rewrite,
+        # WAL) nest under it. The loop side finishes it.
+        with _spans.attach(req_span):
+            return self._execute_attached(session, op, sql, request)
+
+    def _execute_attached(
         self, session: Session, op: str, sql: str, request: dict
     ) -> dict:
+        parse_pc = time.perf_counter()
         statement = self._cached_parse(sql)
+        _spans.record("server.parse", parse_pc)
         if op == "set" and not isinstance(
-            statement, SESSION_SET_TYPES + (SetSlowQuery,)
+            statement, SESSION_SET_TYPES + (SetSlowQuery, SetTraceSample)
         ):
             raise protocol.ProtocolError("op 'set' accepts only SET statements")
         if op == "explain" or isinstance(statement, Explain):
@@ -482,9 +549,11 @@ class QueryServer:
             statement, sql, use_summaries
         )
         key = cache_key(fp_key, tolerance, use_summaries)
+        lookup_pc = time.perf_counter()
         hit = self.cache.lookup(key)
         if hit is not None:
             table, label = hit
+            _spans.record("cache.lookup", lookup_pc, outcome=label)
             max_rows = session.effective_max_rows(db)
             if max_rows is not None and len(table.rows) > max_rows:
                 # Governed execution would have stopped at the cap;
@@ -494,6 +563,7 @@ class QueryServer:
                     f"QUERY MAXROWS {max_rows}"
                 )
             return table, label
+        _spans.record("cache.lookup", lookup_pc, outcome="miss")
         # Snapshot BEFORE execution: a write landing mid-query makes the
         # entry look staler than it is — the safe direction.
         snapshot = db.delta_log.change_counts(base_tables)
@@ -603,9 +673,16 @@ class QueryServer:
         with self._mutation_lock:
             undo = self._prepare_undo(statement)
             status = str(db.run_statement(parse_statement(sql), sql))
+            # Note the trace BEFORE staging: the stream thread ships a
+            # record the moment it is staged, and the standby must find
+            # the mapping already in place. Staging is serialized under
+            # the mutation lock, so the next LSN is deterministic.
+            predicted_lsn = self.wal.last_lsn + 1
+            self._note_trace_lsn(predicted_lsn)
             try:
                 lsn = self.wal.stage(kind, sql, token=token, status=status)
             except BaseException:
+                self._drop_trace_lsn(predicted_lsn)
                 self._apply_undo(undo)
                 raise
             if kind in ("ddl", "refresh"):
@@ -635,12 +712,35 @@ class QueryServer:
             self.dedup.put(token, status)
         self.applied_lsn = max(self.applied_lsn, lsn)
         self._invalidate_for(statement, evict_base)
-        acks = self._await_acks(lsn)
+        if self.repl_ack > 0:
+            ack_pc = time.perf_counter()
+            acks = self._await_acks(lsn)
+            _spans.record("repl.ack_wait", ack_pc, lsn=lsn, acks=acks)
+        else:
+            acks = 0
         self._maybe_checkpoint()
         response = {"ok": True, "status": status, "lsn": lsn}
         if self.repl_ack > 0:
             response["repl_acks"] = acks
         return response
+
+    def _note_trace_lsn(self, lsn: int) -> None:
+        """Remember which trace journaled ``lsn`` so the replication
+        stream can ship the id and the standby's apply span joins the
+        same trace (bounded map; empty while tracing is off)."""
+        trace_id = _spans.current_trace_id()
+        if trace_id is None:
+            return
+        with self._trace_lock:
+            if len(self._trace_by_lsn) >= 1024:
+                self._trace_by_lsn.clear()
+            self._trace_by_lsn[lsn] = trace_id
+
+    def _drop_trace_lsn(self, lsn: int) -> None:
+        """Forget a predicted mapping whose staging failed (the LSN will
+        be reassigned to some other mutation's record)."""
+        with self._trace_lock:
+            self._trace_by_lsn.pop(lsn, None)
 
     def _evict_targets(self, statement) -> set[str]:
         db = self.db
@@ -730,7 +830,26 @@ class QueryServer:
         heartbeat or a shipped batch) so lag is observable even while
         no records are flowing."""
         self._primary_durable = max(self._primary_durable, lsn)
-        self.repl_lag.set(self.replication_lag())
+        lag = self.replication_lag()
+        self.repl_lag.set(lag)
+        self._note_lag(lag)
+
+    def _note_lag(self, lag: int) -> None:
+        """Maintain the wall-clock marker behind ``lag_seconds``: set
+        when nonzero lag first appears, cleared once caught up."""
+        if lag > 0:
+            if self._lag_since is None:
+                self._lag_since = time.time()
+        else:
+            self._lag_since = None
+
+    def lag_seconds(self) -> float:
+        """How long this replica has continuously been behind, in
+        seconds (0.0 while caught up)."""
+        since = self._lag_since
+        if since is None or self.replication_lag() == 0:
+            return 0.0
+        return max(0.0, time.time() - since)
 
     def repl_status(self) -> dict:
         wal = self.wal
@@ -739,6 +858,7 @@ class QueryServer:
             "read_only": self.read_only,
             "applied_lsn": self.applied_lsn,
             "lag": self.replication_lag(),
+            "lag_seconds": round(self.lag_seconds(), 3),
             "dedup_tokens": len(self.dedup),
         }
         if self.primary:
@@ -753,6 +873,99 @@ class QueryServer:
         with self._subscriber_lock:
             status["subscribers"] = len(self._subscribers)
         return status
+
+    # ------------------------------------------------------------------
+    # cluster health surface (the `status` op / \status)
+    def status(self) -> dict:
+        """One aggregated health view: role, replication lag (records +
+        seconds), WAL depth since the last checkpoint, result-cache hit
+        rates, governor admission/breaker state, refresh backlog, and
+        p50/p95/p99 from every live histogram."""
+        db = self.db
+        wal = self.wal
+        status: dict = {
+            "role": "standby" if self.read_only else "primary",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "connections": int(self.connections.value),
+            "requests": self.requests.value,
+            "errors": self.errors.value,
+            "replication": self.repl_status(),
+        }
+        if self.address is not None:
+            status["address"] = f"{self.address[0]}:{self.address[1]}"
+        if wal is not None:
+            status["wal"] = {
+                "depth_since_checkpoint": wal.last_lsn - wal.checkpoint_lsn,
+                "last_lsn": wal.last_lsn,
+                "durable_lsn": wal.durable_lsn,
+                "checkpoint_lsn": wal.checkpoint_lsn,
+                "checkpoints": wal.checkpoints,
+                "sync": wal.sync,
+            }
+        status["cache"] = self._cache_status()
+        status["governor"] = {
+            "admission": db.governor.admission.snapshot(),
+            "breaker": db.governor.breaker.snapshot(),
+        }
+        scheduler = db.refresh_scheduler
+        status["refresh"] = {
+            "queued": scheduler.queued,
+            "pending_retries": scheduler.pending_retries,
+            "quarantined": sorted(
+                s.name for s in db.quarantined_summary_tables()
+            ),
+        }
+        status["latency_ms"] = self._latency_status()
+        tracer = _spans.TRACER
+        tracing: dict = {"enabled": tracer is not None}
+        if tracer is not None:
+            tracing.update(
+                sample_rate=tracer.sample_rate,
+                spans=len(tracer.buffer),
+                dropped=tracer.buffer.dropped,
+            )
+        status["tracing"] = tracing
+        return status
+
+    def _cache_status(self) -> dict:
+        metrics = self.db.metrics
+
+        def value(name: str) -> int:
+            metric = metrics.get(name)
+            return int(metric.value) if metric is not None else 0
+
+        hits = value("cache.hits")
+        stale = value("cache.stale_hits")
+        misses = value("cache.misses")
+        lookups = hits + stale + misses
+        return {
+            "enabled": self.cache_enabled,
+            "entries": len(self.cache),
+            "hits": hits,
+            "stale_hits": stale,
+            "misses": misses,
+            "hit_rate": (
+                round((hits + stale) / lookups, 4) if lookups else None
+            ),
+        }
+
+    def _latency_status(self) -> dict:
+        metrics = self.db.metrics
+        latency: dict = {}
+        for name in metrics.names():
+            metric = metrics.get(name)
+            if not isinstance(metric, Histogram):
+                continue
+            described = metric.describe()
+            if not described["count"]:
+                continue
+            latency[name] = {
+                "count": described["count"],
+                "p50": described["p50"],
+                "p95": described["p95"],
+                "p99": described["p99"],
+            }
+        return latency
 
     def _snapshot_response(self) -> dict:
         """A consistent full-state snapshot for standby bootstrap: built
@@ -791,6 +1004,8 @@ class QueryServer:
         self.read_only = False
         self._primary_durable = self.applied_lsn
         self.repl_lag.set(0)
+        self._lag_since = None
+        _events.emit("standby.promote", applied_lsn=self.applied_lsn)
         return {"role": "primary", "applied_lsn": self.applied_lsn}
 
     def _promote_response(self) -> dict:
@@ -826,26 +1041,44 @@ class QueryServer:
             self.dedup.seed(tokens or {})
             self.applied_lsn = lsn
             self._primary_durable = max(self._primary_durable, lsn)
-        self.repl_lag.set(self.replication_lag())
+        lag = self.replication_lag()
+        self.repl_lag.set(lag)
+        self._note_lag(lag)
 
-    def apply_replicated(self, record: WalRecord) -> None:
+    def apply_replicated(
+        self, record: WalRecord, trace_id: str | None = None
+    ) -> None:
         """Standby: apply one shipped journal record — execute its SQL,
         journal it locally under the primary's LSN, remember its token.
-        Called by the standby's tailer thread, in LSN order."""
-        statement = parse_statement(record.sql)
-        evict_base = self._evict_targets(statement)
-        with self._mutation_lock:
-            self.db.run_statement(statement, record.sql)
+        Called by the standby's tailer thread, in LSN order.
+        ``trace_id`` (shipped on the stream when the primary traced the
+        originating mutation) joins the apply span to that trace."""
+        tracer = _spans.TRACER
+        span = (
+            tracer.root_for(
+                "standby.apply", trace_id,
+                lsn=record.lsn, kind=record.kind,
+            )
+            if tracer is not None
+            else _spans.NOOP
+        )
+        with span:
+            statement = parse_statement(record.sql)
+            evict_base = self._evict_targets(statement)
+            with self._mutation_lock:
+                self.db.run_statement(statement, record.sql)
+                if self.wal is not None:
+                    self.wal.stage_record(record)
+                self.applied_lsn = max(self.applied_lsn, record.lsn)
             if self.wal is not None:
-                self.wal.stage_record(record)
-            self.applied_lsn = max(self.applied_lsn, record.lsn)
-        if self.wal is not None:
-            self.wal.commit(record.lsn)
-        if record.token is not None:
-            self.dedup.put(record.token, record.status)
-        self._invalidate_for(statement, evict_base)
-        self.repl_lag.set(self.replication_lag())
-        self._maybe_checkpoint()
+                self.wal.commit(record.lsn)
+            if record.token is not None:
+                self.dedup.put(record.token, record.status)
+            self._invalidate_for(statement, evict_base)
+            lag = self.replication_lag()
+            self.repl_lag.set(lag)
+            self._note_lag(lag)
+            self._maybe_checkpoint()
 
     def _maybe_checkpoint(self) -> None:
         wal = self.wal
@@ -953,18 +1186,28 @@ class QueryServer:
             return sent
         for _ in fresh:
             faults.fire("repl.stream")
+        with self._trace_lock:
+            traces = {
+                r.lsn: self._trace_by_lsn[r.lsn]
+                for r in fresh
+                if r.lsn in self._trace_by_lsn
+            }
+        entries = []
+        for r in fresh:
+            entry = {
+                "lsn": r.lsn,
+                "kind": r.kind,
+                "sql": r.sql,
+                "token": r.token,
+                "status": r.status,
+            }
+            trace_id = traces.get(r.lsn)
+            if trace_id is not None:
+                entry["trace"] = trace_id
+            entries.append(entry)
         writer.write(protocol.encode_message({
             "repl": "records",
-            "records": [
-                {
-                    "lsn": r.lsn,
-                    "kind": r.kind,
-                    "sql": r.sql,
-                    "token": r.token,
-                    "status": r.status,
-                }
-                for r in fresh
-            ],
+            "records": entries,
             "durable_lsn": self.wal.durable_lsn,
         }))
         await writer.drain()

@@ -11,9 +11,10 @@ so two clients with different knobs never observe each other's limits.
 
 Knobs start *inherited*: until a connection issues its own ``SET``, it
 sees the database-level defaults (whatever the operator configured the
-shared engine with). ``SET SLOW QUERY`` is deliberately **not**
-session-scoped — the slow-query log is a shared observability surface,
-so the statement applies database-wide (the one documented exception).
+shared engine with). ``SET SLOW QUERY`` and ``SET TRACE SAMPLE`` are
+deliberately **not** session-scoped — the slow-query log and the
+request tracer are shared observability surfaces, so those statements
+apply database/process-wide (the two documented exceptions).
 """
 
 from __future__ import annotations

@@ -18,6 +18,8 @@ Supported statements (used by the CLI and by ``Database.run_sql``):
   tables, one during execution raises ``QueryTimeout``
 * ``SET QUERY MAXROWS <n> | OFF`` — the governor's high-water cap on
   rows materialized in any one intermediate or result table
+* ``SET TRACE SAMPLE <rate> | OFF`` — head-sampling probability for
+  request spans (process-global, like SLOW QUERY)
 * ``INSERT INTO name VALUES (...), (...), ...``
 * ``DELETE FROM name VALUES (...), ...``  (exact-row delete; feeds the
   incremental maintenance path)
@@ -126,6 +128,11 @@ class SetExecutorParallel:
 
 
 @dataclass(frozen=True)
+class SetTraceSample:
+    rate: float | None  # None ⇒ OFF (request tracing disabled)
+
+
+@dataclass(frozen=True)
 class InsertValues:
     table: str
     rows: tuple[tuple[Any, ...], ...]
@@ -155,6 +162,7 @@ Statement = (
     | SetQueryTimeout
     | SetQueryMaxRows
     | SetExecutorParallel
+    | SetTraceSample
     | InsertValues
     | DeleteValues
     | Explain
@@ -365,10 +373,28 @@ class _StatementParser(_Parser):
         | SetQueryTimeout
         | SetQueryMaxRows
         | SetExecutorParallel
+        | SetTraceSample
     ):
         self._expect_word("set")
         if self._accept_word("query"):
             return self._parse_set_query()
+        if self._accept_word("trace"):
+            # SET TRACE SAMPLE <rate>|OFF: head-sampling probability for
+            # request spans (docs/OBSERVABILITY.md). Process-global, like
+            # SET SLOW QUERY.
+            self._expect_word("sample")
+            if self._accept_word("off"):
+                return SetTraceSample(None)
+            value = self._parse_constant()
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not 0.0 < value <= 1.0
+            ):
+                raise self._error(
+                    "TRACE SAMPLE must be OFF or a rate in (0, 1]"
+                )
+            return SetTraceSample(float(value))
         if self._accept_word("executor"):
             # SET EXECUTOR PARALLEL <n>|OFF: morsel-driven worker pool
             # for scans/joins/group-bys (docs/EXECUTOR.md).

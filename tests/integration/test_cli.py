@@ -145,3 +145,39 @@ class TestRefreshCommand:
             + "select a, cnt from S;\n"
         )
         assert "refresh age set to ANY" in output
+
+
+class TestStatusCommand:
+    def test_local_status_renders(self):
+        output = run_shell(
+            "create table T (a integer not null);\n"
+            "select count(*) as n from T;\n"
+            "\\status\n"
+        )
+        assert "status (local): role=local" in output
+        assert "governor:" in output
+        assert "refresh: 0 queued" in output
+        assert "tracing:" in output
+        assert "latency (ms):" in output
+        assert "p99=" in output  # live histograms carry quantiles
+
+    def test_status_usage(self):
+        assert "usage: \\status" in run_shell("\\status extra\n")
+
+    def test_status_reflects_trace_sample(self):
+        from repro.obs import spans
+
+        spans.uninstall()
+        try:
+            output = run_shell(
+                "set trace sample 0.5;\n"
+                "\\status\n"
+                "set trace sample off;\n"
+                "\\status\n"
+            )
+            assert "trace sample rate set to 0.5" in output
+            assert "tracing: on (sample rate 0.5" in output
+            assert "request tracing disabled" in output
+            assert "tracing: off (SET TRACE SAMPLE <rate> enables it)" in output
+        finally:
+            spans.uninstall()

@@ -1,0 +1,216 @@
+"""The span tracer: sampling, parenting, the ring, and exports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import spans
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    spans.uninstall()
+    yield
+    spans.uninstall()
+
+
+class TestSampling:
+    def test_off_by_default_and_helpers_are_noops(self):
+        assert spans.TRACER is None
+        assert spans.active() is None
+        assert spans.current_trace_id() is None
+        assert spans.child("x") is spans.NOOP
+        # record with no tracer must not blow up (hot-path guard)
+        spans.record("x", 0.0)
+
+    def test_noop_span_is_falsy_and_inert(self):
+        noop = spans.NOOP
+        assert not noop
+        assert noop.trace_id is None
+        assert noop.context() is None
+        with noop as inner:
+            assert inner is noop
+        noop.set("k", 1).child("c").finish()
+
+    def test_sample_rate_one_records_everything(self):
+        tracer = spans.install(sample_rate=1.0)
+        for _ in range(5):
+            with tracer.start_trace("req"):
+                pass
+        assert len(tracer.buffer) == 5
+        assert tracer.started == 5
+        assert tracer.skipped == 0
+
+    def test_head_sampling_skips_whole_traces(self):
+        tracer = spans.install(sample_rate=0.5, seed=7)
+        for _ in range(200):
+            root = tracer.start_trace("req")
+            with root:
+                # children of an unsampled root cost nothing
+                root.child("inner").finish()
+        assert tracer.started + tracer.skipped == 200
+        assert 0 < tracer.started < 200
+        # every recorded span belongs to a sampled trace: 2 per root
+        assert len(tracer.buffer) == 2 * tracer.started
+
+    def test_zero_spans_when_off(self):
+        tracer = spans.install(sample_rate=1.0)
+        spans.uninstall()
+        root = (
+            spans.TRACER.start_trace("req")
+            if spans.TRACER is not None
+            else spans.NOOP
+        )
+        with root:
+            spans.record("child", 0.0)
+        assert len(tracer.buffer) == 0
+
+    def test_set_sample_rate_lifecycle(self):
+        assert spans.set_sample_rate(1.0) is spans.TRACER
+        assert spans.TRACER is not None
+        buffer = spans.TRACER.buffer
+        with spans.TRACER.start_trace("keep"):
+            pass
+        # retuning keeps the live buffer (and its spans)
+        spans.set_sample_rate(0.25)
+        assert spans.TRACER.sample_rate == 0.25
+        assert spans.TRACER.buffer is buffer
+        assert len(buffer) == 1
+        # OFF uninstalls
+        assert spans.set_sample_rate(None) is None
+        assert spans.TRACER is None
+        spans.set_sample_rate(0.0)
+        assert spans.TRACER is None
+
+
+class TestParenting:
+    def test_nesting_publishes_thread_local_parent(self):
+        tracer = spans.install()
+        with tracer.start_trace("root") as root:
+            assert spans.active() is root
+            assert spans.current_trace_id() == root.trace_id
+            with spans.child("middle", depth=1) as middle:
+                assert middle.parent_id == root.span_id
+                assert middle.trace_id == root.trace_id
+                spans.record("leaf", 0.0)
+            assert spans.active() is root
+        assert spans.active() is None
+        by_name = {s["name"]: s for s in tracer.buffer.snapshot()}
+        assert set(by_name) == {"root", "middle", "leaf"}
+        assert by_name["root"]["parent_id"] is None
+        assert by_name["middle"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["leaf"]["parent_id"] == by_name["middle"]["span_id"]
+        assert by_name["middle"]["attrs"] == {"depth": 1}
+
+    def test_record_uses_caller_perf_counter_stamp(self):
+        import time
+
+        tracer = spans.install()
+        with tracer.start_trace("root"):
+            started = time.perf_counter() - 0.05  # 50 ms ago
+            spans.record("timed", started, rows=3)
+        timed = tracer.buffer.for_trace(
+            tracer.buffer.snapshot()[0]["trace_id"]
+        )
+        entry = next(s for s in timed if s["name"] == "timed")
+        assert entry["duration_ms"] >= 50.0
+        assert entry["attrs"] == {"rows": 3}
+
+    def test_continue_trace_joins_wire_context(self):
+        tracer = spans.install()
+        root = tracer.start_trace("client")
+        context = root.context()
+        server = tracer.continue_trace("server", context, op="query")
+        assert server.trace_id == root.trace_id
+        assert server.parent_id == root.span_id
+        server.finish()
+        root.finish()
+        assert len(tracer.buffer.for_trace(root.trace_id)) == 2
+
+    def test_continue_trace_without_context_is_noop(self):
+        tracer = spans.install()
+        assert tracer.continue_trace("server", None) is spans.NOOP
+        assert tracer.continue_trace("server", {}) is spans.NOOP
+        assert tracer.continue_trace("server", {"trace_id": 7}) is spans.NOOP
+        assert len(tracer.buffer) == 0
+
+    def test_root_for_joins_or_samples(self):
+        tracer = spans.install()
+        joined = tracer.root_for("standby.apply", "abc123", lsn=4)
+        assert joined.trace_id == "abc123"
+        assert joined.parent_id is None
+        fresh = tracer.root_for("refresh.apply", None)
+        assert fresh.trace_id != "abc123"
+        joined.finish()
+        fresh.finish()
+
+    def test_error_annotation_on_exception(self):
+        tracer = spans.install()
+        with pytest.raises(ValueError):
+            with tracer.start_trace("boom"):
+                raise ValueError("nope")
+        [span] = tracer.buffer.snapshot()
+        assert span["attrs"]["error"] == "ValueError: nope"
+
+    def test_attach_republishes_on_another_thread(self):
+        tracer = spans.install()
+        root = tracer.start_trace("loop-side")
+        seen = {}
+
+        def worker():
+            with spans.attach(root) as span:
+                seen["active"] = spans.active()
+                span.record("pool-side", 0.0)
+            seen["after"] = spans.active()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["active"] is root
+        assert seen["after"] is None
+        # attach must NOT finish the span — the creator owns it
+        assert len(tracer.buffer.for_trace(root.trace_id)) == 1
+        root.finish()
+        assert len(tracer.buffer.for_trace(root.trace_id)) == 2
+        assert spans.attach(None) is spans.NOOP
+        assert spans.attach(spans.NOOP) is spans.NOOP
+
+
+class TestBuffer:
+    def test_ring_bound_and_dropped_counter(self):
+        buffer = spans.SpanBuffer(capacity=4)
+        for i in range(10):
+            buffer.append({"trace_id": f"t{i}", "name": "s"})
+        assert len(buffer) == 4
+        assert buffer.dropped == 6
+        assert [s["trace_id"] for s in buffer.snapshot()] == [
+            "t6", "t7", "t8", "t9",
+        ]
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.dropped == 0
+
+    def test_finish_is_idempotent(self):
+        tracer = spans.install()
+        span = tracer.start_trace("once")
+        span.finish()
+        span.finish()
+        assert len(tracer.buffer) == 1
+
+    def test_json_and_chrome_export(self):
+        tracer = spans.install()
+        with tracer.start_trace("root", op="query") as root:
+            root.child("child").finish()
+        dumped = json.loads(tracer.buffer.to_json())
+        assert len(dumped) == 2
+        events = tracer.buffer.to_chrome()
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1  # one trace -> one pid slot
+            assert event["dur"] >= 0
+            assert event["args"]["trace_id"] == root.trace_id
+        root_event = next(e for e in events if e["name"] == "root")
+        assert root_event["args"]["op"] == "query"
+        assert root_event["args"]["parent_id"] is None
