@@ -23,8 +23,9 @@ shell understands:
 * ``\\slowlog`` — recent queries over the slow-query threshold
   (``SET SLOW QUERY <ms> | OFF`` adjusts it)
 * ``\\governor`` — query-governor status: session limits (``SET QUERY
-  TIMEOUT <ms> | OFF``, ``SET QUERY MAXROWS <n> | OFF``), admission
-  control, circuit-breaker state, and the last governor event
+  TIMEOUT <ms> | OFF``, ``SET QUERY MAXROWS <n> | OFF``, ``SET QUERY
+  MAXMEM <bytes> | OFF``), admission control, circuit-breaker state,
+  and the last governor event
 * ``\\connect HOST:PORT`` — switch to remote mode: subsequent SQL,
   ``\\metrics``, and ``\\governor`` go to a ``repro serve`` server over
   the wire protocol (docs/SERVER.md); ``\\disconnect`` switches back
@@ -327,6 +328,7 @@ class Shell:
         histogram quantiles still apply."""
         from repro.obs import spans as _spans
         from repro.obs.metrics import Histogram
+        from repro.resources.broker import BROKER
 
         db = self.database
         scheduler = db.refresh_scheduler
@@ -363,6 +365,7 @@ class Shell:
                     s.name for s in db.quarantined_summary_tables()
                 ),
             },
+            "memory": BROKER.snapshot(),
             "latency_ms": latency,
             "tracing": tracing,
         }
@@ -393,23 +396,44 @@ class Shell:
             self.write(line)
         wal = status.get("wal")
         if wal:
-            self.write(
+            line = (
                 f"  wal: {wal.get('depth_since_checkpoint', 0)} record(s) "
                 f"since checkpoint (durable lsn {wal.get('durable_lsn', 0)}, "
                 f"checkpoint lsn {wal.get('checkpoint_lsn', 0)}, "
                 f"{wal.get('checkpoints', 0)} checkpoint(s), "
                 f"sync={wal.get('sync', '?')})"
             )
+            if wal.get("disk_full"):
+                line += " DISK FULL — mutations refused until space returns"
+            self.write(line)
         cache = status.get("cache")
         if cache:
             rate = cache.get("hit_rate")
             rate_text = f"{rate:.1%}" if rate is not None else "n/a"
-            self.write(
+            line = (
                 f"  cache: {cache.get('entries', 0)} entries, "
                 f"hit rate {rate_text} "
                 f"({cache.get('hits', 0)} hits / "
                 f"{cache.get('stale_hits', 0)} stale / "
                 f"{cache.get('misses', 0)} misses)"
+            )
+            if "bytes" in cache:
+                limit = cache.get("max_bytes")
+                line += f", {cache['bytes']} byte(s)"
+                if limit is not None:
+                    line += f" of {limit}"
+            self.write(line)
+        memory = status.get("memory")
+        if memory:
+            limit = memory.get("limit")
+            limit_text = f"{limit} byte(s)" if limit is not None else "off"
+            self.write(
+                f"  memory: limit {limit_text}, "
+                f"{memory.get('reserved_bytes', 0)} reserved "
+                f"(peak {memory.get('peak_bytes', 0)}), "
+                f"{memory.get('denials', 0)} denial(s), "
+                f"{memory.get('sheds', 0)} shed(s) freeing "
+                f"{memory.get('shed_bytes', 0)} byte(s)"
             )
         governor = status.get("governor")
         if governor:
@@ -684,6 +708,23 @@ def serve_main(argv: list[str]) -> int:
         help="semantic result cache entries (LRU)",
     )
     parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="semantic result cache byte budget (estimated; entries are "
+        "evicted byte-weighted LRU once exceeded)",
+    )
+    parser.add_argument(
+        "--mem-limit",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="process-wide query working-memory budget: queries spill "
+        "or shed once reservations reach this many bytes (default: "
+        "unbounded; per-query: SET QUERY MAXMEM)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable the semantic result cache",
@@ -766,6 +807,13 @@ def serve_main(argv: list[str]) -> int:
     if armed:
         print(f"fault injection armed: {', '.join(armed)}", file=sys.stderr)
 
+    if args.mem_limit is not None:
+        if args.mem_limit < 1:
+            parser.error("--mem-limit must be a positive byte count")
+        from repro.resources.broker import BROKER
+
+        BROKER.set_limit(args.mem_limit)
+
     import signal
     import threading
 
@@ -841,6 +889,7 @@ def serve_main(argv: list[str]) -> int:
         port=args.port,
         cache_enabled=not args.no_cache,
         cache_size=args.cache_size,
+        cache_max_bytes=args.cache_bytes,
         max_workers=args.workers,
         wal=wal,
         repl_ack=args.repl_ack,

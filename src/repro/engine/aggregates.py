@@ -271,16 +271,23 @@ def merge_states(kind: str, distinct: bool, a, b):
 
 
 def finalize_state(kind: str, distinct: bool, state):
-    """Partial state → the aggregate's SQL result value."""
+    """Partial state → the aggregate's SQL result value.
+
+    DISTINCT sums iterate a *sorted* snapshot of the value set: set
+    iteration order depends on insertion history, and the spill path
+    round-trips states through an unordered on-disk encoding — sorting
+    makes finalization a pure function of the set's contents, so spilled
+    and in-memory execution produce bit-identical floats.
+    """
     if distinct:
         if kind in ("count", "count*"):
             return len(state)
         if not state:
             return None
         if kind == "sum":
-            return sum(state)
+            return sum(sorted(state))
         if kind == "avg":
-            return sum(state) / len(state)
+            return sum(sorted(state)) / len(state)
         if kind == "min":
             return min(state)
         return max(state)

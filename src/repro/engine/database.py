@@ -165,7 +165,8 @@ class Database:
     def execute(
         self, sql: str, use_summary_tables: bool = True, tolerance=None,
         token=None, timeout_ms=_GOV_UNSET, max_rows=_GOV_UNSET,
-        executor_parallel=_GOV_UNSET, client: str | None = None,
+        max_mem=_GOV_UNSET, executor_parallel=_GOV_UNSET,
+        client: str | None = None,
     ) -> Table:
         """Run a query, rewriting it over summary tables when possible.
 
@@ -185,14 +186,14 @@ class Database:
         """
         return self._execute_select(
             sql, sql, use_summary_tables, tolerance=tolerance, token=token,
-            timeout_ms=timeout_ms, max_rows=max_rows,
+            timeout_ms=timeout_ms, max_rows=max_rows, max_mem=max_mem,
             executor_parallel=executor_parallel, client=client,
         )
 
     def execute_statement(
         self, statement, sql_text: str | None = None,
         use_summary_tables: bool = True, tolerance=None, token=None,
-        timeout_ms=_GOV_UNSET, max_rows=_GOV_UNSET,
+        timeout_ms=_GOV_UNSET, max_rows=_GOV_UNSET, max_mem=_GOV_UNSET,
         executor_parallel=_GOV_UNSET, client: str | None = None,
     ) -> Table:
         """:meth:`execute` for an already-parsed SELECT statement (the
@@ -201,14 +202,15 @@ class Database:
         return self._execute_select(
             statement, sql_text, use_summary_tables, tolerance=tolerance,
             token=token, timeout_ms=timeout_ms, max_rows=max_rows,
-            executor_parallel=executor_parallel, client=client,
+            max_mem=max_mem, executor_parallel=executor_parallel,
+            client=client,
         )
 
     def _execute_select(
         self, source, sql_text: str | None, use_summary_tables: bool,
         tolerance=None, token=None, timeout_ms=_GOV_UNSET,
-        max_rows=_GOV_UNSET, executor_parallel=_GOV_UNSET,
-        client: str | None = None,
+        max_rows=_GOV_UNSET, max_mem=_GOV_UNSET,
+        executor_parallel=_GOV_UNSET, client: str | None = None,
     ) -> Table:
         """Bind → rewrite → run, with phase timers (bind/match/execute,
         milliseconds) in the metrics registry, optional match tracing
@@ -224,13 +226,20 @@ class Database:
         with self.governor.admission.admit():
             _spans.record("admission.wait", admit_pc)
             budget = self.governor.open_scope(
-                token, timeout_ms=timeout_ms, max_rows=max_rows
+                token, timeout_ms=timeout_ms, max_rows=max_rows,
+                max_mem=max_mem,
             )
-            with governor_scope.activate(budget):
-                return self._execute_governed(
-                    source, sql_text, use_summary_tables, tolerance,
-                    executor_parallel=executor_parallel, client=client,
-                )
+            try:
+                with governor_scope.activate(budget):
+                    return self._execute_governed(
+                        source, sql_text, use_summary_tables, tolerance,
+                        executor_parallel=executor_parallel, client=client,
+                    )
+            finally:
+                # Return the query's reserved bytes to the broker even
+                # when it failed or was cancelled mid-operator.
+                if budget is not None and budget.reservation is not None:
+                    budget.reservation.close()
 
     def _execute_governed(
         self, source, sql_text: str | None, use_summary_tables: bool,
@@ -398,6 +407,7 @@ class Database:
             InsertValues,
             RefreshSummaryTables,
             SetExecutorParallel,
+            SetQueryMaxMem,
             SetQueryMaxRows,
             SetQueryTimeout,
             SetRefreshAge,
@@ -460,6 +470,11 @@ class Database:
             if statement.max_rows is None:
                 return "query maxrows disabled"
             return f"query maxrows set to {statement.max_rows}"
+        if isinstance(statement, SetQueryMaxMem):
+            self.governor.max_mem = statement.max_mem
+            if statement.max_mem is None:
+                return "query maxmem disabled"
+            return f"query maxmem set to {statement.max_mem} byte(s)"
         if isinstance(statement, SetExecutorParallel):
             self.set_executor_parallel(statement.workers)
             if statement.workers is None:

@@ -46,10 +46,15 @@ from typing import Mapping
 
 from repro.engine import aggregates as _agg
 from repro.obs import spans as _spans
-from repro.engine.table import Table
-from repro.errors import ExecutionError
+from repro.engine.table import Table, estimate_columns_nbytes
+from repro.errors import (
+    ExecutionError,
+    MemoryBudgetExceeded,
+    QueryResourceError,
+)
 from repro.expr.vector import compile_vector, conjuncts
 from repro.governor import scope as governor_scope
+from repro.resources import spill as _spill
 from repro.testing import faults
 from repro.expr.nodes import AggCall, BinaryOp, ColumnRef, Expr
 from repro.qgm.boxes import (
@@ -72,6 +77,16 @@ BATCH_ROWS = 4096
 #: (the same cadence as the historical row-at-a-time executor)
 _TICK_EVERY = 1024
 
+#: per-row memory-charge constants for the two spill-capable operators.
+#: Deliberately coarse (a dict slot + a small list + object headers on a
+#: 64-bit CPython): the broker bounds order of magnitude, not malloc.
+_JOIN_ENTRY_NBYTES = 96
+_GROUP_ROW_NBYTES = 48
+_STATE_NBYTES = 64
+
+#: spilled operators never fan out beyond this many partition runs
+_MAX_SPILL_PARTS = 64
+
 
 class ExecutorStats:
     """Per-run batch/parallelism counters (EXPLAIN ANALYZE's
@@ -84,6 +99,9 @@ class ExecutorStats:
         "workers",
         "batch_rows",
         "join_builds",
+        "spills",
+        "spill_runs",
+        "spill_bytes",
     )
 
     def __init__(self, workers: int, batch_rows: int):
@@ -94,6 +112,9 @@ class ExecutorStats:
         self.batch_rows = batch_rows
         #: one entry per hash join: which input became the build side
         self.join_builds: list[dict] = []
+        self.spills = 0  # operators that degraded to spill-to-disk
+        self.spill_runs = 0  # temp-file runs written across all spills
+        self.spill_bytes = 0  # framed bytes written across all spills
 
     def describe_lines(self) -> list[str]:
         lines = [
@@ -112,6 +133,12 @@ class ExecutorStats:
                 f"  hash join  build={build['build']} "
                 f"({build['build_rows']} rows), probe "
                 f"{build['probe_rows']} rows"
+                + (" [spilled]" if build.get("spilled") else "")
+            )
+        if self.spills:
+            lines.append(
+                f"  spill      {self.spills} operator(s), "
+                f"{self.spill_runs} run(s), {self.spill_bytes} byte(s)"
             )
         return lines
 
@@ -308,6 +335,17 @@ class Executor:
                     "executor_batch_parallel_tasks",
                     "morsels executed on worker threads",
                 ).inc(stats.parallel_tasks)
+            if stats.spills:
+                metrics.counter(
+                    "executor_spill_count",
+                    "operators that degraded to spill-to-disk",
+                ).inc(stats.spills)
+                metrics.counter(
+                    "executor_spill_runs", "spill runs written"
+                ).inc(stats.spill_runs)
+                metrics.counter(
+                    "executor_spill_bytes", "framed spill bytes written"
+                ).inc(stats.spill_bytes)
         if _spans.TRACER is not None:
             _spans.record(
                 "executor.run", run_pc, boxes=len(memo),
@@ -528,50 +566,79 @@ class Executor:
                 "probe_rows": probe.nrows,
             }
         )
-        buckets = self._build_buckets(build_key_cols, build.nrows, ctx)
-        single = len(probe_key_cols) == 1
         budget = ctx.budget
-        out_count = [0]  # shared high-water counter (approximate under parallel)
+        reservation = budget.reservation if budget is not None else None
+        charged = 0
+        if reservation is not None:
+            estimate = (
+                estimate_columns_nbytes(build_key_cols)
+                + build.nrows * _JOIN_ENTRY_NBYTES
+            )
+            try:
+                reservation.charge(estimate)
+                charged = estimate
+            except MemoryBudgetExceeded:
+                ctx.stats.join_builds[-1]["spilled"] = True
+                build_take, probe_take = self._hash_join_spilled(
+                    build, probe, build_key_cols, probe_key_cols,
+                    ctx, estimate,
+                )
+                return self._gather_join(
+                    left, right, build_left, build_take, probe_take
+                )
+        try:
+            buckets = self._build_buckets(build_key_cols, build.nrows, ctx)
+            single = len(probe_key_cols) == 1
+            out_count = [0]  # shared high-water (approximate under parallel)
 
-        def probe_task(chunk):
-            build_take: list[int] = []
-            probe_take: list[int] = []
-            extend_b = build_take.extend
-            append_p = probe_take.append
-            if single:
-                col = probe_key_cols[0]
-                get = buckets.get
-                for i in chunk:
-                    bucket = get(col[i])
-                    if bucket is None:
-                        continue
-                    extend_b(bucket)
-                    if len(bucket) == 1:
-                        append_p(i)
-                    else:
+            def probe_task(chunk):
+                build_take: list[int] = []
+                probe_take: list[int] = []
+                extend_b = build_take.extend
+                append_p = probe_take.append
+                if single:
+                    col = probe_key_cols[0]
+                    get = buckets.get
+                    for i in chunk:
+                        bucket = get(col[i])
+                        if bucket is None:
+                            continue
+                        extend_b(bucket)
+                        if len(bucket) == 1:
+                            append_p(i)
+                        else:
+                            probe_take.extend([i] * len(bucket))
+                else:
+                    get = buckets.get
+                    for i in chunk:
+                        bucket = get(tuple(col[i] for col in probe_key_cols))
+                        if bucket is None:
+                            continue
+                        extend_b(bucket)
                         probe_take.extend([i] * len(bucket))
-            else:
-                get = buckets.get
-                for i in chunk:
-                    bucket = get(tuple(col[i] for col in probe_key_cols))
-                    if bucket is None:
-                        continue
-                    extend_b(bucket)
-                    probe_take.extend([i] * len(bucket))
-            ctx.tick(len(chunk))
-            if budget is not None:
-                # MAXROWS high-water *while* the output grows, so a row
-                # explosion is caught mid-join rather than after it.
-                out_count[0] += len(build_take)
-                budget.check_rows(out_count[0], "joined rows")
-            return build_take, probe_take
+                ctx.tick(len(chunk))
+                if budget is not None:
+                    # MAXROWS high-water *while* the output grows, so a
+                    # row explosion is caught mid-join rather than after.
+                    out_count[0] += len(build_take)
+                    budget.check_rows(out_count[0], "joined rows")
+                return build_take, probe_take
 
-        parts = ctx.map(probe_task, _split(range(probe.nrows), ctx.chunk))
-        if len(parts) == 1:
-            build_take, probe_take = parts[0]
-        else:
-            build_take = list(chain.from_iterable(p[0] for p in parts))
-            probe_take = list(chain.from_iterable(p[1] for p in parts))
+            parts = ctx.map(probe_task, _split(range(probe.nrows), ctx.chunk))
+            if len(parts) == 1:
+                build_take, probe_take = parts[0]
+            else:
+                build_take = list(chain.from_iterable(p[0] for p in parts))
+                probe_take = list(chain.from_iterable(p[1] for p in parts))
+        finally:
+            if charged:
+                reservation.release(charged)
+        return self._gather_join(left, right, build_left, build_take, probe_take)
+
+    @staticmethod
+    def _gather_join(
+        left: _Rel, right: _Rel, build_left: bool, build_take, probe_take
+    ) -> _Rel:
         if build_left:
             left_take, right_take = build_take, probe_take
         else:
@@ -579,6 +646,128 @@ class Executor:
         cols = [[c[i] for i in left_take] for c in left.cols]
         cols += [[c[i] for i in right_take] for c in right.cols]
         return _Rel(cols, len(left_take), False)
+
+    def _hash_join_spilled(
+        self, build, probe, build_key_cols, probe_key_cols, ctx: _Ctx,
+        estimate: int,
+    ) -> tuple[list[int], list[int]]:
+        """Grace-style spilled hash join, bit-identical to the in-memory
+        path.
+
+        The build side's ``(key, row index)`` pairs are partitioned by
+        key hash into CRC-framed temp-file runs; each partition is then
+        rebuilt as a small bucket table and probed with that partition's
+        probe rows. Every key lives in exactly one partition and each
+        run preserves ascending build order, so sorting the collected
+        ``(probe row, build row)`` pairs reproduces the in-memory output
+        order exactly: probe-major, bucket insertion order within.
+
+        A run that cannot be written (spill disk full, or the armed
+        ``executor.spill`` fault) is the bottom of the resource ladder:
+        the query fails with a typed ``QueryResourceError``.
+        """
+        budget = ctx.budget
+        reservation = budget.reservation
+        headroom = reservation.headroom() or 0
+        if headroom > 0:
+            nparts = min(_MAX_SPILL_PARTS, max(2, -(-estimate // headroom)))
+        else:
+            nparts = 8
+        single = len(build_key_cols) == 1
+
+        def partition_ids(key_cols, nrows: int) -> list[int]:
+            """Partition id per row; -1 for NULL keys (never equi-join)."""
+            pids = [-1] * nrows
+            for chunk in _split(range(nrows), ctx.chunk):
+                if single:
+                    col = key_cols[0]
+                    for i in chunk:
+                        value = col[i]
+                        if value is not None:
+                            pids[i] = hash(value) % nparts
+                else:
+                    for i in chunk:
+                        key = tuple(col[i] for col in key_cols)
+                        if None not in key:
+                            pids[i] = hash(key) % nparts
+                ctx.tick(len(chunk))
+            return pids
+
+        build_pids = partition_ids(build_key_cols, build.nrows)
+        runs = []
+        pairs: list[tuple[int, int]] = []
+        try:
+            for p in range(nparts):
+                if single:
+                    col = build_key_cols[0]
+                    records = (
+                        [col[i], i]
+                        for i in range(build.nrows)
+                        if build_pids[i] == p
+                    )
+                else:
+                    records = (
+                        [tuple(col[i] for col in build_key_cols), i]
+                        for i in range(build.nrows)
+                        if build_pids[i] == p
+                    )
+                try:
+                    runs.append(_spill.write_run(records, label="join"))
+                except (OSError, faults.InjectedFault) as error:
+                    raise QueryResourceError(
+                        "hash join exceeded its memory budget and the "
+                        f"spill path failed: {error}"
+                    ) from error
+            self._note_spill(ctx, runs)
+            probe_pids = partition_ids(probe_key_cols, probe.nrows)
+            probe_by_part: list[list[int]] = [[] for _ in range(nparts)]
+            for i, pid in enumerate(probe_pids):
+                if pid >= 0:
+                    probe_by_part[pid].append(i)
+            probe_single = len(probe_key_cols) == 1
+            for p, run in enumerate(runs):
+                buckets: dict = {}
+                get = buckets.get
+                for key, build_i in run.read():
+                    bucket = get(key)
+                    if bucket is None:
+                        buckets[key] = [build_i]
+                    else:
+                        bucket.append(build_i)
+                probe_rows = probe_by_part[p]
+                if probe_single:
+                    col = probe_key_cols[0]
+                    for i in probe_rows:
+                        bucket = get(col[i])
+                        if bucket is not None:
+                            pairs.extend((i, b) for b in bucket)
+                else:
+                    for i in probe_rows:
+                        bucket = get(
+                            tuple(col[i] for col in probe_key_cols)
+                        )
+                        if bucket is not None:
+                            pairs.extend((i, b) for b in bucket)
+                ctx.tick(len(probe_rows))
+                if budget is not None:
+                    budget.check_rows(len(pairs), "joined rows")
+        finally:
+            for run in runs:
+                run.delete()
+        # Bucket lists hold ascending build rows, so a plain sort equals
+        # the in-memory probe-major emit order.
+        pairs.sort()
+        return [b for _, b in pairs], [i for i, _ in pairs]
+
+    @staticmethod
+    def _note_spill(ctx: _Ctx, runs) -> None:
+        nbytes = sum(run.nbytes for run in runs)
+        reservation = ctx.budget.reservation
+        reservation.note_spill(len(runs), nbytes)
+        stats = ctx.stats
+        stats.spills += 1
+        stats.spill_runs += len(runs)
+        stats.spill_bytes += nbytes
 
     def _build_buckets(self, key_cols, nrows: int, ctx: _Ctx) -> dict:
         """Hash-side build: key → list of build-row indices (NULL keys
@@ -754,13 +943,37 @@ class Executor:
         key_indexes = [grouping_source[name] for name in grouping_set]
         key_cols = [rel.cols[i] for i in key_indexes]
 
-        ranges = ctx.partitions(rel.nrows)
+        budget = ctx.budget
+        reservation = budget.reservation if budget is not None else None
+        charged = 0
+        spilled = False
+        if reservation is not None:
+            estimate = (
+                estimate_columns_nbytes(key_cols)
+                + rel.nrows
+                * (_GROUP_ROW_NBYTES + _STATE_NBYTES * len(specs))
+            )
+            try:
+                reservation.charge(estimate)
+                charged = estimate
+            except MemoryBudgetExceeded:
+                spilled = True
+        try:
+            if spilled:
+                order, states = self._cuboid_spilled(
+                    key_cols, specs, rel, ctx
+                )
+            else:
+                ranges = ctx.partitions(rel.nrows)
 
-        def task(rng):
-            return self._cuboid_partial(key_cols, specs, rel, rng, ctx)
+                def task(rng):
+                    return self._cuboid_partial(key_cols, specs, rel, rng, ctx)
 
-        parts = ctx.map(task, ranges)
-        order, states = _merge_partials(parts, specs)
+                parts = ctx.map(task, ranges)
+                order, states = _merge_partials(parts, specs)
+        finally:
+            if charged:
+                reservation.release(charged)
         if not order and not grouping_set:
             # Grand total over an empty input still yields one row.
             order = [()]
@@ -845,6 +1058,169 @@ class Executor:
             if budget is not None:
                 budget.checkpoint("execute")
         return order, states
+
+    def _cuboid_spilled(self, key_cols, specs, rel: _Rel, ctx: _Ctx):
+        """Spill-to-disk GROUP BY for one cuboid, bit-identical to the
+        in-memory path.
+
+        Rows are partitioned by group-key hash; each partition's rows
+        (ascending, so every group accumulates its inputs in original
+        order) are aggregated into partial states and written to a
+        CRC-framed run as ``[first row index, key, states]`` records.
+        The runs are then merged with the re-derivation algebra — rules
+        (a)–(g) via :func:`repro.engine.aggregates.merge_states` — and
+        the groups sorted by first-seen row index, which reproduces the
+        serial pass's group order. Bit-identity hinges on every key's
+        state coming from ONE sequential pass over all of its rows in
+        ascending order: a key's rows never span partitions, and a
+        partition is never subdivided, so ``merge_states`` only ever
+        sees a key that appears in multiple runs — which cannot happen
+        here — making the merge a pure concatenation in practice.
+        (Splitting a partition into sub-segments and merging their
+        partial states would re-associate float sums — ``fold(a)+
+        fold(b)`` instead of ``fold(a+b)`` — and break bit-identity
+        for whichever keys straddle the split, a function of the
+        per-process hash seed.) ``nparts`` is sized so one partition's
+        pass fits the reservation's headroom; under extreme pressure
+        the ``_MAX_SPILL_PARTS`` cap wins and the pass may transiently
+        exceed it, trading strictness for exactness.
+        """
+        budget = ctx.budget
+        reservation = budget.reservation
+        nspecs = len(specs)
+        per_row = _GROUP_ROW_NBYTES + _STATE_NBYTES * nspecs
+        headroom = reservation.headroom() or 0
+        if headroom > 0:
+            nparts = min(
+                _MAX_SPILL_PARTS, max(2, -(-(rel.nrows * per_row) // headroom))
+            )
+        else:
+            nparts = 8
+        nkeys = len(key_cols)
+        pids = [0] * rel.nrows
+        for chunk in _split(range(rel.nrows), ctx.chunk):
+            if nkeys == 1:
+                col = key_cols[0]
+                for i in chunk:
+                    pids[i] = hash(col[i]) % nparts
+            elif nkeys > 1:
+                for i in chunk:
+                    pids[i] = hash(tuple(col[i] for col in key_cols)) % nparts
+            ctx.tick(len(chunk))
+        rows_by_part: list[list[int]] = [[] for _ in range(nparts)]
+        for i, pid in enumerate(pids):
+            rows_by_part[pid].append(i)
+        runs = []
+        group_of: dict = {}
+        order: list = []
+        firsts: list[int] = []
+        merged: list[list] = [[] for _ in specs]
+        try:
+            for rows in rows_by_part:
+                if not rows:
+                    continue
+                part_order, part_firsts, part_states = self._cuboid_pass(
+                    key_cols, specs, rel, rows, ctx
+                )
+                records = (
+                    [
+                        part_firsts[g],
+                        key,
+                        [part_states[s][g] for s in range(nspecs)],
+                    ]
+                    for g, key in enumerate(part_order)
+                )
+                try:
+                    runs.append(_spill.write_run(records, label="group"))
+                except (OSError, faults.InjectedFault) as error:
+                    raise QueryResourceError(
+                        "GROUP BY exceeded its memory budget and the "
+                        f"spill path failed: {error}"
+                    ) from error
+            self._note_spill(ctx, runs)
+            for run in runs:
+                for first, key, states in run.read():
+                    gid = group_of.get(key)
+                    if gid is None:
+                        group_of[key] = len(order)
+                        order.append(key)
+                        firsts.append(first)
+                        for s in range(nspecs):
+                            merged[s].append(states[s])
+                    else:
+                        if first < firsts[gid]:
+                            firsts[gid] = first
+                        for s, (_, _, _, kind, distinct) in enumerate(specs):
+                            merged[s][gid] = _agg.merge_states(
+                                kind, distinct, merged[s][gid], states[s]
+                            )
+                budget.check_rows(len(order), "grouped rows")
+        finally:
+            for run in runs:
+                run.delete()
+        permutation = sorted(range(len(order)), key=firsts.__getitem__)
+        return (
+            [order[g] for g in permutation],
+            [[column[g] for g in permutation] for column in merged],
+        )
+
+    def _cuboid_pass(self, key_cols, specs, rel: _Rel, rows, ctx: _Ctx):
+        """Like :meth:`_cuboid_partial` over an explicit row-index list,
+        additionally reporting each group's first (global) row index so
+        the spill merge can restore the serial first-seen order."""
+        group_of: dict = {}
+        order: list = []
+        firsts: list[int] = []
+        gids: list[int] = []
+        gid_append = gids.append
+        nkeys = len(key_cols)
+        for chunk in _split(rows, ctx.chunk):
+            if nkeys == 1:
+                col = key_cols[0]
+                get = group_of.get
+                for i in chunk:
+                    value = col[i]
+                    gid = get(value)
+                    if gid is None:
+                        gid = group_of[value] = len(order)
+                        order.append(value)
+                        firsts.append(i)
+                    gid_append(gid)
+            elif nkeys == 0:
+                if len(chunk) and not order:
+                    order.append(())
+                    firsts.append(chunk[0])
+                gids.extend([0] * len(chunk))
+            else:
+                get = group_of.get
+                for i in chunk:
+                    key = tuple(col[i] for col in key_cols)
+                    gid = get(key)
+                    if gid is None:
+                        gid = group_of[key] = len(order)
+                        order.append(key)
+                        firsts.append(i)
+                    gid_append(gid)
+            ctx.tick(len(chunk))
+        ngroups = len(order)
+        states = []
+        arg_cache: dict[int, list] = {}
+        budget = ctx.budget
+        for _, _, arg_index, kind, distinct in specs:
+            if arg_index is None:
+                values = None
+            else:
+                values = arg_cache.get(arg_index)
+                if values is None:
+                    col = rel.cols[arg_index]
+                    values = [col[i] for i in rows]
+                    arg_cache[arg_index] = values
+            states.append(
+                _agg.partial_states(kind, distinct, gids, ngroups, values)
+            )
+            if budget is not None:
+                budget.checkpoint("execute")
+        return order, firsts, states
 
 
 def _merge_partials(parts, specs):

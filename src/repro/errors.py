@@ -63,11 +63,19 @@ class GovernorError(ReproError):
 
 class QueryRejected(GovernorError):
     """Admission control shed this query: the concurrent-query limit was
-    reached and the wait queue was full (or the queue wait timed out).
+    reached and the wait queue was full (or the queue wait timed out),
+    or the memory broker reported global pressure.
 
     Load shedding is deliberate back-pressure, not a fault — retrying
-    later is the expected response.
+    later is the expected response. ``details`` carries the structured
+    load snapshot (running/queued/reserved bytes and the configured
+    limits) so clients can back off intelligently; it rides the wire in
+    the error payload's ``details`` field.
     """
+
+    def __init__(self, message: str, details: dict | None = None):
+        super().__init__(message)
+        self.details = details or {}
 
 
 class QueryTimeout(GovernorError):
@@ -92,6 +100,22 @@ class MatchBudgetExceeded(BudgetExhausted):
     pairing budget was spent). The rewrite sandbox catches this and
     degrades the query to base-table execution — it only escapes to
     callers who invoke the matcher directly."""
+
+
+class MemoryBudgetExceeded(BudgetExhausted):
+    """A query's memory reservation (``SET QUERY MAXMEM`` or the
+    process-wide ``--mem-limit`` broker) could not grant a charge. The
+    executor's spill-capable operators catch this and degrade to
+    spill-to-disk execution; it only escapes from sites with no spill
+    recourse (and from the reservation API when called directly)."""
+
+
+class QueryResourceError(GovernorError):
+    """The query exhausted its memory budget *and* the spill path could
+    not absorb the overflow (spill disk full or unwritable). This is the
+    bottom rung of the resource degradation ladder: the query fails with
+    a typed error instead of taking the process down with MemoryError or
+    an unhandled ENOSPC."""
 
 
 class MaintenanceError(ReproError):

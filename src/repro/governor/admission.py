@@ -20,6 +20,7 @@ import threading
 import time
 
 from repro.errors import QueryRejected
+from repro.resources.broker import BROKER
 from repro.testing import faults
 
 
@@ -76,6 +77,14 @@ class AdmissionController:
         or raise :class:`QueryRejected`. Returns a context manager whose
         exit releases the slot."""
         faults.fire("governor.admit")
+        if BROKER.admission_blocked():
+            # Coordinated shedding: the process-wide memory broker is at
+            # its limit, so even a free slot must not add more demand.
+            self._count("rejected")
+            raise QueryRejected(
+                "memory broker at its limit; query shed before admission",
+                details=self._load_details(),
+            )
         if self.max_concurrent is None:
             return _Admission(self, held=False)
         with self._lock:
@@ -90,7 +99,8 @@ class AdmissionController:
                     f"admission queue full ({self.running} running, "
                     f"{self.waiting} waiting; limits: "
                     f"{self.max_concurrent} concurrent, "
-                    f"{self.max_queue} queued)"
+                    f"{self.max_queue} queued)",
+                    details=self._load_details(),
                 )
             self.waiting += 1
             self._gauge("waiting", self.waiting)
@@ -111,7 +121,8 @@ class AdmissionController:
                         self._count("rejected")
                         raise QueryRejected(
                             f"timed out after {self.queue_timeout_ms:g} ms "
-                            "waiting for an admission slot"
+                            "waiting for an admission slot",
+                            details=self._load_details(),
                         )
                     if budget is not None:
                         budget -= time.monotonic() - started
@@ -122,7 +133,8 @@ class AdmissionController:
                             self._count("rejected")
                             raise QueryRejected(
                                 f"timed out after {self.queue_timeout_ms:g} "
-                                "ms waiting for an admission slot"
+                                "ms waiting for an admission slot",
+                                details=self._load_details(),
                             )
             finally:
                 self.waiting -= 1
@@ -153,6 +165,21 @@ class AdmissionController:
         if gauge is not None:
             gauge.set(value)
 
+    def _load_details(self) -> dict:
+        """The structured load snapshot a ``QueryRejected`` carries so
+        clients can back off intelligently. Lock-free on purpose — two
+        of the raise sites already hold ``self._lock``, and slightly
+        racy gauge reads are fine in an error payload."""
+        return {
+            "running": self.running,
+            "waiting": self.waiting,
+            "max_concurrent": self.max_concurrent,
+            "max_queue": self.max_queue,
+            "queue_timeout_ms": self.queue_timeout_ms,
+            "reserved_bytes": BROKER.reserved(),
+            "mem_limit": BROKER.limit,
+        }
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -162,6 +189,8 @@ class AdmissionController:
                 "queue_timeout_ms": self.queue_timeout_ms,
                 "running": self.running,
                 "waiting": self.waiting,
+                "reserved_bytes": BROKER.reserved(),
+                "mem_limit": BROKER.limit,
             }
 
 

@@ -141,7 +141,7 @@ class QueryBudget:
     __slots__ = (
         "deadline", "token", "max_rows", "match_pairings", "check_every",
         "phase_ticks", "degraded", "degraded_reason", "fingerprint",
-        "_since_check", "_counters",
+        "reservation", "_since_check", "_counters",
     )
 
     def __init__(
@@ -152,10 +152,15 @@ class QueryBudget:
         match_budget: int | None = None,
         check_every: int = DEFAULT_CHECK_EVERY,
         counters: dict | None = None,
+        reservation=None,
     ):
         self.deadline = deadline
         self.token = token or CancellationToken()
         self.max_rows = max_rows
+        #: the query's MemoryReservation (``SET QUERY MAXMEM`` /
+        #: ``--mem-limit``), or None when memory is unbudgeted; the
+        #: executor's spill-capable operators charge against it
+        self.reservation = reservation
         self.match_pairings = Budget(match_budget, "match pairings")
         self.check_every = check_every
         self.phase_ticks: dict[str, int] = {}
@@ -268,6 +273,10 @@ class QueryBudget:
             "  maxrows     "
             + (str(self.max_rows) if self.max_rows is not None else "off")
         )
+        if self.reservation is not None:
+            lines.extend(
+                "  " + line for line in self.reservation.describe_lines()
+            )
         if self.match_pairings.limit is not None:
             lines.append(
                 f"  match budget {self.match_pairings.limit} pairings "

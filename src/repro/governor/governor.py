@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.governor.admission import AdmissionController
 from repro.governor.breaker import CircuitBreaker
 from repro.governor.budget import CancellationToken, Deadline, QueryBudget
+from repro.resources.broker import BROKER
 
 if False:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -34,6 +35,7 @@ class QueryGovernor:
     def __init__(self, metrics: "MetricsRegistry | None" = None):
         self.timeout_ms: float | None = None
         self.max_rows: int | None = None
+        self.max_mem: int | None = None
         self.match_budget: int | None = None
         self._metrics = metrics
         self._budget_counters = {}
@@ -98,6 +100,7 @@ class QueryGovernor:
         return (
             self.timeout_ms is not None
             or self.max_rows is not None
+            or self.max_mem is not None
             or self.match_budget is not None
         )
 
@@ -106,6 +109,7 @@ class QueryGovernor:
         token: CancellationToken | None = None,
         timeout_ms=UNSET,
         max_rows=UNSET,
+        max_mem=UNSET,
     ) -> QueryBudget | None:
         """Mint the budget for one query, or None when fully disarmed.
 
@@ -121,16 +125,24 @@ class QueryGovernor:
             self.timeout_ms if timeout_ms is UNSET else timeout_ms
         )
         effective_rows = self.max_rows if max_rows is UNSET else max_rows
+        effective_mem = self.max_mem if max_mem is UNSET else max_mem
         if (
             effective_timeout is None
             and effective_rows is None
             and self.match_budget is None
             and token is None
+            and effective_mem is None
+            and not BROKER.limited
         ):
             return None
         deadline = (
             Deadline(effective_timeout)
             if effective_timeout is not None
+            else None
+        )
+        reservation = (
+            BROKER.reserve(limit=effective_mem)
+            if effective_mem is not None or BROKER.limited
             else None
         )
         return QueryBudget(
@@ -139,6 +151,7 @@ class QueryGovernor:
             max_rows=effective_rows,
             match_budget=self.match_budget,
             counters=self._budget_counters,
+            reservation=reservation,
         )
 
     def note_degradation(self) -> None:
@@ -161,8 +174,16 @@ class QueryGovernor:
         lines = [
             f"query timeout   {onoff(self.timeout_ms, ' ms')}",
             f"query maxrows   {onoff(self.max_rows)}",
+            f"query maxmem    {onoff(self.max_mem, ' bytes')}",
             f"match budget    {onoff(self.match_budget, ' pairings')}",
         ]
+        if BROKER.limited:
+            snap = BROKER.snapshot()
+            lines.append(
+                f"memory broker   {snap['limit']} bytes process-wide "
+                f"({snap['reserved_bytes']} reserved, "
+                f"{snap['denials']} denial(s), {snap['sheds']} shed(s))"
+            )
         if admission["enabled"]:
             lines.append(
                 f"admission       {admission['max_concurrent']} concurrent, "

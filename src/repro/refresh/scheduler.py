@@ -55,7 +55,14 @@ from repro.errors import QueryCancelled, ReproError
 from repro.governor import scope as governor_scope
 from repro.governor.budget import CancellationToken, QueryBudget
 from repro.obs import spans as _spans
+from repro.resources.broker import BROKER
 from repro.testing import faults
+
+
+class _DeferRecompute(Exception):
+    """Internal: a fallback recompute was postponed because the memory
+    broker reports global pressure (recomputation is deferrable work;
+    user queries are not). Never escapes the scheduler."""
 
 
 class RefreshScheduler:
@@ -126,6 +133,8 @@ class RefreshScheduler:
                 ("fallback_recomputes", "refreshes that fell back to full recompute"),
                 ("batches_applied", "delta batches merged into summaries"),
                 ("retries_scheduled", "failed refreshes scheduled for retry"),
+                ("deferred_recomputes",
+                 "fallback recomputes postponed under memory pressure"),
                 ("quarantines", "summaries quarantined after repeated failures"),
             )
         }
@@ -157,6 +166,7 @@ class RefreshScheduler:
     fallback_recomputes = _counter_value("fallback_recomputes")
     batches_applied = _counter_value("batches_applied")
     retries_scheduled = _counter_value("retries_scheduled")
+    deferred_recomputes = _counter_value("deferred_recomputes")
     quarantines = _counter_value("quarantines")
     del _counter_value
 
@@ -370,6 +380,11 @@ class RefreshScheduler:
             # Not a failure: someone (stop(), interrupt(), REFRESH)
             # asked this refresh to yield. No backoff, no quarantine.
             self._on_cancelled(name, error)
+        except _DeferRecompute as deferred:
+            # Not a failure either: memory pressure postponed the
+            # recompute. Retry later without burning an attempt — the
+            # backoff ladder is for *broken* summaries, not busy hosts.
+            self._on_deferred(name, deferred)
         except Exception as error:  # keep the worker alive
             self._on_failure(name, error)
         else:
@@ -395,6 +410,21 @@ class RefreshScheduler:
             ):
                 self._queue.append(name)
                 self._queued.add(name)
+            self._condition.notify_all()
+
+    def _on_deferred(self, name: str, deferred: "_DeferRecompute") -> None:
+        """A fallback recompute yielded to memory pressure: remember
+        that the summary still needs a full recompute (its incremental
+        state is behind) and schedule a plain retry — no attempt
+        counted, no quarantine risk from being deferred repeatedly."""
+        with self._condition:
+            self._force_recompute.add(name)
+            self._retries[name] = time.monotonic() + self.retry_base_delay
+            self._counters["deferred_recomputes"].inc()
+            self.errors.append(
+                f"{name}: recompute deferred under memory pressure "
+                f"({deferred})"
+            )
             self._condition.notify_all()
 
     def _on_failure(self, name: str, error: Exception) -> None:
@@ -489,6 +519,14 @@ class RefreshScheduler:
                     except ReproError as error:
                         reason = f"incremental apply failed: {error}"
                 if reason is not None:
+                    with self._condition:
+                        draining = self._draining
+                    if BROKER.should_defer() and not draining:
+                        # Recomputation re-materializes the whole
+                        # summary; under global pressure that is the
+                        # first work to postpone. drain() (determinism
+                        # hook) still forces it through.
+                        raise _DeferRecompute(reason)
                     faults.fire("scheduler.recompute")
                     data = database.execute_graph(summary.graph)
                     summary.table.rows[:] = data.rows

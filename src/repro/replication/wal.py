@@ -39,6 +39,7 @@ replayed tail.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import shutil
@@ -576,6 +577,7 @@ class WriteAheadLog:
             raise WalError("journal is closed")
         position = handle.tell()
         try:
+            self._fire_disk_full()
             handle.write("".join(line for _, line in batch))
             handle.flush()
             faults.fire("wal.fsync")
@@ -604,6 +606,33 @@ class WriteAheadLog:
         if self._broken is not None:
             raise WalError(self._broken)
 
+    @staticmethod
+    def _fire_disk_full() -> None:
+        """The ``wal.disk_full`` injection point, translated to the
+        error a genuinely full volume produces so every consumer —
+        commit rollback, the server's degradation classifier — exercises
+        the real ENOSPC path."""
+        try:
+            faults.fire("wal.disk_full")
+        except faults.InjectedFault as error:
+            raise OSError(errno.ENOSPC, "injected disk full") from error
+
+    def probe_writable(self) -> None:
+        """Check whether the journal volume can take bytes again: write,
+        sync, and remove a tiny probe file. Raises ``OSError`` (ENOSPC)
+        while the disk is still full — the server polls this on each
+        refused mutation and lifts read-only mode once it succeeds.
+        Fires ``wal.disk_full`` so chaos tests control the recovery
+        point."""
+        self._fire_disk_full()
+        probe = self.directory / ".space-probe"
+        with probe.open("w", encoding="utf-8") as handle:
+            handle.write("probe\n")
+            handle.flush()
+            if self.sync == "fsync":
+                os.fsync(handle.fileno())
+        probe.unlink(missing_ok=True)
+
     def _stash_recent(self, record: WalRecord) -> None:
         self._recent.append(record)
         if len(self._recent) > self._recent_cap:
@@ -630,6 +659,7 @@ class WriteAheadLog:
         with self._cond:
             self._check_writable()
             lsn = self._next_lsn - 1
+        self._fire_disk_full()
         self._write_checkpoint(database, tokens or {}, lsn)
         self._open_segment(lsn + 1)
         with self._cond:

@@ -1,0 +1,19 @@
+"""Resource accounting: memory budgets, reservations, and spill runs.
+
+The package splits into:
+
+* :mod:`repro.resources.broker` — the process-wide
+  :class:`MemoryBroker` (one per process, like the fault injector and
+  the ops event ring) and the per-query :class:`MemoryReservation` the
+  governor threads through the executor alongside ``QueryBudget``;
+* :mod:`repro.resources.spill` — CRC-framed temp-file runs the executor
+  spills hash-join builds and GROUP-BY partial states into when a
+  reservation is exhausted (same framing as ``repro.engine.persist``).
+
+See ``docs/ROBUSTNESS.md`` ("Resource exhaustion") for the budget
+semantics and the degradation ladder placement.
+"""
+
+from repro.resources.broker import BROKER, MemoryBroker, MemoryReservation
+
+__all__ = ["BROKER", "MemoryBroker", "MemoryReservation"]

@@ -1,0 +1,302 @@
+"""The process-wide memory broker and per-query reservations.
+
+The paper's host DBMS runs queries inside a workload manager that
+bounds their memory; this reproduction has no host, so the bound is
+cooperative, like the query governor: every memory-hungry site charges
+an *estimate* of what it is about to materialize against the query's
+:class:`MemoryReservation`, and a denied charge raises a typed
+:class:`~repro.errors.MemoryBudgetExceeded` instead of letting the
+process walk into ``MemoryError``. Spill-capable operators (the
+executor's hash join and GROUPING SETS aggregation) catch the denial
+and degrade to disk; everything else lets the typed error propagate.
+
+Two limits compose:
+
+* **per-query** — ``SET QUERY MAXMEM <n> | OFF`` (a session knob,
+  threaded through the governor scope exactly like ``QUERY MAXROWS``);
+* **process-wide** — the :data:`BROKER` singleton's global byte limit
+  (``repro serve --mem-limit``), shared by every concurrent query.
+
+Under global pressure the broker drives *coordinated shedding*: before
+denying a charge it asks its registered shedders (the server's result
+cache) to free bytes, the refresh scheduler defers fallback recomputes
+(:meth:`MemoryBroker.should_defer`), and admission control refuses new
+queries while reservations have the limit fully committed
+(:meth:`MemoryBroker.admission_blocked`).
+
+Charges are *estimates*, deliberately coarse (see
+``engine/table.py::estimate_columns_nbytes``) — the goal is a bound on
+the order of magnitude a runaway join build commits to, not malloc-level
+truth.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import MemoryBudgetExceeded
+from repro.testing import faults
+
+#: fraction of the global limit above which the refresh scheduler
+#: defers fallback recomputes (recomputation is deferrable work; user
+#: queries are not)
+DEFER_FRACTION = 0.8
+
+
+class MemoryBroker:
+    """Process-wide byte accounting for query working memory.
+
+    Disarmed (no global limit) the broker is a few attribute reads per
+    *reservation*, and queries without a per-query limit never create a
+    reservation at all — the ≤3% disarmed-overhead contract the
+    governor already meets extends to memory budgets.
+    """
+
+    def __init__(self, limit: int | None = None):
+        self._lock = threading.Lock()
+        self.limit = limit
+        self._reserved = 0
+        self._peak = 0
+        #: callables ``shed(target_bytes) -> freed_bytes`` consulted
+        #: before a global charge is denied (the server's result cache)
+        self._shedders: list = []
+        self.denials = 0
+        self.sheds = 0
+        self.shed_bytes = 0
+
+    # ------------------------------------------------------------------
+    # configuration
+    @property
+    def limited(self) -> bool:
+        return self.limit is not None
+
+    def set_limit(self, nbytes: int | None) -> None:
+        """Set (or clear, with ``None``) the process-wide byte limit."""
+        if nbytes is not None and nbytes < 1:
+            raise ValueError("memory limit must be >= 1 byte (or None)")
+        with self._lock:
+            self.limit = nbytes
+
+    def add_shedder(self, shedder) -> None:
+        with self._lock:
+            if shedder not in self._shedders:
+                self._shedders.append(shedder)
+
+    def remove_shedder(self, shedder) -> None:
+        with self._lock:
+            if shedder in self._shedders:
+                self._shedders.remove(shedder)
+
+    # ------------------------------------------------------------------
+    # accounting
+    def reserved(self) -> int:
+        return self._reserved
+
+    def peak(self) -> int:
+        return self._peak
+
+    def _charge_global(self, nbytes: int) -> bool:
+        """Try to commit ``nbytes`` against the global limit, shedding
+        reclaimable memory first when the grant would not fit. Returns
+        False when the charge still does not fit after shedding."""
+        with self._lock:
+            limit = self.limit
+            if limit is None or self._reserved + nbytes <= limit:
+                self._reserved += nbytes
+                if self._reserved > self._peak:
+                    self._peak = self._reserved
+                return True
+            shedders = list(self._shedders)
+            deficit = self._reserved + nbytes - limit
+        freed = 0
+        for shedder in shedders:
+            try:
+                freed += int(shedder(deficit - freed))
+            except Exception:  # noqa: BLE001 - shedding is best-effort
+                continue
+            if freed >= deficit:
+                break
+        with self._lock:
+            if freed:
+                self.sheds += 1
+                self.shed_bytes += freed
+            limit = self.limit
+            # Shedders free *reclaimable* memory (cached results) that was
+            # never charged to this ledger, so freeing the full deficit
+            # grants the charge even though ``reserved`` transiently
+            # exceeds the limit — admission stays gated until it drains.
+            if (
+                limit is None
+                or self._reserved + nbytes <= limit
+                or freed >= deficit
+            ):
+                self._reserved += nbytes
+                if self._reserved > self._peak:
+                    self._peak = self._reserved
+                return True
+            self.denials += 1
+            return False
+
+    def _release_global(self, nbytes: int) -> None:
+        with self._lock:
+            self._reserved = max(0, self._reserved - nbytes)
+
+    # ------------------------------------------------------------------
+    # pressure signals (the coordinated-shedding surface)
+    def should_defer(self) -> bool:
+        """True when deferrable background work (scheduler fallback
+        recomputes) should wait for pressure to ease."""
+        limit = self.limit
+        if limit is None:
+            return False
+        return self._reserved >= limit * DEFER_FRACTION
+
+    def admission_blocked(self) -> bool:
+        """True when running queries have the global limit fully
+        committed — admitting more work would only queue denials."""
+        limit = self.limit
+        if limit is None:
+            return False
+        return self._reserved >= limit
+
+    # ------------------------------------------------------------------
+    def reserve(self, limit: int | None = None) -> "MemoryReservation":
+        """A fresh per-query reservation (``limit`` = SET QUERY MAXMEM,
+        ``None`` ⇒ bounded only by the global limit)."""
+        return MemoryReservation(self, limit)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for the ``status`` op / ``\\status``."""
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "reserved_bytes": self._reserved,
+                "peak_bytes": self._peak,
+                "denials": self.denials,
+                "sheds": self.sheds,
+                "shed_bytes": self.shed_bytes,
+            }
+
+    def reset(self) -> None:
+        """Test hook: clear limits, accounting, and shedders."""
+        with self._lock:
+            self.limit = None
+            self._reserved = 0
+            self._peak = 0
+            self._shedders.clear()
+            self.denials = 0
+            self.sheds = 0
+            self.shed_bytes = 0
+
+
+class MemoryReservation:
+    """One query's memory account, carried on its ``QueryBudget``.
+
+    ``charge`` either commits the bytes (against the per-query limit
+    first, then the broker's global limit) or raises
+    :class:`~repro.errors.MemoryBudgetExceeded`; spill-capable callers
+    catch the denial and degrade. ``close`` returns everything still
+    held to the broker — the database's execute path calls it in a
+    ``finally``, so a cancelled or failed query never leaks reserved
+    bytes.
+    """
+
+    __slots__ = (
+        "broker", "limit", "used", "peak",
+        "spills", "spill_runs", "spilled_bytes", "_closed",
+    )
+
+    def __init__(self, broker: MemoryBroker, limit: int | None = None):
+        self.broker = broker
+        self.limit = limit
+        self.used = 0
+        self.peak = 0
+        self.spills = 0
+        self.spill_runs = 0
+        self.spilled_bytes = 0
+        self._closed = False
+
+    def charge(self, nbytes: int) -> None:
+        """Commit ``nbytes`` of working memory to this query."""
+        if nbytes <= 0:
+            return
+        try:
+            faults.fire("mem.reserve")
+        except faults.InjectedFault as error:
+            # An injected denial models pressure deterministically —
+            # same typed error, same spill recovery, no tiny budgets.
+            raise MemoryBudgetExceeded(
+                f"memory reservation denied (injected): {nbytes} byte(s) "
+                f"requested with {self.used} reserved"
+            ) from error
+        if self.limit is not None and self.used + nbytes > self.limit:
+            raise MemoryBudgetExceeded(
+                f"query memory budget exceeded: {self.used + nbytes} "
+                f"byte(s) needed, QUERY MAXMEM is {self.limit}"
+            )
+        if not self.broker._charge_global(nbytes):
+            raise MemoryBudgetExceeded(
+                f"global memory limit exceeded: {nbytes} byte(s) "
+                f"requested with {self.broker.reserved()} of "
+                f"{self.broker.limit} reserved process-wide"
+            )
+        self.used += nbytes
+        if self.used > self.peak:
+            self.peak = self.used
+
+    def headroom(self) -> int | None:
+        """Bytes still grantable right now (``None`` ⇒ unbounded).
+
+        The spill paths size their runs/segments from this, so a spilled
+        operator's working set stays inside what the budget allows."""
+        candidates = []
+        if self.limit is not None:
+            candidates.append(self.limit - self.used)
+        limit = self.broker.limit
+        if limit is not None:
+            candidates.append(limit - self.broker.reserved())
+        if not candidates:
+            return None
+        return max(0, min(candidates))
+
+    def release(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        nbytes = min(nbytes, self.used)
+        self.used -= nbytes
+        self.broker._release_global(nbytes)
+
+    def note_spill(self, runs: int, nbytes: int) -> None:
+        """Record one spill event (``runs`` temp-file runs written,
+        ``nbytes`` framed bytes) for stats and EXPLAIN ANALYZE."""
+        self.spills += 1
+        self.spill_runs += runs
+        self.spilled_bytes += nbytes
+
+    def close(self) -> None:
+        """Return everything still held to the broker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.used:
+            self.broker._release_global(self.used)
+            self.used = 0
+
+    def describe_lines(self) -> list[str]:
+        limit = "off" if self.limit is None else f"{self.limit} bytes"
+        lines = [
+            f"memory: {self.peak} byte(s) peak reserved "
+            f"(query maxmem {limit})"
+        ]
+        if self.spills:
+            lines.append(
+                f"spills: {self.spills} operator(s) spilled "
+                f"{self.spilled_bytes} byte(s) across "
+                f"{self.spill_runs} run(s)"
+            )
+        return lines
+
+
+#: the process-global broker every reservation reports to (mirrors
+#: ``faults.INJECTOR`` and ``events.LOG``)
+BROKER = MemoryBroker()

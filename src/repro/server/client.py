@@ -301,7 +301,14 @@ class ReproClient:
             cls = protocol.error_class(str(error.get("type", "")))
             if cls is ReproError:
                 cls = ServerError
-            raise cls(error.get("message", "server error"))
+            exc = cls(error.get("message", "server error"))
+            details = error.get("details")
+            if isinstance(details, dict):
+                # QueryRejected ships a structured load snapshot;
+                # re-raise with it attached so callers can back off on
+                # data (running/queued/reserved bytes), not prose.
+                exc.details = details
+            raise exc
         return response
 
     def _send_one(self, request: dict) -> dict:

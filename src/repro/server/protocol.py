@@ -122,8 +122,15 @@ def decode_table(payload: dict) -> Table:
 
 # ----------------------------------------------------------------------
 def error_payload(error: BaseException) -> dict:
-    """The ``error`` field for a failure response."""
-    return {"type": type(error).__name__, "message": str(error)}
+    """The ``error`` field for a failure response. Typed errors that
+    carry a structured ``details`` dict (``QueryRejected``'s load
+    snapshot) ship it alongside the message so clients can back off on
+    data instead of parsing prose."""
+    payload = {"type": type(error).__name__, "message": str(error)}
+    details = getattr(error, "details", None)
+    if details:
+        payload["details"] = details
+    return payload
 
 
 def error_class(name: str) -> type:

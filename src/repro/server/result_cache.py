@@ -68,13 +68,21 @@ class CachedResult:
     #: staler than it is, never fresher)
     snapshot: dict[str, int]
     tolerance: RefreshAge
+    #: estimated resident size of ``table`` (Table.nbytes_estimate)
+    nbytes: int = 0
 
 
 class ResultCache:
-    """LRU semantic result cache over one database's delta log."""
+    """Byte-weighted LRU semantic result cache over one delta log.
+
+    Eviction is bounded two ways: ``max_entries`` caps the entry count,
+    and ``max_bytes`` (when set) caps the *estimated* resident bytes —
+    one entry holding a million-row result weighs what it costs, not 1.
+    """
 
     def __init__(self, log, metrics=None, max_entries: int = 256,
-                 max_cached_rows: int = 1_000_000):
+                 max_cached_rows: int = 1_000_000,
+                 max_bytes: int | None = None):
         self._log = log
         self._entries: OrderedDict[tuple, CachedResult] = OrderedDict()
         self._lock = threading.Lock()
@@ -82,6 +90,10 @@ class ResultCache:
         #: results wider than this are executed but never cached (one
         #: giant result must not evict the whole working set)
         self.max_cached_rows = max_cached_rows
+        #: estimated-byte budget for all resident entries (None = only
+        #: the entry-count bound applies)
+        self.max_bytes = max_bytes
+        self._bytes = 0
         if metrics is not None:
             self.hits = metrics.counter(
                 "cache.hits", "Result-cache fresh hits (lag 0)"
@@ -104,13 +116,22 @@ class ResultCache:
             self.entries_gauge = metrics.gauge(
                 "cache.entries", "Result-cache entries currently resident"
             )
+            self.bytes_gauge = metrics.gauge(
+                "cache.bytes", "Estimated bytes of resident cached results"
+            )
         else:
             self.hits = self.stale_hits = self.misses = None
             self.evictions = self.invalidations = self.entries_gauge = None
+            self.bytes_gauge = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated bytes currently held by cached results."""
+        return self._bytes
 
     def _count(self, counter, amount: int = 1) -> None:
         if counter is not None:
@@ -119,6 +140,14 @@ class ResultCache:
     def _update_gauge(self) -> None:
         if self.entries_gauge is not None:
             self.entries_gauge.set(len(self._entries))
+        if self.bytes_gauge is not None:
+            self.bytes_gauge.set(self._bytes)
+
+    def _remove(self, key: tuple) -> CachedResult:
+        """Drop one entry and settle the byte ledger (lock held)."""
+        entry = self._entries.pop(key)
+        self._bytes -= entry.nbytes
+        return entry
 
     def _lag(self, entry: CachedResult) -> int:
         return max(
@@ -151,7 +180,7 @@ class ResultCache:
                 self._entries.move_to_end(key)
                 self._count(self.stale_hits)
                 return entry.table, "stale-hit"
-            del self._entries[key]
+            self._remove(key)
             self._count(self.evictions)
             self._count(self.misses)
             self._update_gauge()
@@ -164,20 +193,46 @@ class ResultCache:
         started."""
         if len(table.rows) > self.max_cached_rows:
             return False
+        nbytes = table.nbytes_estimate()
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            # One entry bigger than the whole budget would evict
+            # everything and still not fit; execute-and-forget instead.
+            return False
         entry = CachedResult(
             table,
             tuple(name.lower() for name in base_tables),
             dict(snapshot),
             tolerance,
+            nbytes,
         )
         with self._lock:
+            if key in self._entries:
+                self._remove(key)
             self._entries[key] = entry
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self._bytes += nbytes
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                oldest, _ = next(iter(self._entries.items()))
+                self._remove(oldest)
                 self._count(self.evictions)
             self._update_gauge()
         return True
+
+    def shed(self, target: int) -> int:
+        """Memory-pressure callback: evict oldest-first until roughly
+        ``target`` estimated bytes are freed (or the cache is empty).
+        Returns the bytes actually freed."""
+        freed = 0
+        with self._lock:
+            while self._entries and freed < target:
+                oldest, _ = next(iter(self._entries.items()))
+                freed += self._remove(oldest).nbytes
+                self._count(self.evictions)
+            self._update_gauge()
+        return freed
 
     # ------------------------------------------------------------------
     def invalidate_table(self, table: str) -> int:
@@ -194,7 +249,7 @@ class ResultCache:
                 and not entry.tolerance.admits(self._lag(entry))
             ]
             for key in dead:
-                del self._entries[key]
+                self._remove(key)
             self._count(self.invalidations, len(dead))
             self._update_gauge()
         return len(dead)
@@ -214,7 +269,7 @@ class ResultCache:
                 and entry.tolerance.max_pending != 0
             ]
             for key in dead:
-                del self._entries[key]
+                self._remove(key)
             self._count(self.invalidations, len(dead))
             self._update_gauge()
         return len(dead)
@@ -223,6 +278,7 @@ class ResultCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
+            self._bytes = 0
             self._count(self.invalidations, dropped)
             self._update_gauge()
         return dropped

@@ -55,6 +55,7 @@ failover") are opt-in per server:
 from __future__ import annotations
 
 import asyncio
+import errno
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -73,6 +74,7 @@ from repro.errors import (
 )
 from repro.qgm.build import build_graph
 from repro.qgm.fingerprint import fingerprint
+from repro.resources.broker import BROKER
 from repro.replication.wal import (
     DedupWindow,
     WalRecord,
@@ -108,6 +110,7 @@ class QueryServer:
         port: int = 0,
         cache_enabled: bool = True,
         cache_size: int = 256,
+        cache_max_bytes: int | None = None,
         max_workers: int = 32,
         wal: WriteAheadLog | None = None,
         read_only: bool = False,
@@ -167,10 +170,20 @@ class QueryServer:
         self._trace_lock = threading.Lock()
         if wal is not None:
             wal.on_durable = self._on_durable
+        #: journal disk exhausted (ENOSPC): mutations are refused with
+        #: ReadOnlyError until a writability probe succeeds — reads and
+        #: the already-durable state stay available, the process lives
+        self._disk_full = False
         self.cache_enabled = cache_enabled
         self.cache = ResultCache(
-            db.delta_log, metrics=metrics, max_entries=cache_size
+            db.delta_log,
+            metrics=metrics,
+            max_entries=cache_size,
+            max_bytes=cache_max_bytes,
         )
+        # Under global memory pressure the broker calls back into the
+        # result cache: cached tables are the cheapest bytes to give up.
+        BROKER.add_shedder(self._shed_cache)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-server"
         )
@@ -274,7 +287,11 @@ class QueryServer:
 
         Drains connections, then flushes the journal — on a graceful
         shutdown every acknowledged (and even every applied-but-not-yet
-        -fsynced) mutation is durable before the process exits."""
+        -fsynced) mutation is durable before the process exits.
+        Idempotent: a second call (a test fixture's teardown after an
+        explicit stop) is a no-op."""
+        if self._draining.is_set():
+            return
         self._draining.set()
         _events.emit(
             "server.drain",
@@ -289,6 +306,7 @@ class QueryServer:
             self._thread.join(timeout=10)
             self._thread = None
         self._pool.shutdown(wait=False)
+        BROKER.remove_shedder(self._shed_cache)
         if self.wal is not None:
             try:
                 self.wal.flush()
@@ -600,9 +618,15 @@ class QueryServer:
             tolerance=tolerance,
             timeout_ms=session.timeout_ms,
             max_rows=session.max_rows,
+            max_mem=session.max_mem,
             executor_parallel=session.executor_parallel,
             client=session.client_id,
         )
+
+    def _shed_cache(self, target: int) -> int:
+        """Memory-broker shedder: free ~``target`` bytes of cached
+        results (oldest first); returns the bytes actually freed."""
+        return self.cache.shed(target)
 
     def _execute_mutation(self, statement, sql: str, request: dict) -> dict:
         db = self.db
@@ -612,6 +636,8 @@ class QueryServer:
                 f"this server is a read-only standby{hint}; "
                 "send mutations to the primary"
             )
+        if self._disk_full:
+            self._check_disk_recovered()
         kind = mutation_kind(statement)
         token = request.get("token") if kind is not None else None
         if token is not None:
@@ -681,7 +707,8 @@ class QueryServer:
             self._note_trace_lsn(predicted_lsn)
             try:
                 lsn = self.wal.stage(kind, sql, token=token, status=status)
-            except BaseException:
+            except BaseException as error:
+                self._note_disk_error(error)
                 self._drop_trace_lsn(predicted_lsn)
                 self._apply_undo(undo)
                 raise
@@ -691,7 +718,8 @@ class QueryServer:
                 # catalog state. Rare enough that serializing is fine.
                 try:
                     self.wal.commit(lsn)
-                except BaseException:
+                except BaseException as error:
+                    self._note_disk_error(error)
                     self._apply_undo(undo)
                     raise
                 committed = True
@@ -700,10 +728,11 @@ class QueryServer:
         if not committed:
             try:
                 self.wal.commit(lsn)
-            except BaseException:
+            except BaseException as error:
                 # The whole failed batch rolls back (each committer
                 # undoes its own record); value-based inserts/deletes
                 # commute, so the order of undos does not matter.
+                self._note_disk_error(error)
                 with self._mutation_lock:
                     self._apply_undo(undo)
                 raise
@@ -818,6 +847,60 @@ class QueryServer:
             pass
 
     # ------------------------------------------------------------------
+    # disk-full degradation (ENOSPC → read-only, never a crash)
+    @staticmethod
+    def _is_disk_full(error: BaseException) -> bool:
+        """Walk the exception chain looking for an ``OSError`` with
+        errno ENOSPC (the WAL wraps append/fsync/checkpoint failures in
+        typed errors, so the OSError usually sits in ``__cause__``)."""
+        seen: set[int] = set()
+        current: BaseException | None = error
+        while current is not None and id(current) not in seen:
+            seen.add(id(current))
+            if (
+                isinstance(current, OSError)
+                and current.errno == errno.ENOSPC
+            ):
+                return True
+            current = current.__cause__ or current.__context__
+        return False
+
+    def _note_disk_error(self, error: BaseException) -> bool:
+        """Classify a journal/checkpoint failure: on ENOSPC, flip the
+        server read-only-for-mutations and emit ``wal.disk_full`` (once
+        per episode). Returns True when the error was disk exhaustion."""
+        if not self._is_disk_full(error):
+            return False
+        if not self._disk_full:
+            self._disk_full = True
+            _events.emit(
+                "wal.disk_full",
+                error=str(error),
+                durable_lsn=(
+                    self.wal.durable_lsn if self.wal is not None else 0
+                ),
+            )
+        return True
+
+    def _check_disk_recovered(self) -> None:
+        """Probe the journal volume; clear the degradation flag when
+        space has returned, else refuse the mutation with the standby's
+        typed ReadOnlyError (same wire path, same client handling)."""
+        if self.wal is not None:
+            try:
+                self.wal.probe_writable()
+            except (OSError, ReproError):
+                raise ReadOnlyError(
+                    "journal disk is full; this server is read-only "
+                    "until space is freed (reads still served)"
+                ) from None
+        self._disk_full = False
+        _events.emit(
+            "wal.disk_recovered",
+            durable_lsn=self.wal.durable_lsn if self.wal is not None else 0,
+        )
+
+    # ------------------------------------------------------------------
     # replication: status, snapshot, streaming, promotion
     def replication_lag(self) -> int:
         """Standby: durable journal records this replica has not applied
@@ -901,8 +984,10 @@ class QueryServer:
                 "checkpoint_lsn": wal.checkpoint_lsn,
                 "checkpoints": wal.checkpoints,
                 "sync": wal.sync,
+                "disk_full": self._disk_full,
             }
         status["cache"] = self._cache_status()
+        status["memory"] = BROKER.snapshot()
         status["governor"] = {
             "admission": db.governor.admission.snapshot(),
             "breaker": db.governor.breaker.snapshot(),
@@ -941,6 +1026,8 @@ class QueryServer:
         return {
             "enabled": self.cache_enabled,
             "entries": len(self.cache),
+            "bytes": self.cache.nbytes,
+            "max_bytes": self.cache.max_bytes,
             "hits": hits,
             "stale_hits": stale,
             "misses": misses,
@@ -1033,6 +1120,7 @@ class QueryServer:
                 db.delta_log,
                 metrics=db.metrics,
                 max_entries=self.cache.max_entries,
+                max_bytes=self.cache.max_bytes,
             )
             with self._memo_lock:
                 # fingerprints are epoch-keyed per database; the new
@@ -1090,7 +1178,14 @@ class QueryServer:
             # The maintenance lock parks the background refresh worker,
             # so the snapshot sees no concurrent summary rewrites.
             with self.db._maintenance_lock:
-                wal.checkpoint(self.db, self.dedup.snapshot())
+                try:
+                    wal.checkpoint(self.db, self.dedup.snapshot())
+                except Exception as error:  # noqa: BLE001
+                    # A full disk must not fail the mutation that
+                    # triggered the checkpoint — the record itself is
+                    # already durable; compaction just waits for space.
+                    if not self._note_disk_error(error):
+                        raise
 
     # ---- journal streaming (primary side) ----
     def _subscribe(self) -> tuple[int, asyncio.Queue]:

@@ -2,7 +2,8 @@
 
 Every server connection owns one :class:`Session`. ``SET`` statements
 that tune *query behavior* — ``REFRESH AGE``, ``QUERY TIMEOUT``,
-``QUERY MAXROWS``, ``EXECUTOR PARALLEL`` — are intercepted here and
+``QUERY MAXROWS``, ``QUERY MAXMEM``, ``EXECUTOR PARALLEL`` — are
+intercepted here and
 recorded on the session instead of mutating the shared
 :class:`~repro.engine.database.Database`; at query time the recorded
 values flow through ``Database.execute_statement``'s per-query override
@@ -23,6 +24,7 @@ from repro.governor.governor import UNSET
 from repro.refresh.policy import RefreshAge
 from repro.sql.statements import (
     SetExecutorParallel,
+    SetQueryMaxMem,
     SetQueryMaxRows,
     SetQueryTimeout,
     SetRefreshAge,
@@ -34,6 +36,7 @@ SESSION_SET_TYPES = (
     SetRefreshAge,
     SetQueryTimeout,
     SetQueryMaxRows,
+    SetQueryMaxMem,
     SetExecutorParallel,
 )
 
@@ -48,6 +51,7 @@ class Session:
         # UNSET ⇒ inherit; None ⇒ explicitly OFF for this session
         self.timeout_ms = UNSET
         self.max_rows = UNSET
+        self.max_mem = UNSET
         self.executor_parallel = UNSET
         #: queries answered for this connection (ping/metrics excluded)
         self.queries = 0
@@ -81,6 +85,11 @@ class Session:
             if statement.max_rows is None:
                 return "query maxrows disabled"
             return f"query maxrows set to {statement.max_rows}"
+        if isinstance(statement, SetQueryMaxMem):
+            self.max_mem = statement.max_mem
+            if statement.max_mem is None:
+                return "query maxmem disabled"
+            return f"query maxmem set to {statement.max_mem} byte(s)"
         if isinstance(statement, SetExecutorParallel):
             self.executor_parallel = statement.workers
             if statement.workers is None:
@@ -103,6 +112,7 @@ class Session:
             ),
             "timeout_ms": show(self.timeout_ms),
             "max_rows": show(self.max_rows),
+            "max_mem": show(self.max_mem),
             "executor_parallel": show(self.executor_parallel),
             "queries": self.queries,
         }

@@ -18,6 +18,8 @@ Supported statements (used by the CLI and by ``Database.run_sql``):
   tables, one during execution raises ``QueryTimeout``
 * ``SET QUERY MAXROWS <n> | OFF`` — the governor's high-water cap on
   rows materialized in any one intermediate or result table
+* ``SET QUERY MAXMEM <bytes> | OFF`` — the per-query memory budget;
+  spill-capable operators degrade to disk when it is exhausted
 * ``SET TRACE SAMPLE <rate> | OFF`` — head-sampling probability for
   request spans (process-global, like SLOW QUERY)
 * ``INSERT INTO name VALUES (...), (...), ...``
@@ -123,6 +125,11 @@ class SetQueryMaxRows:
 
 
 @dataclass(frozen=True)
+class SetQueryMaxMem:
+    max_mem: int | None  # None ⇒ OFF (no per-query memory budget)
+
+
+@dataclass(frozen=True)
 class SetExecutorParallel:
     workers: int | None  # None ⇒ OFF (serial morsel execution)
 
@@ -161,6 +168,7 @@ Statement = (
     | SetSlowQuery
     | SetQueryTimeout
     | SetQueryMaxRows
+    | SetQueryMaxMem
     | SetExecutorParallel
     | SetTraceSample
     | InsertValues
@@ -372,6 +380,7 @@ class _StatementParser(_Parser):
         | SetSlowQuery
         | SetQueryTimeout
         | SetQueryMaxRows
+        | SetQueryMaxMem
         | SetExecutorParallel
         | SetTraceSample
     ):
@@ -427,10 +436,13 @@ class _StatementParser(_Parser):
             raise self._error("REFRESH AGE must be ANY or a non-negative integer")
         return SetRefreshAge(value)
 
-    def _parse_set_query(self) -> SetQueryTimeout | SetQueryMaxRows:
-        # SET QUERY TIMEOUT <ms>|OFF and SET QUERY MAXROWS <n>|OFF:
-        # the governor's per-query limits (docs/ROBUSTNESS.md).
-        kind = self._expect_word("timeout", "maxrows")
+    def _parse_set_query(
+        self,
+    ) -> SetQueryTimeout | SetQueryMaxRows | SetQueryMaxMem:
+        # SET QUERY TIMEOUT <ms>|OFF, SET QUERY MAXROWS <n>|OFF and
+        # SET QUERY MAXMEM <bytes>|OFF: the governor's per-query limits
+        # (docs/ROBUSTNESS.md).
+        kind = self._expect_word("timeout", "maxrows", "maxmem")
         if kind == "timeout":
             if self._accept_word("off"):
                 return SetQueryTimeout(None)
@@ -445,6 +457,15 @@ class _StatementParser(_Parser):
                     "milliseconds"
                 )
             return SetQueryTimeout(float(value))
+        if kind == "maxmem":
+            if self._accept_word("off"):
+                return SetQueryMaxMem(None)
+            value = self._parse_constant()
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise self._error(
+                    "QUERY MAXMEM must be OFF or a positive byte count"
+                )
+            return SetQueryMaxMem(value)
         if self._accept_word("off"):
             return SetQueryMaxRows(None)
         value = self._parse_constant()

@@ -30,6 +30,15 @@ Injection points (see docs/ROBUSTNESS.md for the failure each models)::
                          socket, before the reply is read (models a
                          lost ACK: the server processed the request but
                          the client never saw the response)
+    mem.reserve          inside MemoryReservation.charge, before the
+                         grant (models memory pressure: the charge is
+                         denied and the executor must spill)
+    executor.spill       before a spill run is written to the temp
+                         file (models a full spill disk: the query
+                         fails with a typed QueryResourceError)
+    wal.disk_full        in the journal's flush path, translated to an
+                         ENOSPC OSError (models a full journal disk:
+                         the server degrades to read-only)
 
 Three firing modes, all deterministic:
 
@@ -72,6 +81,9 @@ POINTS = frozenset(
         "wal.fsync",
         "repl.stream",
         "client.send",
+        "mem.reserve",
+        "executor.spill",
+        "wal.disk_full",
     }
 )
 

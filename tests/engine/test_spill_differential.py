@@ -1,0 +1,150 @@
+"""Differential suite: spilled execution vs the in-memory executor.
+
+``SET QUERY MAXMEM`` (or the process-wide broker limit) makes the hash
+join and GROUPING SETS operators degrade to CRC-framed temp-file runs
+merged through the derivation rules (a)-(g). The acceptance gate is
+*bit-identity*: every TPC-D and webmetrics workload query must return
+``rows`` exactly equal to the unbudgeted run — same float bits, same
+row order — across budgets that force zero, a few, and many spill runs.
+
+The fault points complete the ladder: an armed ``mem.reserve`` denial
+must be absorbed by spilling, and an armed ``executor.spill`` (a full
+spill disk) must surface as a typed ``QueryResourceError`` — never an
+unhandled exception, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryBudgetExceeded, QueryResourceError
+from repro.resources.broker import BROKER
+from repro.testing import INJECTOR
+from repro.workloads import tpcd, webmetrics
+
+TPCD_DB = tpcd.build_tpcd_db(orders=40)
+WEB_DB = webmetrics.build_web_db(views=600)
+
+_DBS = {"tpcd": TPCD_DB, "web": WEB_DB}
+_QUERIES = {"tpcd": tpcd.QUERIES, "web": webmetrics.QUERIES}
+
+WORKLOAD_CASES = [
+    ("tpcd", name) for name in sorted(tpcd.QUERIES)
+] + [("web", name) for name in sorted(webmetrics.QUERIES)]
+
+#: per-query budgets chosen to hit the three regimes: comfortably above
+#: any estimate (no spill), mid-size (each spilling operator partitions
+#: into a handful of runs), and one byte (every charge denied — maximum
+#: partition fan-out on every spill-capable operator)
+BUDGETS = [
+    pytest.param(None, id="maxmem-off"),
+    pytest.param(1 << 30, id="maxmem-huge"),
+    pytest.param(16_384, id="maxmem-mid"),
+    pytest.param(1, id="maxmem-tiny"),
+]
+
+_expected_cache: dict[tuple[str, str], object] = {}
+
+
+@pytest.fixture(autouse=True)
+def _clean_resources():
+    INJECTOR.disarm()
+    BROKER.reset()
+    yield
+    INJECTOR.disarm()
+    BROKER.reset()
+
+
+def _expected(workload: str, name: str):
+    """The unbudgeted (purely in-memory) result, computed once."""
+    key = (workload, name)
+    cached = _expected_cache.get(key)
+    if cached is None:
+        cached = _expected_cache[key] = _DBS[workload].execute(
+            _QUERIES[workload][name]
+        )
+    return cached
+
+
+def _spill_count(db) -> int:
+    metric = db.metrics.get("executor_spill_count")
+    return int(metric.value) if metric is not None else 0
+
+
+@pytest.mark.parametrize("budget", BUDGETS)
+@pytest.mark.parametrize("workload,name", WORKLOAD_CASES)
+def test_spilled_execution_is_bit_identical(workload, name, budget):
+    db = _DBS[workload]
+    expected = _expected(workload, name)
+    before = _spill_count(db)
+    result = db.execute(_QUERIES[workload][name], max_mem=budget)
+    assert result.columns == expected.columns
+    # Exact tuple equality: same values, same float bits, same order.
+    assert result.rows == expected.rows
+    if budget == 1:
+        # A one-byte budget denies every charge: anything with a hash
+        # join or a grouping must have taken the spill path.
+        assert _spill_count(db) > before
+    elif budget in (None, 1 << 30):
+        assert _spill_count(db) == before
+    # No query may leak reserved bytes, spilled or not.
+    assert BROKER.reserved() == 0
+
+
+def test_global_broker_limit_forces_spill_and_drains():
+    db = TPCD_DB
+    expected = _expected("tpcd", "q5_nation")
+    BROKER.set_limit(512)
+    try:
+        before = _spill_count(db)
+        result = db.execute(tpcd.QUERIES["q5_nation"])
+        assert result.rows == expected.rows
+        assert _spill_count(db) > before
+        assert BROKER.reserved() == 0
+        assert BROKER.peak() <= 512
+    finally:
+        BROKER.reset()
+
+
+def test_mem_reserve_fault_degrades_to_spill():
+    """An injected reservation denial (deterministic pressure) must be
+    absorbed exactly like a real one: spill, same answer."""
+    db = TPCD_DB
+    expected = _expected("tpcd", "q3_priority")
+    before = _spill_count(db)
+    with INJECTOR.injected("mem.reserve", times=1):
+        result = db.execute(tpcd.QUERIES["q3_priority"], max_mem=1 << 30)
+    assert result.rows == expected.rows
+    assert _spill_count(db) > before
+    assert BROKER.reserved() == 0
+
+
+def test_spill_disk_failure_is_a_typed_error():
+    """Budget exhausted AND spill disk full: the bottom rung is a typed
+    QueryResourceError, not MemoryError or a stray InjectedFault."""
+    db = TPCD_DB
+    with INJECTOR.injected("executor.spill", times=1):
+        with pytest.raises(QueryResourceError):
+            db.execute(tpcd.QUERIES["q5_nation"], max_mem=1)
+    assert BROKER.reserved() == 0
+    # The database stays healthy: the same query succeeds afterwards.
+    result = db.execute(tpcd.QUERIES["q5_nation"], max_mem=1)
+    assert result.rows == _expected("tpcd", "q5_nation").rows
+
+
+def test_reservation_denial_is_typed_for_direct_callers():
+    reservation = BROKER.reserve(limit=100)
+    reservation.charge(80)
+    with pytest.raises(MemoryBudgetExceeded):
+        reservation.charge(40)
+    reservation.close()
+    assert BROKER.reserved() == 0
+
+
+def test_repeated_spilled_runs_are_deterministic():
+    """Two spilled executions of the same query agree with each other
+    (temp-file naming, partition order, and merge order are all
+    content-determined, never timing-determined)."""
+    first = TPCD_DB.execute(tpcd.QUERIES["q1_pricing"], max_mem=1)
+    second = TPCD_DB.execute(tpcd.QUERIES["q1_pricing"], max_mem=1)
+    assert first.rows == second.rows

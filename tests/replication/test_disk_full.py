@@ -1,0 +1,161 @@
+"""Disk exhaustion: ENOSPC during group commit degrades to read-only.
+
+The contract (docs/ROBUSTNESS.md, "Resource exhaustion"):
+
+* a journal write that fails with ENOSPC rolls the in-memory apply
+  back — the mutation is **not** acknowledged and its row does not
+  survive recovery;
+* the server flips into a disk-full degradation mode: further
+  mutations are refused with the typed :class:`ReadOnlyError` (the
+  same wire path a standby uses), while reads keep being served;
+* the episode is observable: one ``wal.disk_full`` event, a
+  ``disk_full`` flag in the ``status`` op;
+* when space returns the next mutation probes the volume, lifts the
+  degradation, emits ``wal.disk_recovered``, and writes flow again;
+* across the whole episode, zero acknowledged writes are lost — the
+  recovered journal replays to exactly the ACKed rows.
+
+The fault point ``wal.disk_full`` injects ENOSPC at the journal's
+write/probe sites; ``every=1`` keeps the volume "full" until the test
+disarms it (space freed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import credit_card_catalog
+from repro.engine import Database
+from repro.errors import ReadOnlyError, ReproError
+from repro.replication import WriteAheadLog
+from repro.server.client import ReproClient
+from repro.server.server import QueryServer
+from repro.obs import events
+from repro.testing import INJECTOR
+
+
+def insert_sql(aid: int) -> str:
+    return f"INSERT INTO Acct VALUES ({aid}, 1, 'open')"
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    INJECTOR.disarm()
+    yield
+    INJECTOR.disarm()
+
+
+@pytest.fixture
+def primary(tmp_path):
+    db = Database(credit_card_catalog())
+    wal = WriteAheadLog(tmp_path / "wal", sync="os")
+    wal.begin(db)
+    server = QueryServer(db, port=0, wal=wal)
+    server.start_in_thread()
+    yield server
+    server.stop()
+    wal.close()
+
+
+def _events_named(name: str) -> list[dict]:
+    return [e for e in events.tail(200) if e["event"] == name]
+
+
+def test_enospc_episode_end_to_end(primary, tmp_path):
+    events.LOG.clear()
+    host, port = primary.address
+    acked: list[int] = []
+    with ReproClient(host, port) as client:
+        # --- healthy baseline -----------------------------------------
+        for aid in (9001, 9002):
+            client.query(insert_sql(aid))
+            acked.append(aid)
+
+        # --- the disk fills mid-commit --------------------------------
+        INJECTOR.arm("wal.disk_full", every=1)
+        with pytest.raises(ReproError) as failure:
+            client.query(insert_sql(9100))
+        # not a ReadOnlyError yet: this was the commit that *discovered*
+        # the full disk, reported as the journal failure it is
+        assert not isinstance(failure.value, ReadOnlyError)
+
+        # one wal.disk_full event, status shows the degradation
+        assert len(_events_named("wal.disk_full")) == 1
+        status = client.status()
+        assert status["wal"]["disk_full"] is True
+
+        # --- degraded mode: mutations refused, reads served -----------
+        with pytest.raises(ReadOnlyError, match="disk is full"):
+            client.query(insert_sql(9101))
+        # still exactly one disk_full event (once per episode)
+        assert len(_events_named("wal.disk_full")) == 1
+        rows = client.query("SELECT aid, acid FROM Acct").value.rows
+        assert (9001, 1) in rows
+        # the failed mutations were rolled back, not half-applied
+        assert all(aid not in {r[0] for r in rows} for aid in (9100, 9101))
+
+        # --- space returns --------------------------------------------
+        INJECTOR.disarm()
+        client.query(insert_sql(9200))
+        acked.append(9200)
+        assert len(_events_named("wal.disk_recovered")) == 1
+        assert client.status()["wal"]["disk_full"] is False
+        rows = {r[0] for r in client.query("SELECT aid FROM Acct").value.rows}
+        assert 9200 in rows and 9100 not in rows
+
+    # --- zero acknowledged writes lost across the episode -------------
+    primary.stop()
+    primary.wal.close()
+    wal = WriteAheadLog(tmp_path / "wal", sync="os")
+    recovery = wal.recover()
+    wal.close()
+    recovered = {row[0] for row in recovery.database.table("Acct").rows}
+    for aid in acked:
+        assert aid in recovered
+    assert 9100 not in recovered
+    assert 9101 not in recovered
+
+
+def test_checkpoint_enospc_does_not_fail_the_mutation(tmp_path):
+    """A checkpoint that hits ENOSPC must not fail the mutation that
+    triggered it — the record is already durable; compaction waits."""
+    db = Database(credit_card_catalog())
+    wal = WriteAheadLog(tmp_path / "wal", sync="os", checkpoint_every=2)
+    wal.begin(db)
+    server = QueryServer(db, port=0, wal=wal)
+    server.start_in_thread()
+    try:
+        host, port = server.address
+        events.LOG.clear()
+        with ReproClient(host, port) as client:
+            client.query(insert_sql(9001))
+            # The 2nd mutation crosses checkpoint_every. ``every=2``
+            # lets its group-commit flush through (hit 1) and fails the
+            # checkpoint write (hit 2) — the mutation itself succeeds:
+            # its record is already durable, compaction can wait.
+            with INJECTOR.injected("wal.disk_full", every=2):
+                reply = client.query(insert_sql(9002))
+            assert reply.status is not None
+            assert len(_events_named("wal.disk_full")) == 1
+            # space is back (fault disarmed): the next mutation's probe
+            # lifts the degradation and the write goes through
+            client.query(insert_sql(9003))
+            assert len(_events_named("wal.disk_recovered")) == 1
+            rows = {
+                r[0] for r in client.query("SELECT aid FROM Acct").value.rows
+            }
+            assert {9001, 9002, 9003} <= rows
+    finally:
+        server.stop()
+        wal.close()
+
+
+def test_wal_probe_writable_direct(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal", sync="os")
+    wal.begin(Database(credit_card_catalog()))
+    wal.probe_writable()  # healthy volume: no error, no residue
+    assert not (tmp_path / "wal" / ".space-probe").exists()
+    with INJECTOR.injected("wal.disk_full", times=1):
+        with pytest.raises(OSError):
+            wal.probe_writable()
+    wal.close()

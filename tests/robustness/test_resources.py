@@ -1,0 +1,390 @@
+"""Memory-broker units and the coordinated-shedding surface.
+
+Covers the :mod:`repro.resources.broker` accounting (charge, release,
+headroom, close-drains-everything), the shedding callback protocol, the
+two pressure signals (:meth:`should_defer`, :meth:`admission_blocked`)
+and their consumers — the refresh scheduler deferring fallback
+recomputes and admission control refusing new queries with a structured
+load snapshot — plus the byte-weighted bound on the result cache.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+
+import pytest
+
+from repro.engine.table import Table, tables_equal
+from repro.errors import MemoryBudgetExceeded, QueryRejected
+from repro.governor import AdmissionController
+from repro.refresh.log import DeltaLog
+from repro.refresh.policy import RefreshAge
+from repro.resources.broker import DEFER_FRACTION, BROKER, MemoryBroker
+from repro.server.result_cache import ResultCache, cache_key
+from repro.testing import INJECTOR
+
+
+@pytest.fixture(autouse=True)
+def _clean_broker():
+    BROKER.reset()
+    yield
+    BROKER.reset()
+
+
+# ----------------------------------------------------------------------
+# Broker and reservation accounting
+# ----------------------------------------------------------------------
+class TestReservation:
+    def test_unlimited_reservation_tracks_but_never_denies(self):
+        broker = MemoryBroker()
+        reservation = broker.reserve()
+        reservation.charge(1 << 40)
+        assert broker.reserved() == 1 << 40
+        assert reservation.peak == 1 << 40
+        reservation.close()
+        assert broker.reserved() == 0
+
+    def test_per_query_limit_denial_is_typed(self):
+        broker = MemoryBroker()
+        reservation = broker.reserve(limit=100)
+        reservation.charge(80)
+        with pytest.raises(MemoryBudgetExceeded, match="QUERY MAXMEM"):
+            reservation.charge(40)
+        # the denied charge committed nothing
+        assert reservation.used == 80
+        assert broker.reserved() == 80
+        reservation.close()
+        assert broker.reserved() == 0
+
+    def test_global_limit_denial_counts(self):
+        broker = MemoryBroker(limit=100)
+        reservation = broker.reserve()
+        reservation.charge(90)
+        with pytest.raises(MemoryBudgetExceeded, match="global"):
+            reservation.charge(20)
+        assert broker.denials == 1
+        reservation.close()
+
+    def test_release_returns_bytes_to_both_ledgers(self):
+        broker = MemoryBroker(limit=100)
+        reservation = broker.reserve(limit=100)
+        reservation.charge(90)
+        reservation.release(50)
+        assert reservation.used == 40
+        assert broker.reserved() == 40
+        reservation.charge(50)  # fits again after the release
+        reservation.close()
+
+    def test_close_is_idempotent_and_drains(self):
+        broker = MemoryBroker()
+        reservation = broker.reserve()
+        reservation.charge(1000)
+        reservation.close()
+        reservation.close()
+        assert broker.reserved() == 0
+
+    def test_headroom_is_min_of_query_and_global(self):
+        broker = MemoryBroker(limit=200)
+        other = broker.reserve()
+        other.charge(40)
+        reservation = broker.reserve(limit=80)
+        reservation.charge(30)
+        # query bound: 80-30=50 left; global: 200-70=130 left
+        assert reservation.headroom() == 50
+        other.charge(100)  # global down to 30 left: now binding
+        assert reservation.headroom() == 30
+        other.close()
+        reservation.close()
+
+    def test_headroom_none_means_unbounded(self):
+        assert MemoryBroker().reserve().headroom() is None
+
+    def test_peak_survives_release(self):
+        broker = MemoryBroker()
+        reservation = broker.reserve()
+        reservation.charge(500)
+        reservation.release(500)
+        assert broker.peak() == 500
+        assert reservation.peak == 500
+        reservation.close()
+
+    def test_set_limit_validates(self):
+        broker = MemoryBroker()
+        with pytest.raises(ValueError):
+            broker.set_limit(0)
+        broker.set_limit(None)  # clearing is always fine
+
+    def test_mem_reserve_fault_point(self):
+        broker = MemoryBroker()
+        reservation = broker.reserve()
+        with INJECTOR.injected("mem.reserve", times=1):
+            with pytest.raises(MemoryBudgetExceeded, match="injected"):
+                reservation.charge(10)
+        reservation.charge(10)  # disarmed: charges normally again
+        reservation.close()
+
+
+# ----------------------------------------------------------------------
+# Shedding and pressure signals
+# ----------------------------------------------------------------------
+class TestShedding:
+    def test_shedder_consulted_before_denial(self):
+        broker = MemoryBroker(limit=100)
+        freed_requests = []
+
+        def shedder(target):
+            freed_requests.append(target)
+            return target  # pretend we freed exactly what was asked
+
+        broker.add_shedder(shedder)
+        reservation = broker.reserve()
+        reservation.charge(90)
+        reservation.charge(20)  # over the limit — shedding saves it
+        assert freed_requests == [10]
+        assert broker.sheds == 1
+        assert broker.shed_bytes == 10
+        assert broker.denials == 0
+        reservation.close()
+
+    def test_insufficient_shedding_still_denies(self):
+        broker = MemoryBroker(limit=100)
+        broker.add_shedder(lambda target: 0)
+        reservation = broker.reserve()
+        reservation.charge(90)
+        with pytest.raises(MemoryBudgetExceeded):
+            reservation.charge(20)
+        assert broker.denials == 1
+        reservation.close()
+
+    def test_broken_shedder_is_ignored(self):
+        broker = MemoryBroker(limit=100)
+
+        def broken(target):
+            raise RuntimeError("boom")
+
+        broker.add_shedder(broken)
+        broker.add_shedder(lambda target: target)
+        reservation = broker.reserve()
+        reservation.charge(90)
+        reservation.charge(20)  # the healthy shedder still rescues it
+        reservation.close()
+
+    def test_should_defer_at_fraction(self):
+        broker = MemoryBroker(limit=1000)
+        reservation = broker.reserve()
+        reservation.charge(int(1000 * DEFER_FRACTION) - 1)
+        assert not broker.should_defer()
+        reservation.charge(1)
+        assert broker.should_defer()
+        assert not broker.admission_blocked()  # defer is the softer signal
+        reservation.close()
+        assert not broker.should_defer()
+
+    def test_admission_blocked_at_limit(self):
+        broker = MemoryBroker(limit=100)
+        reservation = broker.reserve()
+        reservation.charge(100)
+        assert broker.admission_blocked()
+        reservation.close()
+        assert not broker.admission_blocked()
+
+    def test_unlimited_broker_never_signals(self):
+        broker = MemoryBroker()
+        reservation = broker.reserve()
+        reservation.charge(1 << 40)
+        assert not broker.should_defer()
+        assert not broker.admission_blocked()
+        reservation.close()
+
+    def test_snapshot_shape(self):
+        broker = MemoryBroker(limit=100)
+        reservation = broker.reserve()
+        reservation.charge(60)
+        snapshot = broker.snapshot()
+        assert snapshot == {
+            "limit": 100,
+            "reserved_bytes": 60,
+            "peak_bytes": 60,
+            "denials": 0,
+            "sheds": 0,
+            "shed_bytes": 0,
+        }
+        reservation.close()
+
+
+# ----------------------------------------------------------------------
+# Admission control under memory pressure
+# ----------------------------------------------------------------------
+class TestAdmissionGating:
+    def test_blocked_broker_rejects_with_load_details(self):
+        gate = AdmissionController(max_concurrent=4, max_queue=2)
+        BROKER.set_limit(100)
+        reservation = BROKER.reserve()
+        reservation.charge(100)
+        try:
+            with pytest.raises(QueryRejected, match="memory broker") as info:
+                gate.admit()
+            details = info.value.details
+            assert details["reserved_bytes"] == 100
+            assert details["mem_limit"] == 100
+            assert details["running"] == 0
+        finally:
+            reservation.close()
+        # pressure gone: admission resumes
+        with gate.admit():
+            pass
+
+    def test_queue_full_rejection_carries_details(self):
+        gate = AdmissionController(max_concurrent=1, max_queue=0)
+        with gate.admit():
+            with pytest.raises(QueryRejected) as info:
+                gate.admit()
+        details = info.value.details
+        assert details["running"] == 1
+        assert details["max_concurrent"] == 1
+        assert details["max_queue"] == 0
+        assert details["reserved_bytes"] == 0
+        assert details["mem_limit"] is None
+
+    def test_snapshot_reports_broker_state(self):
+        gate = AdmissionController(max_concurrent=2, max_queue=2)
+        BROKER.set_limit(256)
+        snapshot = gate.snapshot()
+        assert snapshot["mem_limit"] == 256
+        assert snapshot["reserved_bytes"] == 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler deferral under memory pressure
+# ----------------------------------------------------------------------
+class TestSchedulerDeferral:
+    def test_fallback_recompute_deferred_then_applied(self, tiny_db):
+        try:
+            # AVG has no derivation rule, so every deferred batch for
+            # this summary needs a fallback recompute — deferrable work.
+            sql = "select faid, avg(qty) as a from Trans group by faid"
+            summary = tiny_db.create_summary_table(
+                "S1", sql, refresh_mode="deferred"
+            )
+            BROKER.set_limit(1000)
+            pressure = BROKER.reserve()
+            pressure.charge(900)  # past the defer threshold
+            tiny_db.insert_rows(
+                "Trans",
+                [(101, 1, 1, 10, datetime.date(1990, 5, 1), 4, 999.0, 0.0)],
+            )
+            scheduler = tiny_db.refresh_scheduler
+            deadline = time.monotonic() + 5.0
+            while (
+                scheduler.deferred_recomputes == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert scheduler.deferred_recomputes >= 1
+            # deferral is not failure: no attempts burned, no quarantine
+            assert scheduler.quarantines == 0
+            # pressure eases: the deferred recompute goes through
+            pressure.close()
+            BROKER.reset()
+            tiny_db.drain_refresh()
+            assert tables_equal(
+                summary.table,
+                tiny_db.execute(sql, use_summary_tables=False),
+            )
+        finally:
+            tiny_db.close()
+
+    def test_drain_forces_recompute_through_pressure(self, tiny_db):
+        try:
+            sql = "select faid, avg(qty) as a from Trans group by faid"
+            summary = tiny_db.create_summary_table(
+                "S1", sql, refresh_mode="deferred"
+            )
+            BROKER.set_limit(1000)
+            pressure = BROKER.reserve()
+            pressure.charge(999)
+            tiny_db.insert_rows(
+                "Trans",
+                [(101, 1, 1, 10, datetime.date(1990, 5, 1), 4, 999.0, 0.0)],
+            )
+            # drain() must not deadlock behind the deferral loop: the
+            # determinism hook forces deferred work through pressure.
+            tiny_db.drain_refresh()
+            pressure.close()
+            assert tables_equal(
+                summary.table,
+                tiny_db.execute(sql, use_summary_tables=False),
+            )
+        finally:
+            tiny_db.close()
+
+
+# ----------------------------------------------------------------------
+# Byte-weighted result cache
+# ----------------------------------------------------------------------
+def _wide_table(rows: int) -> Table:
+    return Table(["x", "s"], [(i, "v" * 32) for i in range(rows)])
+
+
+class TestCacheBytes:
+    def _key(self, name: str) -> tuple:
+        return cache_key((name,), RefreshAge.CURRENT, True)
+
+    def test_bytes_tracked_and_bounded(self):
+        log = DeltaLog()
+        one = _wide_table(10).nbytes_estimate()
+        cache = ResultCache(log, max_bytes=int(one * 2.5))
+        for name in ("q1", "q2", "q3"):
+            assert cache.store(
+                self._key(name), _wide_table(10), ["trans"],
+                log.change_counts(["trans"]), RefreshAge.CURRENT,
+            )
+        # three entries exceed the byte budget: the oldest was evicted
+        assert len(cache) == 2
+        assert cache.lookup(self._key("q1")) is None
+        assert cache.lookup(self._key("q3")) is not None
+        assert cache.nbytes <= int(one * 2.5)
+
+    def test_oversized_result_never_cached(self):
+        log = DeltaLog()
+        cache = ResultCache(log, max_bytes=64)
+        stored = cache.store(
+            self._key("big"), _wide_table(100), ["trans"],
+            log.change_counts(["trans"]), RefreshAge.CURRENT,
+        )
+        assert not stored
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
+    def test_shed_frees_oldest_first(self):
+        log = DeltaLog()
+        cache = ResultCache(log)
+        one = _wide_table(10).nbytes_estimate()
+        for name in ("q1", "q2", "q3"):
+            cache.store(
+                self._key(name), _wide_table(10), ["trans"],
+                log.change_counts(["trans"]), RefreshAge.CURRENT,
+            )
+        freed = cache.shed(one + 1)  # needs two evictions
+        assert freed == 2 * one
+        assert len(cache) == 1
+        assert cache.lookup(self._key("q3")) is not None
+        assert cache.nbytes == one
+
+    def test_shed_empty_cache_frees_nothing(self):
+        cache = ResultCache(DeltaLog())
+        assert cache.shed(1 << 20) == 0
+
+    def test_remove_paths_settle_byte_ledger(self):
+        log = DeltaLog()
+        cache = ResultCache(log)
+        cache.store(
+            self._key("q1"), _wide_table(10), ["trans"],
+            log.change_counts(["trans"]), RefreshAge.CURRENT,
+        )
+        assert cache.nbytes > 0
+        log.note_write("Trans")
+        cache.invalidate_table("Trans")
+        assert len(cache) == 0
+        assert cache.nbytes == 0
